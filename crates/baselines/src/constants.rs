@@ -1,0 +1,78 @@
+//! Published constants of the estimator families.
+//!
+//! * `α_t` — the HyperLogLog bias-correction constant (Flajolet et al.
+//!   2007, Fig. 2 / HLL++ §4): exact tabulated values for small `t`,
+//!   the asymptotic formula `0.7213/(1 + 1.079/t)` for `t ≥ 128`;
+//! * `φ` — the FM/PCSA correction constant (Flajolet–Martin 1985):
+//!   `φ ≈ 0.77351`;
+//! * LogLog's asymptotic `α_∞ ≈ 0.39701` (Durand–Flajolet 2003);
+//! * the Euler–Mascheroni constant used by the MinCount logarithm-family
+//!   estimator.
+
+/// FM/PCSA magic constant `φ` (Flajolet–Martin 1985). The paper quotes
+/// "0.78 when t is large enough"; the precise published value is
+/// 0.77351.
+pub const FM_PHI: f64 = 0.77351;
+
+/// LogLog asymptotic constant `α_∞` (Durand–Flajolet 2003).
+pub const LOGLOG_ALPHA_INF: f64 = 0.39701;
+
+/// SuperLogLog truncation rule: keep the smallest `θ·t` registers.
+pub const SUPERLOGLOG_THETA: f64 = 0.7;
+
+/// Euler–Mascheroni constant γ.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// HyperLogLog `α_t` constant for `t` registers.
+///
+/// Exact values for the small tabulated sizes; the asymptotic formula
+/// otherwise. Values for non-tabulated small `t` (< 128) interpolate to
+/// the nearest tabulated size the way reference implementations do.
+pub fn hll_alpha(t: usize) -> f64 {
+    match t {
+        0..=16 => 0.673,
+        17..=32 => 0.697,
+        33..=64 => 0.709,
+        _ => 0.7213 / (1.0 + 1.079 / t as f64),
+    }
+}
+
+/// The standard error coefficient of HyperLogLog(++):
+/// `σ/n ≈ 1.04/√t`.
+pub fn hll_standard_error(t: usize) -> f64 {
+    1.04 / (t as f64).sqrt()
+}
+
+/// The standard error coefficient of LogLog: `σ/n ≈ 1.30/√t`.
+pub fn loglog_standard_error(t: usize) -> f64 {
+    1.30 / (t as f64).sqrt()
+}
+
+/// The standard error coefficient of SuperLogLog: `σ/n ≈ 1.05/√t`.
+pub fn superloglog_standard_error(t: usize) -> f64 {
+    1.05 / (t as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_matches_published_table() {
+        assert_eq!(hll_alpha(16), 0.673);
+        assert_eq!(hll_alpha(32), 0.697);
+        assert_eq!(hll_alpha(64), 0.709);
+        // Large-t asymptote approaches 0.7213.
+        assert!((hll_alpha(1 << 20) - 0.7213).abs() < 0.001);
+        // t = 2048 (m = 10240 bits of 5-bit registers).
+        let a = hll_alpha(2048);
+        assert!(a > 0.720 && a < 0.7213, "{a}");
+    }
+
+    #[test]
+    fn standard_errors_decrease_with_t() {
+        assert!(hll_standard_error(2000) < hll_standard_error(200));
+        assert!(hll_standard_error(2000) < loglog_standard_error(2000));
+        assert!(superloglog_standard_error(2000) < loglog_standard_error(2000));
+    }
+}

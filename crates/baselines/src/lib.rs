@@ -1,0 +1,48 @@
+//! # smb-baselines — prior-art cardinality estimators
+//!
+//! Every algorithm the paper compares against (its §II-B / §II-C),
+//! implemented from the original publications and exposed through the
+//! same [`smb_core::CardinalityEstimator`] trait as SMB so the
+//! experiment harness can drive them interchangeably:
+//!
+//! | Module | Algorithm | Paper role |
+//! |--------|-----------|------------|
+//! | [`mrb`] | Multi-Resolution Bitmap (Estan–Varghese) | primary baseline, Eq. (2) |
+//! | [`fm`] | FM / PCSA (Flajolet–Martin) | Eq. (3) |
+//! | [`loglog`] | LogLog and SuperLogLog (Durand–Flajolet) | family members |
+//! | [`hll`] | HyperLogLog (Flajolet et al.) | family member |
+//! | [`hllpp`] | HyperLogLog++ (Heule et al.) | most-accurate baseline, Eq. (4) |
+//! | [`tailcut`] | HLL-TailCut 4-bit offset registers | optimized HLL++ |
+//! | [`kmv`] | KMV / MinCount (k-minimum values) | first category of §II-B |
+//! | [`bjkst`] | BJKST (Bar-Yossef et al.) | classic (ε, δ)-guarantee algorithm |
+//! | [`adaptive`] | Adaptive Bitmap | §II-C related work |
+//!
+//! Memory parity follows the paper's conventions: an estimator "given
+//! `m` bits" uses `t = m/32` FM registers, `t = m/5` HLL++ registers,
+//! `t = m/4` TailCut registers, `k` bitmaps of `m/k` bits for MRB, and
+//! so on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod bjkst;
+pub mod constants;
+pub mod fm;
+pub mod hll;
+pub mod hllpp;
+pub mod kmv;
+pub mod loglog;
+pub mod mrb;
+pub mod registers;
+pub mod tailcut;
+
+pub use adaptive::AdaptiveBitmap;
+pub use bjkst::Bjkst;
+pub use fm::Fm;
+pub use hll::Hll;
+pub use hllpp::HllPlusPlus;
+pub use kmv::{Kmv, MinCount};
+pub use loglog::{LogLog, SuperLogLog};
+pub use mrb::Mrb;
+pub use tailcut::HllTailCut;

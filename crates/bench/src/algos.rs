@@ -1,0 +1,156 @@
+//! Estimator construction with the paper's parameterisation rules.
+
+use smb_baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
+use smb_core::{Bitmap, CardinalityEstimator, Smb};
+use smb_hash::HashScheme;
+
+/// The algorithms the paper's evaluation compares head-to-head
+/// (Tables IV–X, Figs. 6–9).
+pub const COMPARED_ALGOS: [Algo; 5] = [Algo::Mrb, Algo::Fm, Algo::HllPlusPlus, Algo::TailCut, Algo::Smb];
+
+/// Every estimator the workspace implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algo {
+    /// Self-Morphing Bitmap (this paper).
+    Smb,
+    /// Multi-Resolution Bitmap.
+    Mrb,
+    /// FM / PCSA.
+    Fm,
+    /// HyperLogLog++.
+    HllPlusPlus,
+    /// HLL-TailCut.
+    TailCut,
+    /// Plain HyperLogLog.
+    Hll,
+    /// LogLog.
+    LogLog,
+    /// SuperLogLog.
+    SuperLogLog,
+    /// k-minimum values.
+    Kmv,
+    /// BJKST buffer-sampling algorithm.
+    Bjkst,
+    /// MinCount.
+    MinCount,
+    /// Plain bitmap / linear counting.
+    Bitmap,
+}
+
+impl Algo {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::Smb => "SMB",
+            Algo::Mrb => "MRB",
+            Algo::Fm => "FM",
+            Algo::HllPlusPlus => "HLL++",
+            Algo::TailCut => "HLL-TailC",
+            Algo::Hll => "HLL",
+            Algo::LogLog => "LogLog",
+            Algo::SuperLogLog => "SuperLogLog",
+            Algo::Kmv => "KMV",
+            Algo::Bjkst => "BJKST",
+            Algo::MinCount => "MinCount",
+            Algo::Bitmap => "Bitmap",
+        }
+    }
+}
+
+/// Build an estimator with `m` bits of memory, parameterised for
+/// streams up to `n_max`, hashing with `seed`. The per-algorithm rules
+/// follow the paper's §V-A:
+///
+/// * SMB: `T` from the theory crate's β-maximising search (Table II);
+/// * MRB: recommended `k` (Table III rule);
+/// * FM: `t = m/32`; HLL/HLL++/LogLog family: `t = m/5`;
+///   HLL-TailCut: `t = m/4`; KMV/MinCount: `m/64` 64-bit slots.
+pub fn build_estimator(algo: Algo, m: usize, n_max: f64, seed: u64) -> Box<dyn CardinalityEstimator> {
+    let scheme = HashScheme::with_seed(seed);
+    match algo {
+        Algo::Smb => {
+            let t = smb_theory::optimal_threshold(m, n_max).t;
+            Box::new(Smb::with_scheme(m, t, scheme).expect("valid SMB params"))
+        }
+        Algo::Mrb => {
+            Box::new(Mrb::for_expected_cardinality(m, n_max, scheme).expect("valid MRB params"))
+        }
+        Algo::Fm => Box::new(Fm::with_memory_bits_scheme(m, scheme).expect("valid FM params")),
+        Algo::HllPlusPlus => {
+            Box::new(HllPlusPlus::with_memory_bits(m, scheme).expect("valid HLL++ params"))
+        }
+        Algo::TailCut => {
+            Box::new(HllTailCut::with_memory_bits(m, scheme).expect("valid TailCut params"))
+        }
+        Algo::Hll => Box::new(Hll::with_memory_bits(m, scheme).expect("valid HLL params")),
+        Algo::LogLog => Box::new(LogLog::with_memory_bits(m, scheme).expect("valid LogLog params")),
+        Algo::SuperLogLog => {
+            Box::new(SuperLogLog::with_memory_bits(m, scheme).expect("valid SLL params"))
+        }
+        Algo::Kmv => Box::new(Kmv::with_memory_bits(m, scheme).expect("valid KMV params")),
+        Algo::Bjkst => Box::new(
+            smb_baselines::Bjkst::with_memory_bits(m, scheme).expect("valid BJKST params"),
+        ),
+        Algo::MinCount => {
+            Box::new(MinCount::with_memory_bits(m, scheme).expect("valid MinCount params"))
+        }
+        Algo::Bitmap => Box::new(Bitmap::with_scheme(m, scheme).expect("valid bitmap params")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_algos_build_and_record() {
+        let algos = [
+            Algo::Smb,
+            Algo::Mrb,
+            Algo::Fm,
+            Algo::HllPlusPlus,
+            Algo::TailCut,
+            Algo::Hll,
+            Algo::LogLog,
+            Algo::SuperLogLog,
+            Algo::Kmv,
+            Algo::Bjkst,
+            Algo::MinCount,
+            Algo::Bitmap,
+        ];
+        for algo in algos {
+            let mut est = build_estimator(algo, 5000, 1e6, 1);
+            for i in 0..1000u32 {
+                est.record(&i.to_le_bytes());
+            }
+            let e = est.estimate();
+            assert!(
+                (e - 1000.0).abs() / 1000.0 < 0.5,
+                "{}: estimate {e} for n=1000",
+                algo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_parity_is_respected() {
+        // Every algorithm's reported memory must be within the m-bit
+        // budget (not above), and within 5% of it for the bit/register
+        // structures (KMV/MinCount round down to whole 64-bit slots).
+        for algo in COMPARED_ALGOS {
+            let est = build_estimator(algo, 5000, 1e6, 1);
+            assert!(
+                est.memory_bits() <= 5000,
+                "{}: {} bits",
+                algo.name(),
+                est.memory_bits()
+            );
+            assert!(
+                est.memory_bits() >= 4700,
+                "{}: {} bits is under-using the budget",
+                algo.name(),
+                est.memory_bits()
+            );
+        }
+    }
+}

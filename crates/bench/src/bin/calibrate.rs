@@ -1,0 +1,138 @@
+//! Offline calibration of empirical constants, mirroring how the
+//! original authors derived theirs:
+//!
+//! * `SLL_ALPHA` — the SuperLogLog truncated-mean bias constant
+//!   (Durand–Flajolet calibrated theirs for their register width; our
+//!   5-bit registers and θ = 0.7 need a matching value);
+//! * the HLL++ relative-bias table `BIAS_RATIO_X/Y` (Heule et al.
+//!   derived theirs per precision by simulation; we derive the
+//!   scale-free ratio form, see `smb-baselines/src/hllpp/bias.rs`);
+//! * `LC_THRESHOLD_RATIO` — where linear counting's RMS error starts
+//!   exceeding the bias-corrected raw estimate's.
+//!
+//! Output is Rust source ready to paste into the constants modules.
+//! Run with `cargo run --release -p smb-bench --bin calibrate`.
+
+use smb_baselines::constants::hll_alpha;
+use smb_baselines::registers::MaxRegisters;
+use smb_hash::HashScheme;
+
+/// Mean over `trials` independent hash seeds of `f(registers after n
+/// distinct items)`.
+fn simulate<F: Fn(&MaxRegisters) -> f64>(
+    t: usize,
+    n: u64,
+    trials: u64,
+    seed0: u64,
+    f: F,
+) -> (f64, f64) {
+    let mut vals = Vec::with_capacity(trials as usize);
+    for trial in 0..trials {
+        let scheme = HashScheme::with_seed(seed0 + trial * 7919);
+        let mut regs = MaxRegisters::new(t, 5);
+        for i in 0..n {
+            regs.update(scheme.item_hash(&(i ^ (trial << 40)).to_le_bytes()));
+        }
+        vals.push(f(&regs));
+    }
+    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+    let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64;
+    (mean, var.sqrt())
+}
+
+fn calibrate_sll() {
+    println!("// --- SuperLogLog truncated-mean constant (theta = 0.7) ---");
+    let t = 2048usize;
+    for &n in &[200_000u64, 1_000_000] {
+        let (mean_pow, _) = simulate(t, n, 24, 1, |regs| 2f64.powf(regs.truncated_mean(0.7)));
+        // estimate = alpha * t * 2^truncmean == n  =>  alpha = n / (t * mean_pow)
+        let alpha = n as f64 / (t as f64 * mean_pow);
+        println!("// n = {n}: SLL_ALPHA = {alpha:.5}");
+    }
+}
+
+fn calibrate_hllpp_bias() {
+    println!("// --- HLL++ relative bias table (t = 2048, scale-free x = E/t) ---");
+    let t = 2048usize;
+    let alpha = hll_alpha(t);
+    let raw = |regs: &MaxRegisters| alpha * (t as f64) * (t as f64) / regs.harmonic_sum();
+    let targets: Vec<f64> = vec![
+        0.2, 0.4, 0.6, 0.8, 1.0, 1.25, 1.5, 1.75, 2.0, 2.25, 2.5, 2.75, 3.0, 3.5, 4.0, 4.5,
+        5.0, 5.5,
+    ];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &x_target in &targets {
+        // Search the n producing mean raw ratio x_target: raw estimate is
+        // monotone in n, so two-step secant from n0 = x_target * t.
+        let mut n = (x_target * t as f64) as u64;
+        let trials = 48;
+        for _ in 0..3 {
+            let (mean_raw, _) = simulate(t, n, trials, 1000, raw);
+            let ratio = mean_raw / t as f64;
+            if (ratio - x_target).abs() / x_target < 0.01 {
+                break;
+            }
+            n = ((n as f64) * x_target / ratio).max(8.0) as u64;
+        }
+        let (mean_raw, _) = simulate(t, n, 96, 5000, raw);
+        let x = mean_raw / t as f64;
+        let bias_ratio = (mean_raw - n as f64) / t as f64;
+        xs.push(x);
+        ys.push(bias_ratio);
+        println!("// n={n:8}  x={x:.3}  bias/t={bias_ratio:+.4}");
+    }
+    println!("pub const BIAS_RATIO_X: [f64; {}] = {:?};", xs.len(), xs);
+    let ys_r: Vec<f64> = ys.iter().map(|y| (y * 1e4).round() / 1e4).collect();
+    println!("pub const BIAS_RATIO_Y: [f64; {}] = {:?};", ys_r.len(), ys_r);
+}
+
+fn calibrate_lc_threshold() {
+    println!("// --- LC vs bias-corrected crossover ---");
+    let t = 2048usize;
+    let alpha = hll_alpha(t);
+    for mult in [10, 15, 20, 25, 28, 30, 32, 35, 40] {
+        let n = (t as u64) * mult / 10;
+        let trials = 64;
+        let mut lc_sq = 0.0;
+        let mut bc_sq = 0.0;
+        for trial in 0..trials {
+            let scheme = HashScheme::with_seed(31 + trial * 104729);
+            let mut regs = MaxRegisters::new(t, 5);
+            for i in 0..n {
+                regs.update(scheme.item_hash(&(i ^ (trial << 40)).to_le_bytes()));
+            }
+            let zeros = regs.zero_count();
+            if zeros > 0 {
+                let lc = (t as f64) * ((t as f64) / zeros as f64).ln();
+                lc_sq += ((lc - n as f64) / n as f64).powi(2);
+            } else {
+                lc_sq += 1.0; // LC unusable counts as full error
+            }
+            let e = alpha * (t as f64) * (t as f64) / regs.harmonic_sum();
+            let corrected =
+                e - (t as f64) * smb_baselines::hllpp::bias::bias_ratio(e / t as f64);
+            bc_sq += ((corrected - n as f64) / n as f64).powi(2);
+        }
+        println!(
+            "// n/t = {:.1}: LC rmse {:.4}, corrected rmse {:.4}",
+            mult as f64 / 10.0,
+            (lc_sq / trials as f64).sqrt(),
+            (bc_sq / trials as f64).sqrt()
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    if which == "all" || which == "sll" {
+        calibrate_sll();
+    }
+    if which == "all" || which == "bias" {
+        calibrate_hllpp_bias();
+    }
+    if which == "all" || which == "lc" {
+        calibrate_lc_threshold();
+    }
+}

@@ -1,0 +1,79 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--full] <experiment>...
+//! repro all                # every experiment at quick scale
+//! repro --full fig6 table8 # paper-scale runs of two experiments
+//! repro list               # show available experiment ids
+//! ```
+
+use smb_bench::experiments::{ablation, accuracy, caida, theory_exps, throughput, Scale};
+
+const EXPERIMENTS: [&str; 12] = [
+    "table1", "table2", "fig5a", "fig5b", "table4", "table5", "table6", "fig6", "fig7", "fig8",
+    "table8", "table9",
+];
+const EXPERIMENTS_EXTRA: [&str; 5] = ["table10", "fig9", "ablation_t", "ablation_mrb", "ablation_bias"];
+
+fn run_one(id: &str, scale: Scale) -> Option<String> {
+    let out = match id {
+        "table1" => theory_exps::run_table1(),
+        "table2" => theory_exps::run_table2(),
+        "fig5a" => theory_exps::run_fig5a(),
+        "fig5b" => theory_exps::run_fig5b(),
+        "table4" => throughput::run_table4(),
+        "table5" => throughput::run_table5(),
+        "table6" | "table7" => throughput::run_table6(),
+        "fig6" => accuracy::run_fig6(scale),
+        "fig7" => accuracy::run_fig7(scale),
+        "fig8" => accuracy::run_fig8(scale),
+        "table8" => caida::run_table8(scale),
+        "table9" => caida::run_table9(scale),
+        "table10" => caida::run_table10(scale),
+        "fig9" => caida::run_fig9(scale),
+        "ablation_t" => ablation::run_ablation_t(scale),
+        "ablation_mrb" => ablation::run_ablation_mrb(scale),
+        "ablation_bias" => ablation::run_ablation_bias(scale),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if let Some(pos) = args.iter().position(|a| a == "--full") {
+        args.remove(pos);
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    if args.is_empty() || args[0] == "list" {
+        eprintln!("usage: repro [--full] <experiment>... | all | list");
+        eprintln!(
+            "experiments: {} {}",
+            EXPERIMENTS.join(" "),
+            EXPERIMENTS_EXTRA.join(" ")
+        );
+        return;
+    }
+    let ids: Vec<String> = if args.iter().any(|a| a == "all") {
+        EXPERIMENTS
+            .iter()
+            .chain(EXPERIMENTS_EXTRA.iter())
+            .map(|s| s.to_string())
+            .collect()
+    } else {
+        args
+    };
+    for id in &ids {
+        match run_one(id, scale) {
+            Some(out) => {
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment `{id}` — try `repro list`");
+                std::process::exit(2);
+            }
+        }
+    }
+}

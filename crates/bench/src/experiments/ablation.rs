@@ -1,0 +1,189 @@
+//! Ablations over the design parameters DESIGN.md §7 calls out:
+//!
+//! * **SMB threshold sweep** — accuracy as a function of the rounds
+//!   capacity `c = m/T`, compared with the Theorem 3 bound's pick.
+//!   The bound is a worst-case instrument; this experiment checks how
+//!   close its β-maximising `c` lands to the empirically MSE-optimal
+//!   one.
+//! * **MRB base-selection sweep** — accuracy as a function of the
+//!   base-selection threshold (fraction of the component size), the
+//!   knob the paper leaves implicit.
+//! * **HLL++ bias-correction on/off** — what the empirical bias tables
+//!   buy in the `t..5t` crossover region.
+
+use smb_core::{CardinalityEstimator, Smb};
+use smb_hash::HashScheme;
+use smb_stream::items::StreamSpec;
+use smb_stream::stats;
+
+use crate::experiments::Scale;
+use crate::render::table;
+
+fn smb_mre(m: usize, t: usize, n: u64, runs: u64) -> f64 {
+    let mut errs = Vec::new();
+    let mut buf = [0u8; smb_stream::items::MAX_ITEM_LEN];
+    for run in 0..runs {
+        let mut smb = Smb::with_scheme(m, t, HashScheme::with_seed(run * 17 + 3)).unwrap();
+        let mut stream = StreamSpec::distinct(n, run ^ 0xA11).stream();
+        while let Some(len) = stream.next_into(&mut buf) {
+            smb.record(&buf[..len]);
+        }
+        errs.push((smb.estimate() - n as f64).abs() / n as f64);
+    }
+    stats::mean(&errs)
+}
+
+/// SMB threshold ablation: mean relative error vs rounds capacity `c`.
+pub fn run_ablation_t(scale: Scale) -> String {
+    let runs = scale.runs();
+    let mut out = String::new();
+    for (m, n) in [(10_000usize, 1_000_000u64), (5000, 200_000)] {
+        let opt = smb_theory::optimal_threshold(m, n as f64);
+        let mut rows = Vec::new();
+        for c in [4usize, 6, 8, 10, 12, 14, 16, 20, 24, 32] {
+            let t = m / c;
+            let max_est = smb_theory::optimal_t::max_estimate(m, t);
+            if max_est < n as f64 {
+                rows.push(vec![
+                    c.to_string(),
+                    t.to_string(),
+                    "saturates".into(),
+                    format!("{:.3}", 0.0),
+                ]);
+                continue;
+            }
+            let mre = smb_mre(m, t, n, runs);
+            let beta = smb_theory::error_bound(smb_theory::SmbBoundInput {
+                m,
+                t,
+                n: n as f64,
+                delta: 0.1,
+            })
+            .beta;
+            let marker = if c == opt.c { " <- bound-optimal" } else { "" };
+            rows.push(vec![
+                format!("{c}{marker}"),
+                t.to_string(),
+                format!("{mre:.4}"),
+                format!("{beta:.3}"),
+            ]);
+        }
+        out.push_str(&table(
+            &format!("SMB threshold ablation — m = {m}, n = {n}, {runs} runs"),
+            &["c = m/T", "T", "mean rel err", "β(δ=0.1)"],
+            &rows,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
+/// MRB base-selection threshold ablation.
+pub fn run_ablation_mrb(scale: Scale) -> String {
+    use smb_baselines::Mrb;
+    let runs = scale.runs();
+    let m = 10_000usize;
+    let k = Mrb::recommended_k(m, 1e6);
+    let c_bits = m / k;
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for frac_label in ["1/8", "1/4", "1/3", "1/2", "2/3"] {
+        let frac = match frac_label {
+            "1/8" => 0.125,
+            "1/4" => 0.25,
+            "1/3" => 1.0 / 3.0,
+            "1/2" => 0.5,
+            _ => 2.0 / 3.0,
+        };
+        let threshold = ((c_bits as f64) * frac).round().max(1.0) as u32;
+        let mut row = vec![frac_label.to_string(), threshold.to_string()];
+        for &n in &[50_000u64, 200_000, 1_000_000] {
+            let mut errs = Vec::new();
+            let mut buf = [0u8; smb_stream::items::MAX_ITEM_LEN];
+            for run in 0..runs {
+                let mut mrb = Mrb::with_scheme(m, k, HashScheme::with_seed(run * 29 + 5)).unwrap();
+                mrb.set_select_threshold(threshold);
+                let mut stream = StreamSpec::distinct(n, run ^ 0xB22).stream();
+                while let Some(len) = stream.next_into(&mut buf) {
+                    mrb.record(&buf[..len]);
+                }
+                errs.push((mrb.estimate() - n as f64).abs() / n as f64);
+            }
+            row.push(format!("{:.4}", stats::mean(&errs)));
+        }
+        rows.push(row);
+    }
+    out.push_str(&table(
+        &format!("MRB base-selection ablation — m = {m}, k = {k}, {runs} runs"),
+        &["threshold (·c)", "ones", "MRE n=50k", "MRE n=200k", "MRE n=1M"],
+        &rows,
+    ));
+    out
+}
+
+/// HLL++ bias correction on/off in the crossover region.
+pub fn run_ablation_bias(scale: Scale) -> String {
+    use smb_baselines::HllPlusPlus;
+    let runs = scale.runs();
+    let t = 1000usize; // m = 5000
+    let mut rows = Vec::new();
+    for &n in &[1_500u64, 2_500, 3_500, 5_000, 8_000] {
+        let mut raw_bias = Vec::new();
+        let mut corr_bias = Vec::new();
+        let mut buf = [0u8; smb_stream::items::MAX_ITEM_LEN];
+        for run in 0..runs {
+            let mut h = HllPlusPlus::with_scheme(t, HashScheme::with_seed(run * 41 + 11)).unwrap();
+            let mut stream = StreamSpec::distinct(n, run ^ 0xC33).stream();
+            while let Some(len) = stream.next_into(&mut buf) {
+                h.record(&buf[..len]);
+            }
+            raw_bias.push(h.raw_estimate());
+            corr_bias.push(h.estimate());
+        }
+        rows.push(vec![
+            n.to_string(),
+            format!("{:+.4}", stats::relative_bias(&raw_bias, n as f64)),
+            format!("{:+.4}", stats::relative_bias(&corr_bias, n as f64)),
+        ]);
+    }
+    table(
+        &format!("HLL++ bias-correction ablation — t = {t}, {runs} runs"),
+        &["n", "raw bias", "corrected bias"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_optimal_c_is_near_empirical_optimum() {
+        // The Theorem 3 pick should land within the flat bottom of the
+        // empirical error curve: its MRE within 1.5× the best sweep
+        // point.
+        let m = 10_000;
+        let n = 1_000_000u64;
+        let runs = 10;
+        let opt = smb_theory::optimal_threshold(m, n as f64);
+        let opt_err = smb_mre(m, opt.t, n, runs);
+        let mut best = f64::INFINITY;
+        for c in [8usize, 12, 16, 24] {
+            let t = m / c;
+            if smb_theory::optimal_t::max_estimate(m, t) >= n as f64 {
+                best = best.min(smb_mre(m, t, n, runs));
+            }
+        }
+        assert!(
+            opt_err <= 1.8 * best,
+            "bound-optimal c={} err {opt_err} vs sweep best {best}",
+            opt.c
+        );
+    }
+
+    #[test]
+    fn bias_correction_reduces_crossover_bias() {
+        let out = run_ablation_bias(Scale::Quick);
+        assert!(out.lines().count() > 5);
+    }
+}

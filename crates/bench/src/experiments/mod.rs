@@ -1,0 +1,44 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod caida;
+pub mod theory_exps;
+pub mod throughput;
+
+/// Experiment scale: `quick` keeps every experiment in seconds-to-a-
+/// minute territory; `full` matches the paper's run counts and stream
+/// sizes (100 runs/point, 1M-cardinality sweeps, paper-scale trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced run counts for fast iteration.
+    Quick,
+    /// Paper-scale runs.
+    Full,
+}
+
+impl Scale {
+    /// Runs per accuracy point (paper: 100).
+    pub fn runs(&self) -> u64 {
+        match self {
+            Scale::Quick => 20,
+            Scale::Full => 100,
+        }
+    }
+
+    /// Cardinality sweep for the accuracy figures.
+    pub fn sweep(&self) -> Vec<u64> {
+        match self {
+            Scale::Quick => vec![1_000, 10_000, 50_000, 100_000, 200_000, 400_000, 700_000, 1_000_000],
+            Scale::Full => (1..=20).map(|i| i * 50_000).collect(),
+        }
+    }
+
+    /// Trace configuration for the CAIDA-substitute experiments.
+    pub fn trace_config(&self) -> smb_stream::TraceConfig {
+        match self {
+            Scale::Quick => smb_stream::TraceConfig::default(),
+            Scale::Full => smb_stream::TraceConfig::paper_scale(),
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # smb-bench — the experiment harness
+//!
+//! One module per table/figure of the paper's evaluation (see
+//! `DESIGN.md` §3 for the full index). The `repro` binary drives them:
+//!
+//! ```text
+//! cargo run --release -p smb-bench --bin repro -- all
+//! cargo run --release -p smb-bench --bin repro -- table4 fig6 ...
+//! cargo run --release -p smb-bench --bin repro -- --full all   # paper-scale runs
+//! ```
+//!
+//! Criterion counterparts for the throughput tables live in
+//! `crates/bench/benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algos;
+pub mod experiments;
+pub mod render;
+pub mod runner;
+
+pub use algos::{build_estimator, Algo, COMPARED_ALGOS};

@@ -1,0 +1,86 @@
+//! Plain-text table/series rendering for the repro binary.
+
+/// Render an aligned text table. `headers.len()` must equal each row's
+/// length.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged row in `{title}`");
+        for (w, cell) in widths.iter_mut().zip(row.iter()) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let head: Vec<String> = headers
+        .iter()
+        .zip(&widths)
+        .map(|(h, w)| format!("{h:>w$}"))
+        .collect();
+    out.push_str(&head.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with engineering-style significance.
+pub fn sig(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let a = x.abs();
+    if a >= 1e6 {
+        format!("{:.3}e{}", x / 10f64.powi(a.log10().floor() as i32), a.log10().floor() as i32)
+    } else if a >= 100.0 {
+        format!("{x:.0}")
+    } else if a >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = table(
+            "demo",
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines[0].contains("demo"));
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        table("bad", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn sig_formats() {
+        assert_eq!(sig(0.0), "0");
+        assert_eq!(sig(1234567.0), "1.235e6");
+        assert_eq!(sig(123.4), "123");
+        assert_eq!(sig(1.234), "1.23");
+        assert_eq!(sig(0.01234), "0.0123");
+    }
+}

@@ -1,0 +1,480 @@
+//! Library backing the `smbcount` binary — argument parsing and the
+//! subcommand implementations, factored out so they are unit-testable
+//! without spawning processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write;
+
+use smb_core::{CardinalityEstimator, Smb};
+use smb_hash::HashScheme;
+use smb_sketch::FlowTable;
+use smb_stream::{ExactCounter, TraceConfig};
+
+/// Which estimator a `count` run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoChoice {
+    /// Self-morphing bitmap (default).
+    Smb,
+    /// Multi-resolution bitmap.
+    Mrb,
+    /// FM / PCSA.
+    Fm,
+    /// HyperLogLog.
+    Hll,
+    /// HyperLogLog++.
+    Hllpp,
+    /// HLL-TailCut.
+    Tailcut,
+    /// LogLog.
+    LogLog,
+    /// SuperLogLog.
+    SuperLogLog,
+    /// k-minimum values.
+    Kmv,
+    /// MinCount.
+    MinCount,
+    /// BJKST.
+    Bjkst,
+    /// Plain bitmap.
+    Bitmap,
+}
+
+impl AlgoChoice {
+    fn parse(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "smb" => AlgoChoice::Smb,
+            "mrb" => AlgoChoice::Mrb,
+            "fm" => AlgoChoice::Fm,
+            "hll" => AlgoChoice::Hll,
+            "hllpp" | "hll++" => AlgoChoice::Hllpp,
+            "tailcut" | "hll-tailcut" => AlgoChoice::Tailcut,
+            "loglog" => AlgoChoice::LogLog,
+            "superloglog" | "sll" => AlgoChoice::SuperLogLog,
+            "kmv" => AlgoChoice::Kmv,
+            "mincount" => AlgoChoice::MinCount,
+            "bjkst" => AlgoChoice::Bjkst,
+            "bitmap" => AlgoChoice::Bitmap,
+            other => return Err(format!("unknown algorithm `{other}`")),
+        })
+    }
+
+    /// Build the chosen estimator at `m` bits.
+    pub fn build(self, m: usize, seed: u64) -> Result<Box<dyn CardinalityEstimator>, String> {
+        let scheme = HashScheme::with_seed(seed);
+        let err = |e: smb_core::Error| e.to_string();
+        Ok(match self {
+            AlgoChoice::Smb => {
+                let t = smb_theory::optimal_threshold(m, 1e7).t;
+                Box::new(Smb::with_scheme(m, t, scheme).map_err(err)?)
+            }
+            AlgoChoice::Mrb => {
+                Box::new(smb_baselines::Mrb::for_expected_cardinality(m, 1e7, scheme).map_err(err)?)
+            }
+            AlgoChoice::Fm => {
+                Box::new(smb_baselines::Fm::with_memory_bits_scheme(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::Hll => {
+                Box::new(smb_baselines::Hll::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::Hllpp => {
+                Box::new(smb_baselines::HllPlusPlus::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::Tailcut => {
+                Box::new(smb_baselines::HllTailCut::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::LogLog => {
+                Box::new(smb_baselines::LogLog::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::SuperLogLog => {
+                Box::new(smb_baselines::SuperLogLog::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::Kmv => {
+                Box::new(smb_baselines::Kmv::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::MinCount => {
+                Box::new(smb_baselines::MinCount::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::Bjkst => {
+                Box::new(smb_baselines::Bjkst::with_memory_bits(m, scheme).map_err(err)?)
+            }
+            AlgoChoice::Bitmap => {
+                Box::new(smb_core::Bitmap::with_scheme(m, scheme).map_err(err)?)
+            }
+        })
+    }
+}
+
+/// `count` subcommand configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CountConfig {
+    /// Estimator choice.
+    pub algo: AlgoChoice,
+    /// Memory budget in bits.
+    pub memory_bits: usize,
+    /// Also track the exact count and report the error.
+    pub exact: bool,
+}
+
+/// `flows` subcommand configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowsConfig {
+    /// Per-flow memory budget in bits.
+    pub memory_bits: usize,
+    /// Only report flows with estimates at least this large.
+    pub threshold: f64,
+    /// Report at most this many flows (largest first).
+    pub top: usize,
+}
+
+/// `trace` subcommand configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceCliConfig {
+    /// Number of flows.
+    pub flows: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, Copy)]
+pub enum Command {
+    /// Print usage.
+    Help,
+    /// Estimate the distinct count of stdin lines.
+    Count(CountConfig),
+    /// Per-flow estimates of `flow<TAB>item` lines.
+    Flows(FlowsConfig),
+    /// Generate a synthetic trace.
+    Trace(TraceCliConfig),
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Parse the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(sub) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "count" => {
+            let mut cfg = CountConfig {
+                algo: AlgoChoice::Smb,
+                memory_bits: 8192,
+                exact: false,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--algo" => cfg.algo = AlgoChoice::parse(take_value(args, &mut i, "--algo")?)?,
+                    "--memory-bits" => {
+                        cfg.memory_bits = take_value(args, &mut i, "--memory-bits")?
+                            .parse()
+                            .map_err(|e| format!("--memory-bits: {e}"))?
+                    }
+                    "--exact" => cfg.exact = true,
+                    other => return Err(format!("unknown option `{other}` for count")),
+                }
+                i += 1;
+            }
+            Ok(Command::Count(cfg))
+        }
+        "flows" => {
+            let mut cfg = FlowsConfig {
+                memory_bits: 2048,
+                threshold: 0.0,
+                top: 20,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--memory-bits" => {
+                        cfg.memory_bits = take_value(args, &mut i, "--memory-bits")?
+                            .parse()
+                            .map_err(|e| format!("--memory-bits: {e}"))?
+                    }
+                    "--threshold" => {
+                        cfg.threshold = take_value(args, &mut i, "--threshold")?
+                            .parse()
+                            .map_err(|e| format!("--threshold: {e}"))?
+                    }
+                    "--top" => {
+                        cfg.top = take_value(args, &mut i, "--top")?
+                            .parse()
+                            .map_err(|e| format!("--top: {e}"))?
+                    }
+                    other => return Err(format!("unknown option `{other}` for flows")),
+                }
+                i += 1;
+            }
+            Ok(Command::Flows(cfg))
+        }
+        "trace" => {
+            let mut cfg = TraceCliConfig {
+                flows: 1000,
+                seed: 1,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--flows" => {
+                        cfg.flows = take_value(args, &mut i, "--flows")?
+                            .parse()
+                            .map_err(|e| format!("--flows: {e}"))?
+                    }
+                    "--seed" => {
+                        cfg.seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?
+                    }
+                    other => return Err(format!("unknown option `{other}` for trace")),
+                }
+                i += 1;
+            }
+            Ok(Command::Trace(cfg))
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+/// Run `count` over an iterator of lines.
+pub fn run_count(
+    cfg: CountConfig,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let mut est = cfg.algo.build(cfg.memory_bits, 0)?;
+    let mut exact = cfg.exact.then(ExactCounter::new);
+    let mut total_lines = 0u64;
+    for line in lines {
+        est.record(line.as_bytes());
+        if let Some(e) = exact.as_mut() {
+            e.record(line.as_bytes());
+        }
+        total_lines += 1;
+    }
+    let estimate = est.estimate();
+    writeln!(out, "items        : {total_lines}").map_err(|e| e.to_string())?;
+    writeln!(out, "estimate     : {estimate:.0}  ({})", est.name()).map_err(|e| e.to_string())?;
+    writeln!(out, "memory (bits): {}", est.memory_bits()).map_err(|e| e.to_string())?;
+    if let Some(e) = exact {
+        let truth = e.count() as f64;
+        let err = if truth > 0.0 {
+            (estimate - truth).abs() / truth * 100.0
+        } else {
+            0.0
+        };
+        writeln!(out, "exact        : {}  (error {err:.2}%)", e.count())
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Run `flows` over `flow<TAB>item` lines (whitespace also accepted).
+pub fn run_flows(
+    cfg: FlowsConfig,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let m = cfg.memory_bits;
+    let t = smb_theory::optimal_threshold(m, 1e6).t;
+    let mut table = FlowTable::new(move |flow| {
+        Smb::with_scheme(m, t, HashScheme::with_seed(flow)).expect("validated above")
+    });
+    // Validate the parameters once up front so the closure can't panic
+    // mid-stream.
+    Smb::new(m, t).map_err(|e| e.to_string())?;
+
+    let mut skipped = 0u64;
+    for line in lines {
+        let mut parts = line.splitn(2, ['\t', ' ']);
+        match (parts.next(), parts.next()) {
+            (Some(flow), Some(item)) if !flow.is_empty() && !item.is_empty() => {
+                let key = smb_hash::fnv::fnv1a64(flow.as_bytes());
+                table.record(key, item.as_bytes());
+            }
+            _ => skipped += 1,
+        }
+    }
+    let mut report = table.flows_over(cfg.threshold);
+    report.truncate(cfg.top);
+    writeln!(out, "flows tracked: {}  (skipped {} malformed lines)", table.len(), skipped)
+        .map_err(|e| e.to_string())?;
+    for (flow, estimate) in report {
+        writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Run `trace`: emit `flow<TAB>item` lines of a synthetic trace.
+pub fn run_trace(cfg: TraceCliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let trace = TraceConfig {
+        flows: cfg.flows.max(1),
+        seed: cfg.seed,
+        ..TraceConfig::default()
+    }
+    .build();
+    for p in trace.packets() {
+        writeln!(out, "{}\t{}", p.flow, p.item).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_defaults_and_flags() {
+        assert!(matches!(parse_args(&[]), Ok(Command::Help)));
+        assert!(matches!(parse_args(&s(&["help"])), Ok(Command::Help)));
+        let Ok(Command::Count(c)) =
+            parse_args(&s(&["count", "--algo", "hllpp", "--memory-bits", "4096", "--exact"]))
+        else {
+            panic!("expected count")
+        };
+        assert_eq!(c.algo, AlgoChoice::Hllpp);
+        assert_eq!(c.memory_bits, 4096);
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_args(&s(&["count", "--algo", "nope"])).is_err());
+        assert!(parse_args(&s(&["count", "--memory-bits"])).is_err());
+        assert!(parse_args(&s(&["frobnicate"])).is_err());
+        assert!(parse_args(&s(&["flows", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn count_estimates_distinct_lines() {
+        let cfg = CountConfig {
+            algo: AlgoChoice::Smb,
+            memory_bits: 8192,
+            exact: true,
+        };
+        let mut lines = (0..10_000u32)
+            .chain(0..10_000) // full duplicate pass
+            .map(|i| format!("user-{i}"));
+        let mut out = Vec::new();
+        run_count(cfg, &mut lines, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("items        : 20000"), "{text}");
+        assert!(text.contains("exact        : 10000"), "{text}");
+        // Estimate within 15%.
+        let est: f64 = text
+            .lines()
+            .find(|l| l.starts_with("estimate"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|v| v.parse().ok())
+            .expect("estimate line");
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.15, "{est}");
+    }
+
+    #[test]
+    fn count_works_for_every_algo() {
+        for algo in [
+            "smb", "mrb", "fm", "hll", "hllpp", "tailcut", "loglog", "superloglog", "kmv",
+            "mincount", "bjkst", "bitmap",
+        ] {
+            let cfg = CountConfig {
+                algo: AlgoChoice::parse(algo).unwrap(),
+                memory_bits: 8192,
+                exact: false,
+            };
+            let mut lines = (0..5000u32).map(|i| format!("item-{i}"));
+            let mut out = Vec::new();
+            run_count(cfg, &mut lines, &mut out).unwrap();
+            let text = String::from_utf8(out).unwrap();
+            let est: f64 = text
+                .lines()
+                .find(|l| l.starts_with("estimate"))
+                .and_then(|l| l.split_whitespace().nth(2))
+                .and_then(|v| v.parse().ok())
+                .expect("estimate line");
+            assert!(
+                (est - 5000.0).abs() / 5000.0 < 0.4,
+                "{algo}: estimate {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn flows_ranks_heavy_flow_first() {
+        let cfg = FlowsConfig {
+            memory_bits: 2048,
+            threshold: 100.0,
+            top: 5,
+        };
+        let mut lines = Vec::new();
+        for i in 0..3000u32 {
+            lines.push(format!("heavy\t{i}"));
+        }
+        for i in 0..50u32 {
+            lines.push(format!("light\t{i}"));
+        }
+        let mut out = Vec::new();
+        run_flows(cfg, &mut lines.into_iter(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("flows tracked: 2"), "{text}");
+        // Only the heavy flow clears the threshold.
+        assert_eq!(text.lines().count(), 2, "{text}");
+    }
+
+    #[test]
+    fn flows_skips_malformed_lines() {
+        let cfg = FlowsConfig {
+            memory_bits: 2048,
+            threshold: 0.0,
+            top: 10,
+        };
+        let mut lines = vec!["good\titem".to_string(), "bad-line".to_string(), "".to_string()]
+            .into_iter();
+        let mut out = Vec::new();
+        run_flows(cfg, &mut lines, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("skipped 2"), "{text}");
+    }
+
+    #[test]
+    fn trace_emits_parsable_lines() {
+        let cfg = TraceCliConfig { flows: 50, seed: 3 };
+        let mut out = Vec::new();
+        run_trace(cfg, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.lines().count() > 50);
+        for line in text.lines().take(100) {
+            let mut parts = line.split('\t');
+            parts.next().unwrap().parse::<u32>().unwrap();
+            parts.next().unwrap().parse::<u32>().unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_then_flows_roundtrip() {
+        // The CLI's own trace feeds its own flows command.
+        let mut trace_out = Vec::new();
+        run_trace(TraceCliConfig { flows: 200, seed: 9 }, &mut trace_out).unwrap();
+        let text = String::from_utf8(trace_out).unwrap();
+        let cfg = FlowsConfig {
+            memory_bits: 2048,
+            threshold: 0.0,
+            top: 5,
+        };
+        let mut out = Vec::new();
+        run_flows(cfg, &mut text.lines().map(|l| l.to_string()), &mut out).unwrap();
+        let report = String::from_utf8(out).unwrap();
+        assert!(report.contains("flows tracked: 200"), "{report}");
+    }
+}

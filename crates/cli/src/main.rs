@@ -1,0 +1,52 @@
+//! `smbcount` — command-line cardinality estimation.
+//!
+//! ```text
+//! smbcount count [--algo smb|mrb|hllpp|...] [--memory-bits 5000] [--exact]
+//!     read items from stdin, one per line; print the estimate
+//! smbcount flows [--memory-bits 2048] [--threshold N] [--top K]
+//!     read "flow<TAB>item" lines; print per-flow estimates
+//! smbcount trace [--flows N] [--seed S]
+//!     emit a synthetic CAIDA-like trace as "flow<TAB>item" lines
+//! ```
+
+use std::io::{BufRead, BufWriter, Write};
+
+use smb_cli::{parse_args, run_count, run_flows, run_trace, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: smbcount <count|flows|trace> [options]   (see --help)");
+            std::process::exit(2);
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    let result = match command {
+        Command::Help => {
+            let _ = writeln!(
+                out,
+                "smbcount — streaming distinct-count estimation (self-morphing bitmaps)\n\n\
+                 subcommands:\n\
+                 \x20 count  [--algo A] [--memory-bits M] [--exact]   estimate |distinct(stdin lines)|\n\
+                 \x20 flows  [--memory-bits M] [--threshold N] [--top K]   per-flow estimates of 'flow<TAB>item' lines\n\
+                 \x20 trace  [--flows N] [--seed S]   generate a synthetic trace\n\n\
+                 algorithms: smb mrb fm hll hllpp tailcut loglog superloglog kmv mincount bjkst bitmap"
+            );
+            Ok(())
+        }
+        Command::Count(cfg) => run_count(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
+        Command::Flows(cfg) => run_flows(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
+        Command::Trace(cfg) => run_trace(cfg, &mut out),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+    let _ = out.flush();
+}

@@ -1,0 +1,81 @@
+//! Error types shared across the workspace's estimators.
+
+use std::fmt;
+
+/// Convenience alias for results carrying [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by estimator construction and merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A constructor parameter was out of its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        param: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Two estimators could not be merged (different sizes, seeds,
+    /// thresholds, or a structurally unmergeable estimator).
+    MergeIncompatible {
+        /// Description of the mismatch.
+        reason: String,
+    },
+    /// The estimator is saturated: its data structure can no longer
+    /// distinguish larger cardinalities. Estimates are clamped at the
+    /// maximum representable value.
+    Saturated,
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidParameter`].
+    pub fn invalid(param: &'static str, reason: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            param,
+            reason: reason.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`Error::MergeIncompatible`].
+    pub fn merge(reason: impl Into<String>) -> Self {
+        Error::MergeIncompatible {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { param, reason } => {
+                write!(f, "invalid parameter `{param}`: {reason}")
+            }
+            Error::MergeIncompatible { reason } => {
+                write!(f, "estimators cannot be merged: {reason}")
+            }
+            Error::Saturated => write!(f, "estimator is saturated"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::invalid("m", "must be positive");
+        assert_eq!(e.to_string(), "invalid parameter `m`: must be positive");
+        let e = Error::merge("different seeds");
+        assert_eq!(e.to_string(), "estimators cannot be merged: different seeds");
+        assert_eq!(Error::Saturated.to_string(), "estimator is saturated");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::Saturated);
+    }
+}

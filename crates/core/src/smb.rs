@@ -1,0 +1,605 @@
+//! The **Self-Morphing Bitmap** — the paper's primary contribution.
+//!
+//! # Algorithm
+//!
+//! SMB keeps one physical bitmap `L₀` of `m` bits, a round counter `r`
+//! (initially 0) and a fresh-bit counter `v` (initially 0). Recording an
+//! item `d` (Algorithm 1):
+//!
+//! 1. **Sample.** Compute the geometric hash `G(d)`; if `G(d) < r` the
+//!    item is ignored. Since `P(G(d) ≥ r) = 2⁻ʳ` (Lemma 1), round `r`
+//!    samples items with probability `pᵣ = 2⁻ʳ`.
+//! 2. **Record.** Compute the uniform hash `H(d) ∈ [0, m)`; if bit
+//!    `H(d)` is zero, set it and increment `v`.
+//! 3. **Morph.** If `v` reached the threshold `T`, start the next
+//!    round: `r += 1`, `v = 0`. The bits set so far are conceptually
+//!    removed; the remaining zero bits form the next logical bitmap
+//!    `L_{r}` of `m_r = m − r·T` bits. Nothing physical happens — the
+//!    estimation formula accounts for the removal.
+//!
+//! Querying (Algorithm 2) is O(1): with the per-round constants folded
+//! into a precomputed table `S[r]` (Eq. 9), the estimate is
+//!
+//! ```text
+//! n̂ = S[r] − 2ʳ · m · ln(1 − v / (m − r·T))          (paper Eq. 11)
+//! ```
+//!
+//! # Invariants (checked in tests and `debug_assert`s)
+//!
+//! * total ones in the physical bitmap = `r·T + v`;
+//! * `v < T` whenever `r` can still advance;
+//! * `r < ⌊m/T⌋` always (the structure supports at most `m/T` rounds);
+//! * duplicates never change state (Theorem 2): a re-appearing item
+//!   either fails the sampling test (its `G` did not change while `r`
+//!   only grows) or lands on its own already-set bit.
+//!
+//! # Saturation
+//!
+//! In the final permissible round (`r = ⌊m/T⌋ − 1`) the round counter
+//! stops advancing and `v` may grow past `T` toward `m_r`; the estimate
+//! clamps at `v = m_r − 1`. [`Smb::is_saturated`] reports this state.
+
+use smb_hash::{HashScheme, ItemHash};
+
+use crate::bits::BitVec;
+use crate::error::{Error, Result};
+use crate::traits::CardinalityEstimator;
+
+/// The Self-Morphing Bitmap cardinality estimator.
+///
+/// Construct with [`Smb::new`] (explicit threshold) or [`Smb::builder`]
+/// (derives a threshold from an expected maximum cardinality).
+///
+/// ```
+/// use smb_core::{CardinalityEstimator, Smb};
+/// let mut smb = Smb::new(5000, 5000 / 16).unwrap();
+/// for i in 0..50_000u32 {
+///     smb.record(&i.to_le_bytes());
+/// }
+/// let est = smb.estimate();
+/// assert!((est - 50_000.0).abs() / 50_000.0 < 0.25);
+/// ```
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Smb {
+    bits: BitVec,
+    /// Physical size `m` in bits.
+    m: usize,
+    /// Morphing threshold `T`.
+    t: usize,
+    /// Current round index `r` (sampling probability `2⁻ʳ`).
+    r: u32,
+    /// Fresh bits set in the current round.
+    v: usize,
+    /// Maximum number of rounds, `⌊m/T⌋`.
+    max_rounds: u32,
+    /// `S[i]` for `i ∈ 0..=max_rounds−1`: the cumulative estimate of all
+    /// *closed* rounds before round `i` (Eq. 9). `S[0] = 0`.
+    s_table: Vec<f64>,
+    scheme: HashScheme,
+}
+
+impl Smb {
+    /// An SMB over `m` bits with morphing threshold `t`, default hash
+    /// scheme.
+    ///
+    /// # Errors
+    /// `m` must be positive and fit in 32 bits; `t` must satisfy
+    /// `1 ≤ t ≤ m/2` (at least two rounds of capacity, per the paper's
+    /// constraint `m/T ≥ r + 1`).
+    pub fn new(m: usize, t: usize) -> Result<Self> {
+        Self::with_scheme(m, t, HashScheme::default())
+    }
+
+    /// An SMB with an explicit hash scheme.
+    pub fn with_scheme(m: usize, t: usize, scheme: HashScheme) -> Result<Self> {
+        if m == 0 || m > u32::MAX as usize {
+            return Err(Error::invalid("m", "must be in 1..=u32::MAX"));
+        }
+        if t == 0 {
+            return Err(Error::invalid("t", "threshold must be positive"));
+        }
+        if t > m / 2 {
+            return Err(Error::invalid(
+                "t",
+                format!("threshold {t} must be at most m/2 = {} (need ≥2 rounds)", m / 2),
+            ));
+        }
+        let max_rounds = (m / t) as u32;
+        let s_table = Self::build_s_table(m, t, max_rounds);
+        Ok(Smb {
+            bits: BitVec::new(m),
+            m,
+            t,
+            r: 0,
+            v: 0,
+            max_rounds,
+            s_table,
+            scheme,
+        })
+    }
+
+    /// Start building an SMB by memory budget and expected stream size.
+    pub fn builder() -> SmbBuilder {
+        SmbBuilder::default()
+    }
+
+    /// Precompute `S[i] = Σ_{j<i} −2ʲ·m·ln(1 − T/m_j)` (Eq. 9), the
+    /// cumulative estimate of closed rounds.
+    fn build_s_table(m: usize, t: usize, max_rounds: u32) -> Vec<f64> {
+        let mut s = Vec::with_capacity(max_rounds as usize);
+        let mut acc = 0.0f64;
+        for i in 0..max_rounds {
+            s.push(acc);
+            let m_i = (m - (i as usize) * t) as f64;
+            // Closed round i contributes −2ⁱ·m·ln(1 − T/m_i).
+            acc += -(2f64.powi(i as i32)) * (m as f64) * (1.0 - t as f64 / m_i).ln();
+        }
+        s
+    }
+
+    /// Current round index `r`. The sampling probability is `2⁻ʳ`.
+    #[inline]
+    pub fn round(&self) -> u32 {
+        self.r
+    }
+
+    /// Fresh bits set in the current round (the paper's `v`).
+    #[inline]
+    pub fn fresh_ones(&self) -> usize {
+        self.v
+    }
+
+    /// The morphing threshold `T`.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// Current sampling probability `pᵣ = 2⁻ʳ`.
+    pub fn sampling_probability(&self) -> f64 {
+        2f64.powi(-(self.r as i32))
+    }
+
+    /// Size of the current *logical* bitmap, `m_r = m − r·T`.
+    pub fn logical_len(&self) -> usize {
+        self.m - (self.r as usize) * self.t
+    }
+
+    /// Maximum number of rounds this configuration supports, `⌊m/T⌋`.
+    pub fn max_rounds(&self) -> u32 {
+        self.max_rounds
+    }
+
+    /// The precomputed cumulative estimate of closed rounds, `S[r]`.
+    /// Exposed for the theory crate's cross-checks.
+    pub fn s_value(&self, round: u32) -> f64 {
+        self.s_table[round as usize]
+    }
+
+    /// O(1) snapshot of the queryable state — exactly the two integers
+    /// the paper says a query must read.
+    pub fn snapshot(&self) -> SmbSnapshot {
+        SmbSnapshot { r: self.r, v: self.v }
+    }
+
+    /// Evaluate the estimate for an explicit `(r, v)` pair against this
+    /// configuration's S-table (Algorithm 2). Used by snapshots and by
+    /// time-series monitors that archive `(r, v)` pairs.
+    pub fn estimate_at(&self, r: u32, v: usize) -> f64 {
+        debug_assert!(r < self.max_rounds);
+        let m_r = self.m - (r as usize) * self.t;
+        // Clamp a saturated final round at its largest useful fill.
+        let v = v.min(m_r - 1);
+        self.s_table[r as usize]
+            - 2f64.powi(r as i32) * (self.m as f64) * (1.0 - v as f64 / m_r as f64).ln()
+    }
+
+    /// Total ones in the physical bitmap. O(1): follows from the
+    /// invariant `ones = r·T + v`.
+    pub fn ones(&self) -> usize {
+        (self.r as usize) * self.t + self.v
+    }
+
+    /// Borrow the physical bit array (for diagnostics/tests).
+    pub fn as_bits(&self) -> &BitVec {
+        &self.bits
+    }
+}
+
+impl CardinalityEstimator for Smb {
+    #[inline]
+    fn record_hash(&mut self, hash: ItemHash) {
+        // Step 1: geometric sampling with probability 2⁻ʳ.
+        if hash.geometric() < self.r {
+            return;
+        }
+        // Step 2: uniform placement in the physical bitmap.
+        let idx = hash.index(self.m);
+        if self.bits.set(idx) {
+            self.v += 1;
+            // Step 3: morph when the round's budget of fresh bits is
+            // exhausted — unless this is already the final round, where
+            // the logical bitmap is allowed to fill up (saturation).
+            if self.v >= self.t && self.r + 1 < self.max_rounds {
+                self.r += 1;
+                self.v = 0;
+            }
+        }
+    }
+
+    fn estimate(&self) -> f64 {
+        self.estimate_at(self.r, self.v)
+    }
+
+    fn scheme(&self) -> HashScheme {
+        self.scheme
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.m
+    }
+
+    fn clear(&mut self) {
+        self.bits.clear();
+        self.r = 0;
+        self.v = 0;
+    }
+
+    fn name(&self) -> &'static str {
+        "SMB"
+    }
+
+    fn max_estimate(&self) -> f64 {
+        let last = self.max_rounds - 1;
+        let m_last = self.m - (last as usize) * self.t;
+        self.s_table[last as usize]
+            + 2f64.powi(last as i32)
+                * (self.m as f64)
+                * (m_last as f64).ln()
+    }
+
+    fn is_saturated(&self) -> bool {
+        let m_r = self.logical_len();
+        self.r + 1 == self.max_rounds && self.v >= m_r - 1
+    }
+}
+
+/// The two integers `(r, v)` that fully determine an SMB estimate —
+/// what the paper's O(1) query reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SmbSnapshot {
+    /// Round index at snapshot time.
+    pub r: u32,
+    /// Fresh-ones count at snapshot time.
+    pub v: usize,
+}
+
+/// Builder deriving SMB parameters from a memory budget and an expected
+/// maximum cardinality.
+///
+/// The threshold rule: among candidate round capacities
+/// `c = m/T ∈ {2, 3, …}`, pick the smallest `c` whose maximum estimate
+/// covers `safety × expected_max_cardinality`. Smaller `c` means larger
+/// per-round logical bitmaps and therefore lower variance, so the
+/// smallest capacity that fits is the accuracy-optimal choice under
+/// this family. (The theory crate's `optimal_threshold` refines this
+/// with the full Theorem 3 bound; the experiment harness uses that.)
+#[derive(Debug, Clone)]
+pub struct SmbBuilder {
+    memory_bits: usize,
+    expected_max: f64,
+    explicit_t: Option<usize>,
+    safety: f64,
+    scheme: HashScheme,
+}
+
+impl Default for SmbBuilder {
+    fn default() -> Self {
+        SmbBuilder {
+            memory_bits: 8192,
+            expected_max: 1_000_000.0,
+            explicit_t: None,
+            safety: 2.0,
+            scheme: HashScheme::default(),
+        }
+    }
+}
+
+impl SmbBuilder {
+    /// Total memory budget `m` in bits.
+    pub fn memory_bits(mut self, m: usize) -> Self {
+        self.memory_bits = m;
+        self
+    }
+
+    /// Largest stream cardinality the estimator must handle without
+    /// saturating. Default 1M.
+    pub fn expected_max_cardinality(mut self, n: impl Into<f64>) -> Self {
+        self.expected_max = n.into();
+        self
+    }
+
+    /// Override the derived threshold with an explicit `T`.
+    pub fn threshold(mut self, t: usize) -> Self {
+        self.explicit_t = Some(t);
+        self
+    }
+
+    /// Capacity safety factor over `expected_max_cardinality`
+    /// (default 2.0).
+    pub fn safety_factor(mut self, s: f64) -> Self {
+        self.safety = s;
+        self
+    }
+
+    /// Hash scheme for item recording.
+    pub fn hash_scheme(mut self, scheme: HashScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Construct the estimator.
+    ///
+    /// # Errors
+    /// Propagates parameter validation from [`Smb::with_scheme`]; also
+    /// fails if no capacity `c ≤ m/2` can cover the requested maximum.
+    pub fn build(self) -> Result<Smb> {
+        let m = self.memory_bits;
+        if let Some(t) = self.explicit_t {
+            return Smb::with_scheme(m, t, self.scheme);
+        }
+        let target = self.expected_max * self.safety;
+        let mut chosen = None;
+        for c in 2..=m.max(2) / 2 {
+            let t = m / c; // floor; actual rounds = floor(m/t) >= c
+            if t == 0 {
+                break;
+            }
+            let candidate = Smb::with_scheme(m, t, self.scheme)?;
+            if candidate.max_estimate() >= target {
+                chosen = Some(candidate);
+                break;
+            }
+        }
+        chosen.ok_or_else(|| {
+            Error::invalid(
+                "expected_max_cardinality",
+                format!(
+                    "no threshold for m={m} covers target {target:.0}; increase memory"
+                ),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(smb: &mut Smb, lo: u64, hi: u64) {
+        for i in lo..hi {
+            smb.record(&i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Smb::new(0, 1).is_err());
+        assert!(Smb::new(100, 0).is_err());
+        assert!(Smb::new(100, 51).is_err()); // t > m/2
+        assert!(Smb::new(100, 50).is_ok());
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let smb = Smb::new(1000, 100).unwrap();
+        assert_eq!(smb.estimate(), 0.0);
+        assert_eq!(smb.round(), 0);
+        assert_eq!(smb.fresh_ones(), 0);
+        assert_eq!(smb.sampling_probability(), 1.0);
+    }
+
+    #[test]
+    fn s_table_matches_recurrence() {
+        let m = 1000usize;
+        let t = 100usize;
+        let smb = Smb::new(m, t).unwrap();
+        assert_eq!(smb.s_value(0), 0.0);
+        let mut acc = 0.0;
+        for i in 0..smb.max_rounds() {
+            assert!((smb.s_value(i) - acc).abs() < 1e-9, "round {i}");
+            let m_i = (m - i as usize * t) as f64;
+            acc += -(2f64.powi(i as i32)) * m as f64 * (1.0 - t as f64 / m_i).ln();
+        }
+    }
+
+    #[test]
+    fn ones_invariant_holds_throughout() {
+        let mut smb = Smb::new(2048, 256).unwrap();
+        for i in 0..100_000u64 {
+            smb.record(&i.to_le_bytes());
+            if i % 9973 == 0 {
+                assert_eq!(
+                    smb.ones(),
+                    smb.as_bits().count_ones(),
+                    "r={} v={}",
+                    smb.round(),
+                    smb.fresh_ones()
+                );
+            }
+        }
+        assert_eq!(smb.ones(), smb.as_bits().count_ones());
+    }
+
+    #[test]
+    fn rounds_advance_and_sampling_decreases() {
+        let mut smb = Smb::new(1024, 128).unwrap();
+        assert_eq!(smb.round(), 0);
+        feed(&mut smb, 0, 50_000);
+        assert!(smb.round() >= 2, "after 50k distinct items, r={}", smb.round());
+        assert!(smb.sampling_probability() < 1.0);
+        assert!(smb.round() < smb.max_rounds());
+        // v stays under T except in the final round.
+        if smb.round() + 1 < smb.max_rounds() {
+            assert!(smb.fresh_ones() < smb.threshold());
+        }
+    }
+
+    #[test]
+    fn duplicates_never_change_state_theorem_2() {
+        let mut smb = Smb::new(512, 64).unwrap();
+        // Feed a stream with every item repeated 5 times, interleaved so
+        // repeats arrive in later rounds too.
+        let n = 20_000u64;
+        for rep in 0..5 {
+            for i in 0..n {
+                smb.record(&i.to_le_bytes());
+                let _ = rep;
+            }
+        }
+        let (r1, v1) = (smb.round(), smb.fresh_ones());
+        // One more full pass of pure duplicates.
+        for i in 0..n {
+            smb.record(&i.to_le_bytes());
+        }
+        assert_eq!((smb.round(), smb.fresh_ones()), (r1, v1));
+    }
+
+    #[test]
+    fn estimate_accuracy_small_stream() {
+        let mut smb = Smb::new(10_000, 10_000 / 16).unwrap();
+        feed(&mut smb, 0, 1000);
+        let est = smb.estimate();
+        assert!((est - 1000.0).abs() / 1000.0 < 0.1, "est={est}");
+    }
+
+    #[test]
+    fn estimate_accuracy_large_stream_multiple_seeds() {
+        // n = 200k with m = 10000 bits: far beyond a plain bitmap's
+        // range (10000·ln 10000 ≈ 92k), exercising several rounds.
+        let n = 200_000u64;
+        let mut errs = Vec::new();
+        for seed in 0..10 {
+            let mut smb =
+                Smb::with_scheme(10_000, 10_000 / 16, HashScheme::with_seed(seed)).unwrap();
+            feed(&mut smb, 0, n);
+            errs.push((smb.estimate() - n as f64).abs() / n as f64);
+        }
+        let mean_err = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean_err < 0.08, "mean relative error {mean_err}, errs {errs:?}");
+    }
+
+    #[test]
+    fn estimate_beats_plain_bitmap_range() {
+        let m = 5000;
+        let smb = Smb::new(m, m / 16).unwrap();
+        let bitmap_range = (m as f64) * (m as f64).ln();
+        assert!(
+            smb.max_estimate() > 10.0 * bitmap_range,
+            "SMB max {} vs bitmap {}",
+            smb.max_estimate(),
+            bitmap_range
+        );
+    }
+
+    #[test]
+    fn saturation_is_graceful() {
+        let mut smb = Smb::new(256, 64).unwrap();
+        feed(&mut smb, 0, 2_000_000);
+        assert!(smb.estimate().is_finite());
+        assert!(smb.estimate() <= smb.max_estimate() + 1e-6);
+        assert_eq!(smb.round(), smb.max_rounds() - 1, "round counter stops");
+    }
+
+    #[test]
+    fn clear_restores_initial_state() {
+        let mut smb = Smb::new(1024, 128).unwrap();
+        feed(&mut smb, 0, 100_000);
+        smb.clear();
+        assert_eq!(smb.round(), 0);
+        assert_eq!(smb.fresh_ones(), 0);
+        assert_eq!(smb.estimate(), 0.0);
+        assert_eq!(smb.as_bits().count_ones(), 0);
+        // Still usable after clear.
+        feed(&mut smb, 0, 1000);
+        assert!(smb.estimate() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_matches_live_estimate() {
+        let mut smb = Smb::new(4096, 512).unwrap();
+        feed(&mut smb, 0, 30_000);
+        let snap = smb.snapshot();
+        assert_eq!(smb.estimate_at(snap.r, snap.v), smb.estimate());
+    }
+
+    #[test]
+    fn monotone_nondecreasing_estimates() {
+        // As more distinct items arrive, (r, v) advances lexicographically
+        // and the estimate must never decrease.
+        let mut smb = Smb::new(2000, 250).unwrap();
+        let mut last = 0.0;
+        for i in 0..300_000u64 {
+            smb.record(&i.to_le_bytes());
+            if i % 1000 == 0 {
+                let e = smb.estimate();
+                assert!(e >= last - 1e-9, "estimate decreased at {i}: {e} < {last}");
+                last = e;
+            }
+        }
+    }
+
+    #[test]
+    fn builder_derives_workable_threshold() {
+        let smb = Smb::builder()
+            .memory_bits(5000)
+            .expected_max_cardinality(1_000_000)
+            .build()
+            .unwrap();
+        assert!(smb.max_estimate() >= 2_000_000.0);
+        // Should not be wildly over-provisioned either: halving the
+        // number of rounds must break coverage.
+        let c = (5000 / smb.threshold()) as u32;
+        assert!(c >= 2);
+    }
+
+    #[test]
+    fn builder_explicit_threshold_wins() {
+        let smb = Smb::builder()
+            .memory_bits(1000)
+            .threshold(125)
+            .build()
+            .unwrap();
+        assert_eq!(smb.threshold(), 125);
+    }
+
+    #[test]
+    fn builder_impossible_target_errors() {
+        // m = 8 bits cannot cover 10^12.
+        let res = Smb::builder()
+            .memory_bits(8)
+            .expected_max_cardinality(1e12)
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn max_estimate_formula() {
+        // Hand-check: m=8, T=2 → 4 rounds, last logical bitmap has
+        // m_3 = 2 bits; max = S[3] + 2³·8·ln(2).
+        let smb = Smb::new(8, 2).unwrap();
+        let expect = smb.s_value(3) + 8.0 * 8.0 * 2f64.ln();
+        assert!((smb.max_estimate() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_worked_example_dimensions() {
+        // The paper's Fig. 4 example: m=8, T=2 → rounds of logical sizes
+        // 8, 6, 4, 2.
+        let smb = Smb::new(8, 2).unwrap();
+        assert_eq!(smb.max_rounds(), 4);
+        assert_eq!(smb.logical_len(), 8);
+    }
+}

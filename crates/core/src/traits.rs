@@ -1,0 +1,139 @@
+//! The estimator abstraction shared by the whole workspace.
+
+use smb_hash::{HashScheme, ItemHash};
+
+use crate::error::Result;
+
+/// A streaming cardinality estimator.
+///
+/// The recording path is split in two so that callers which already
+/// hold an item's hash (per-flow sketches hash once and fan out to
+/// several structures) pay for hashing only once:
+///
+/// * [`CardinalityEstimator::record`] hashes `item` through the
+///   estimator's [`HashScheme`] and forwards to `record_hash`;
+/// * [`CardinalityEstimator::record_hash`] consumes a pre-computed
+///   [`ItemHash`]. The hash **must** come from this estimator's scheme
+///   (same algorithm and seed), otherwise estimates are meaningless.
+///
+/// Implementations must be *duplicate-insensitive*: recording the same
+/// item any number of times must leave the estimator in the same state
+/// as recording it once (the paper's Theorem 2 proves this for SMB; it
+/// holds structurally for all baselines).
+pub trait CardinalityEstimator {
+    /// Record one data item.
+    fn record(&mut self, item: &[u8]) {
+        let h = self.scheme().item_hash(item);
+        self.record_hash(h);
+    }
+
+    /// Record an item whose hash was already computed under
+    /// [`CardinalityEstimator::scheme`].
+    fn record_hash(&mut self, hash: ItemHash);
+
+    /// Estimate the number of distinct items recorded so far.
+    ///
+    /// Pure: never mutates state, so it can be called per-item for
+    /// online monitoring (the paper's "query throughput" metric).
+    fn estimate(&self) -> f64;
+
+    /// The hash scheme items are recorded under.
+    fn scheme(&self) -> HashScheme;
+
+    /// Nominal memory footprint in bits — the `m` of the paper's
+    /// memory-parity comparisons (logical size, not including Rust
+    /// object overhead).
+    fn memory_bits(&self) -> usize;
+
+    /// Reset to the empty state, keeping parameters and scheme.
+    fn clear(&mut self);
+
+    /// Short algorithm name for reports (e.g. `"SMB"`, `"MRB"`).
+    fn name(&self) -> &'static str;
+
+    /// The largest cardinality this configuration can meaningfully
+    /// report (its estimate clamps here once saturated).
+    fn max_estimate(&self) -> f64;
+
+    /// True once the structure can no longer distinguish larger
+    /// cardinalities.
+    fn is_saturated(&self) -> bool {
+        self.estimate() >= self.max_estimate()
+    }
+}
+
+/// Estimators whose union is well-defined: merging two estimators that
+/// recorded streams `A` and `B` yields an estimator whose estimate
+/// targets `|A ∪ B|`.
+///
+/// Bitmap, FM, the LogLog family and KMV support this; SMB and MRB do
+/// not in general (their per-round / per-resolution sampling histories
+/// cannot be reconciled), which their implementations document.
+pub trait MergeableEstimator: CardinalityEstimator + Sized {
+    /// Merge `other` into `self`.
+    ///
+    /// # Errors
+    /// [`crate::Error::MergeIncompatible`] when parameters or hash
+    /// schemes differ.
+    fn merge_from(&mut self, other: &Self) -> Result<()>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial exact counter used to exercise the trait's default
+    /// `record` implementation.
+    struct Exact {
+        scheme: HashScheme,
+        seen: std::collections::HashSet<u64>,
+    }
+
+    impl CardinalityEstimator for Exact {
+        fn record_hash(&mut self, hash: ItemHash) {
+            self.seen.insert(hash.raw());
+        }
+        fn estimate(&self) -> f64 {
+            self.seen.len() as f64
+        }
+        fn scheme(&self) -> HashScheme {
+            self.scheme
+        }
+        fn memory_bits(&self) -> usize {
+            self.seen.len() * 64
+        }
+        fn clear(&mut self) {
+            self.seen.clear();
+        }
+        fn name(&self) -> &'static str {
+            "Exact"
+        }
+        fn max_estimate(&self) -> f64 {
+            f64::INFINITY
+        }
+    }
+
+    #[test]
+    fn default_record_hashes_through_scheme() {
+        let mut e = Exact {
+            scheme: HashScheme::with_seed(1),
+            seen: Default::default(),
+        };
+        e.record(b"a");
+        e.record(b"a");
+        e.record(b"b");
+        assert_eq!(e.estimate(), 2.0);
+        assert!(!e.is_saturated());
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut e: Box<dyn CardinalityEstimator> = Box::new(Exact {
+            scheme: HashScheme::default(),
+            seen: Default::default(),
+        });
+        e.record(b"x");
+        assert_eq!(e.estimate(), 1.0);
+        assert_eq!(e.name(), "Exact");
+    }
+}

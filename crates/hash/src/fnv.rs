@@ -1,0 +1,87 @@
+//! FNV-1a — the Fowler–Noll–Vo hash, 64-bit variant.
+//!
+//! FNV-1a is byte-at-a-time and has mediocre avalanche, but it is
+//! trivially verifiable and useful as a third independent algorithm in
+//! cross-checks. [`crate::HashScheme`] post-mixes it with
+//! [`crate::mix::moremur`] before use.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV1A64_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// One-shot FNV-1a (64-bit) of `data`.
+///
+/// ```
+/// assert_eq!(smb_hash::fnv::fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+/// ```
+#[inline]
+pub fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = FNV1A64_OFFSET;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV1A64_PRIME);
+    }
+    h
+}
+
+/// Incremental FNV-1a hasher, for hashing composite keys without
+/// materialising them.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Fnv1a64 {
+            state: FNV1A64_OFFSET,
+        }
+    }
+}
+
+impl Fnv1a64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorb bytes.
+    #[inline]
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        for &b in data {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV1A64_PRIME);
+        }
+        self
+    }
+
+    /// Current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Vectors from the official FNV test suite (Landon Curt Noll).
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(fnv1a64(b"b"), 0xAF63_DF4C_8601_F1A5);
+        assert_eq!(fnv1a64(b"c"), 0xAF63_DE4C_8601_EFF2);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_F739_67E8);
+        assert_eq!(fnv1a64(b"chongo was here!\n"), 0x46810940EFF5F915);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Fnv1a64::new();
+        h.update(b"foo").update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+}

@@ -1,0 +1,101 @@
+//! The geometric hash of the paper's Definition 1.
+//!
+//! > *Function `G(x)` is a geometric hash function of base 2 if `G(x)`
+//! > is an integer and `G(x) = i`, `i ≥ 0`, with probability
+//! > `2^-(i+1)`.*
+//!
+//! In practice `G(x) = ρ(H(x))` where `H` is a uniform hash and `ρ(y)`
+//! counts the number of leading zeros of `y` *starting from the least
+//! significant digit* — i.e. the number of trailing zero bits. For a
+//! uniform `y`, the lowest bit is 1 with probability 1/2 (rank 0), the
+//! lowest two bits are `10` with probability 1/4 (rank 1), and so on.
+
+/// Geometric rank of a uniform 64-bit value: the number of trailing
+/// zero bits. `G(x) = i` with probability `2^-(i+1)` for `i < 64`; the
+/// all-zero input maps to 64.
+#[inline]
+pub fn geometric_rank(y: u64) -> u32 {
+    y.trailing_zeros()
+}
+
+/// Geometric rank of a uniform 32-bit value, capped at 32 for the
+/// all-zero input. Matches the paper's register layouts, which cap
+/// `G(d)` at 31 (FM) or 30 (HLL++) — callers clamp further as needed.
+#[inline]
+pub fn geometric_rank_capped(y: u32) -> u32 {
+    y.trailing_zeros().min(32)
+}
+
+/// Geometric rank restricted to the low `width` bits of `y` (the
+/// HyperLogLog convention, where the remaining bits select a register):
+/// the rank of `y & ((1<<width)-1)`, with the all-zero pattern mapping
+/// to `width`.
+#[inline]
+pub fn geometric_rank_width(y: u64, width: u32) -> u32 {
+    debug_assert!(width > 0 && width <= 64);
+    if width == 64 {
+        return y.trailing_zeros();
+    }
+    let masked = y & ((1u64 << width) - 1);
+    masked.trailing_zeros().min(width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splitmix::SplitMix64;
+
+    #[test]
+    fn rank_of_known_patterns() {
+        assert_eq!(geometric_rank(0b1), 0);
+        assert_eq!(geometric_rank(0b10), 1);
+        assert_eq!(geometric_rank(0b100), 2);
+        assert_eq!(geometric_rank(0b1100), 2);
+        assert_eq!(geometric_rank(0), 64);
+        assert_eq!(geometric_rank_capped(0), 32);
+        assert_eq!(geometric_rank_capped(0x8000_0000), 31);
+    }
+
+    #[test]
+    fn rank_width_masks_correctly() {
+        // 0b1_0000: full rank 4, but width-3 rank is 3 (all masked bits zero).
+        assert_eq!(geometric_rank_width(0b1_0000, 3), 3);
+        assert_eq!(geometric_rank_width(0b1_0000, 5), 4);
+        assert_eq!(geometric_rank_width(0, 7), 7);
+        assert_eq!(geometric_rank_width(u64::MAX, 64), 0);
+        assert_eq!(geometric_rank_width(0, 64), 64);
+    }
+
+    #[test]
+    fn distribution_matches_definition_1() {
+        // P(G = i) = 2^-(i+1). Chi-square-style check over ranks 0..10.
+        let mut rng = SplitMix64::new(2024);
+        let n = 1 << 20;
+        let mut counts = [0u64; 65];
+        for _ in 0..n {
+            counts[geometric_rank(rng.next_u64()) as usize] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate().take(10) {
+            let expected = (n as f64) * 2f64.powi(-(i as i32) - 1);
+            let got = count as f64;
+            let sigma = expected.sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * sigma,
+                "rank {i}: {got} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn expected_value_is_one() {
+        // E[G] = sum i * 2^-(i+1) = 1 for the untruncated geometric.
+        let mut rng = SplitMix64::new(7);
+        let n = 1 << 20;
+        let mut sum = 0u64;
+        for _ in 0..n {
+            sum += geometric_rank(rng.next_u64()) as u64;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+}

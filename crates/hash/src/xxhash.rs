@@ -1,0 +1,172 @@
+//! XXH64 — the 64-bit variant of xxHash.
+//!
+//! Implemented from the canonical specification
+//! (<https://github.com/Cyan4973/xxHash/blob/dev/doc/xxhash_spec.md>)
+//! and validated against the reference test vectors in the unit tests
+//! below.
+
+const PRIME64_1: u64 = 0x9E37_79B1_85EB_CA87;
+const PRIME64_2: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const PRIME64_3: u64 = 0x1656_67B1_9E37_79F9;
+const PRIME64_4: u64 = 0x85EB_CA77_C2B2_AE63;
+const PRIME64_5: u64 = 0x27D4_EB2F_1656_67C5;
+
+#[inline]
+fn read_u64_le(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32_le(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b[..4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME64_2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME64_1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME64_1)
+        .wrapping_add(PRIME64_4)
+}
+
+#[inline]
+fn avalanche(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME64_2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME64_3);
+    h ^= h >> 32;
+    h
+}
+
+/// One-shot XXH64 of `input` with `seed`.
+///
+/// ```
+/// assert_eq!(smb_hash::xxhash::xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+/// ```
+pub fn xxh64(input: &[u8], seed: u64) -> u64 {
+    let len = input.len();
+    let mut h: u64;
+    let mut rest = input;
+
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME64_1).wrapping_add(PRIME64_2);
+        let mut v2 = seed.wrapping_add(PRIME64_2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME64_1);
+        while rest.len() >= 32 {
+            v1 = round(v1, read_u64_le(&rest[0..]));
+            v2 = round(v2, read_u64_le(&rest[8..]));
+            v3 = round(v3, read_u64_le(&rest[16..]));
+            v4 = round(v4, read_u64_le(&rest[24..]));
+            rest = &rest[32..];
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME64_5);
+    }
+
+    h = h.wrapping_add(len as u64);
+
+    while rest.len() >= 8 {
+        h ^= round(0, read_u64_le(rest));
+        h = h.rotate_left(27).wrapping_mul(PRIME64_1).wrapping_add(PRIME64_4);
+        rest = &rest[8..];
+    }
+    if rest.len() >= 4 {
+        h ^= (read_u32_le(rest) as u64).wrapping_mul(PRIME64_1);
+        h = h.rotate_left(23).wrapping_mul(PRIME64_2).wrapping_add(PRIME64_3);
+        rest = &rest[4..];
+    }
+    for &byte in rest {
+        h ^= (byte as u64).wrapping_mul(PRIME64_5);
+        h = h.rotate_left(11).wrapping_mul(PRIME64_1);
+    }
+
+    avalanche(h)
+}
+
+/// Convenience: XXH64 of a `u64` key (little-endian bytes).
+#[inline]
+pub fn xxh64_u64(key: u64, seed: u64) -> u64 {
+    xxh64(&key.to_le_bytes(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from the xxHash specification / reference
+    // implementation (XXH64).
+    #[test]
+    fn reference_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46_DB37_51D8_E999);
+        assert_eq!(xxh64(b"", 1), 0xD5AF_BA13_36A3_BE4B);
+        assert_eq!(xxh64(b"a", 0), 0xD24E_C4F1_A98C_6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC_2CF5_AD77_0999);
+        assert_eq!(xxh64(b"xxhash", 0), 0x32DD_38952C4BC720);
+        assert_eq!(xxh64(b"xxhash", 20141025), 0xB559B98D844E0635);
+        assert_eq!(
+            xxh64(b"Call me Ishmael. Some years ago--never mind how long precisely-", 0),
+            0x02A2E85470D6FD96
+        );
+    }
+
+    #[test]
+    fn all_length_classes_exercise_cleanly() {
+        // Lengths crossing every branch: <4, 4..7, 8..31, >=32, and
+        // stragglers after the 32-byte loop.
+        for len in 0..100usize {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let h1 = xxh64(&data, 7);
+            let h2 = xxh64(&data, 7);
+            assert_eq!(h1, h2, "len={len}");
+            if len > 0 {
+                let mut flipped = data.clone();
+                flipped[len / 2] ^= 1;
+                assert_ne!(xxh64(&flipped, 7), h1, "len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn avalanche_quality() {
+        // Flipping one input bit should flip ~half the output bits.
+        let base = xxh64(b"avalanche-test-input", 0);
+        let mut total = 0u32;
+        let mut cases = 0u32;
+        let input = b"avalanche-test-input";
+        for byte in 0..input.len() {
+            for bit in 0..8 {
+                let mut v = input.to_vec();
+                v[byte] ^= 1 << bit;
+                total += (xxh64(&v, 0) ^ base).count_ones();
+                cases += 1;
+            }
+        }
+        let mean = total as f64 / cases as f64;
+        assert!(
+            (mean - 32.0).abs() < 3.0,
+            "mean flipped bits {mean} should be near 32"
+        );
+    }
+
+    #[test]
+    fn u64_helper_matches_bytes() {
+        assert_eq!(xxh64_u64(0x0123_4567_89AB_CDEF, 5), xxh64(&0x0123_4567_89AB_CDEFu64.to_le_bytes(), 5));
+    }
+}

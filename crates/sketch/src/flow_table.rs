@@ -1,0 +1,154 @@
+//! Per-flow estimator table: one estimator per stream key.
+//!
+//! This is the deployment model of the paper's CAIDA experiment ("each
+//! data stream is allocated with a cardinality estimator") and of the
+//! motivating router examples. Estimators are created lazily by a
+//! factory closure on first packet of a flow; all estimators share a
+//! hash scheme derived from the table seed so experiments are
+//! reproducible.
+
+use std::collections::HashMap;
+
+use smb_core::CardinalityEstimator;
+
+/// A map from flow key to its own estimator instance.
+pub struct FlowTable<E: CardinalityEstimator> {
+    flows: HashMap<u64, E>,
+    factory: Box<dyn Fn(u64) -> E + Send>,
+}
+
+impl<E: CardinalityEstimator> FlowTable<E> {
+    /// Create a table whose estimators are built by `factory`
+    /// (receiving the flow key, e.g. to derive per-flow seeds).
+    pub fn new(factory: impl Fn(u64) -> E + Send + 'static) -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Record `item` under `flow`, creating the flow's estimator on
+    /// first sight.
+    #[inline]
+    pub fn record(&mut self, flow: u64, item: &[u8]) {
+        self.flows
+            .entry(flow)
+            .or_insert_with(|| (self.factory)(flow))
+            .record(item);
+    }
+
+    /// Estimate the cardinality of `flow`; `None` if never seen.
+    pub fn estimate(&self, flow: u64) -> Option<f64> {
+        self.flows.get(&flow).map(|e| e.estimate())
+    }
+
+    /// Borrow a flow's estimator.
+    pub fn get(&self, flow: u64) -> Option<&E> {
+        self.flows.get(&flow)
+    }
+
+    /// Number of flows tracked.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no flows have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Iterate `(flow, estimate)` pairs.
+    pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.flows.iter().map(|(&k, e)| (k, e.estimate()))
+    }
+
+    /// Flows whose estimate is at least `threshold` (the scan/DDoS
+    /// report of the paper's introduction).
+    pub fn flows_over(&self, threshold: f64) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .estimates()
+            .filter(|&(_, est)| est >= threshold)
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+        out
+    }
+
+    /// Total memory across all per-flow estimators, in bits.
+    pub fn total_memory_bits(&self) -> usize {
+        self.flows.values().map(|e| e.memory_bits()).sum()
+    }
+
+    /// Drop all flows.
+    pub fn clear(&mut self) {
+        self.flows.clear();
+    }
+}
+
+impl<E: CardinalityEstimator> std::fmt::Debug for FlowTable<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowTable")
+            .field("flows", &self.flows.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smb_core::Smb;
+    use smb_hash::HashScheme;
+
+    fn table() -> FlowTable<Smb> {
+        FlowTable::new(|flow| {
+            Smb::with_scheme(2048, 128, HashScheme::with_seed(flow)).expect("valid params")
+        })
+    }
+
+    #[test]
+    fn tracks_flows_independently() {
+        let mut t = table();
+        for i in 0..1000u32 {
+            t.record(1, &i.to_le_bytes());
+        }
+        for i in 0..100u32 {
+            t.record(2, &i.to_le_bytes());
+        }
+        assert_eq!(t.len(), 2);
+        let e1 = t.estimate(1).expect("flow 1 exists");
+        let e2 = t.estimate(2).expect("flow 2 exists");
+        assert!((e1 - 1000.0).abs() / 1000.0 < 0.25, "{e1}");
+        assert!((e2 - 100.0).abs() / 100.0 < 0.35, "{e2}");
+        assert_eq!(t.estimate(3), None);
+    }
+
+    #[test]
+    fn flows_over_ranks_descending() {
+        let mut t = table();
+        for (flow, n) in [(10u64, 2000u32), (20, 500), (30, 1500)] {
+            for i in 0..n {
+                t.record(flow, &i.to_le_bytes());
+            }
+        }
+        let over = t.flows_over(1000.0);
+        assert_eq!(over.len(), 2);
+        assert_eq!(over[0].0, 10);
+        assert_eq!(over[1].0, 30);
+    }
+
+    #[test]
+    fn memory_accounting_sums_flows() {
+        let mut t = table();
+        t.record(1, b"a");
+        t.record(2, b"b");
+        assert_eq!(t.total_memory_bits(), 2 * 2048);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t = table();
+        t.record(1, b"a");
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.estimate(1), None);
+    }
+}

@@ -1,0 +1,39 @@
+//! # smb-sketch — multi-stream frameworks around the estimators
+//!
+//! The paper's motivating deployments measure *many* streams at once: a
+//! router tracking the fan-out of every source (scan detection) or the
+//! fan-in of every destination (DDoS detection). This crate provides
+//! the structures those deployments need, generic over any
+//! [`smb_core::CardinalityEstimator`] — demonstrating the paper's
+//! §II-C claim that SMB slots into sketch frameworks as a plug-in:
+//!
+//! * [`flow_table::FlowTable`] — one estimator per flow key, created on
+//!   demand from a factory; items are hashed once and fanned out.
+//! * [`array::EstimatorArray`] — a fixed pool of estimators shared by
+//!   hashing flows onto `d` cells (the compact-sketch regime where
+//!   per-flow allocation is too expensive); queries take the minimum
+//!   over the flow's cells, Count-Min style.
+//! * [`detector::ThresholdDetector`] — the online per-packet
+//!   query loop from the paper's introduction (alarm when a flow's
+//!   cardinality estimate crosses a threshold), which is exactly the
+//!   workload where SMB's O(1) queries matter.
+//! * [`window::JumpingWindow`] / [`window::SummingWindow`] — distinct
+//!   counts over a recent time window instead of the whole stream.
+//! * [`virtual_registers::VirtualRegisterSketch`] — register sharing
+//!   across millions of flows with noise subtraction (the vHLL-style
+//!   construction of §II-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod detector;
+pub mod flow_table;
+pub mod virtual_registers;
+pub mod window;
+
+pub use array::EstimatorArray;
+pub use detector::ThresholdDetector;
+pub use flow_table::FlowTable;
+pub use virtual_registers::VirtualRegisterSketch;
+pub use window::{JumpingWindow, SummingWindow};

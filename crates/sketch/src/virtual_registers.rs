@@ -1,0 +1,233 @@
+//! Virtual-register sharing — the compact many-flows sketch of the
+//! §II-C related work (the vHLL construction of Xiao et al.), built on
+//! this workspace's register substrate.
+//!
+//! A single physical array of `M` registers is shared by *all* flows:
+//! flow `f` owns a pseudo-random subset of `s` registers (selected by
+//! hashing `(f, j)` for `j < s`). Recording `(f, item)` updates one of
+//! `f`'s registers chosen by the item hash, with the usual max-of-rank
+//! rule. Because other flows write into `f`'s registers too, the raw
+//! per-flow estimate contains *noise* proportional to the total traffic;
+//! the estimator subtracts it:
+//!
+//! ```text
+//! n̂_f = (M·s)/(M − s) · ( n̂_s/s − n̂_total/M )
+//! ```
+//!
+//! where `n̂_s` is the HLL estimate over `f`'s `s` registers and
+//! `n̂_total` the HLL estimate over all `M` registers. This gives
+//! per-flow cardinalities in `O(M)` total bits for millions of flows —
+//! the regime where even one small estimator per flow is too much, and
+//! the frame in which the paper positions SMB and friends as
+//! interchangeable plug-ins.
+
+use smb_core::{Error, Result};
+use smb_hash::mix::mix_pair;
+use smb_hash::HashScheme;
+
+use smb_baselines::constants::hll_alpha;
+use smb_baselines::registers::MaxRegisters;
+
+/// Shared-register multi-flow cardinality sketch.
+pub struct VirtualRegisterSketch {
+    regs: MaxRegisters,
+    /// Registers per flow `s`.
+    s: usize,
+    scheme: HashScheme,
+}
+
+impl VirtualRegisterSketch {
+    /// A sketch with `m_total` physical registers (5 bits each), `s`
+    /// virtual registers per flow.
+    pub fn new(m_total: usize, s: usize, scheme: HashScheme) -> Result<Self> {
+        if m_total == 0 {
+            return Err(Error::invalid("m_total", "need at least one register"));
+        }
+        if s == 0 || s * 2 > m_total {
+            return Err(Error::invalid(
+                "s",
+                format!("virtual size {s} must be in 1..=m_total/2 = {}", m_total / 2),
+            ));
+        }
+        Ok(VirtualRegisterSketch {
+            regs: MaxRegisters::new(m_total, 5),
+            s,
+            scheme,
+        })
+    }
+
+    /// Physical register index of flow `f`'s `j`-th virtual register.
+    #[inline]
+    fn slot(&self, flow: u64, j: usize) -> usize {
+        let h = mix_pair(flow ^ self.scheme.seed(), j as u64);
+        (h % self.regs.len() as u64) as usize
+    }
+
+    /// Record `item` under `flow`.
+    #[inline]
+    pub fn record(&mut self, flow: u64, item: &[u8]) {
+        let h = self.scheme.item_hash(item);
+        // The item picks which of the flow's s registers it updates
+        // (stochastic averaging within the virtual estimator)…
+        let j = h.index(self.s);
+        let slot = self.slot(flow, j);
+        // …and contributes its geometric rank there. Re-wrap so the
+        // rank lane is used but the index lane points at the chosen
+        // physical slot.
+        let rank = (h.geometric() + 1).min(31) as u8;
+        self.regs.set_at_least(slot, rank);
+    }
+
+    /// Harmonic-mean HLL estimate over an arbitrary register multiset.
+    fn hll_estimate(count: usize, harm_sum: f64, zeros: usize) -> f64 {
+        let t = count as f64;
+        let e = hll_alpha(count) * t * t / harm_sum;
+        if e <= 2.5 * t && zeros > 0 {
+            return t * (t / zeros as f64).ln();
+        }
+        e
+    }
+
+    /// Estimate the distinct items recorded under `flow`, with the
+    /// shared-traffic noise term subtracted. Can be slightly negative
+    /// for flows much smaller than the noise; clamped at zero.
+    pub fn estimate(&self, flow: u64) -> f64 {
+        let m_total = self.regs.len() as f64;
+        let s = self.s as f64;
+        // Flow's virtual estimator.
+        let mut harm = 0.0;
+        let mut zeros = 0usize;
+        for j in 0..self.s {
+            let v = self.regs.values()[self.slot(flow, j)];
+            if v == 0 {
+                zeros += 1;
+            }
+            harm += 2f64.powi(-(v as i32));
+        }
+        let n_s = Self::hll_estimate(self.s, harm, zeros);
+        let n_total = self.total_estimate();
+        let raw = (m_total * s) / (m_total - s) * (n_s / s - n_total / m_total);
+        raw.max(0.0)
+    }
+
+    /// HLL estimate of the total distinct `(flow, item)` traffic across
+    /// all flows (the noise baseline).
+    pub fn total_estimate(&self) -> f64 {
+        Self::hll_estimate(
+            self.regs.len(),
+            self.regs.harmonic_sum(),
+            self.regs.zero_count(),
+        )
+    }
+
+    /// Physical registers `M`.
+    pub fn physical_registers(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Virtual registers per flow `s`.
+    pub fn virtual_registers(&self) -> usize {
+        self.s
+    }
+
+    /// Total memory in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.regs.memory_bits()
+    }
+
+    /// Reset all registers.
+    pub fn clear(&mut self) {
+        self.regs.clear();
+    }
+}
+
+impl std::fmt::Debug for VirtualRegisterSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualRegisterSketch")
+            .field("M", &self.regs.len())
+            .field("s", &self.s)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_validation() {
+        let sch = HashScheme::default();
+        assert!(VirtualRegisterSketch::new(0, 1, sch).is_err());
+        assert!(VirtualRegisterSketch::new(100, 0, sch).is_err());
+        assert!(VirtualRegisterSketch::new(100, 51, sch).is_err());
+        assert!(VirtualRegisterSketch::new(100, 50, sch).is_ok());
+    }
+
+    #[test]
+    fn single_flow_tracks_cardinality() {
+        let mut v = VirtualRegisterSketch::new(16_384, 512, HashScheme::with_seed(1)).unwrap();
+        for i in 0..50_000u32 {
+            v.record(7, &i.to_le_bytes());
+        }
+        let est = v.estimate(7);
+        assert!((est - 50_000.0).abs() / 50_000.0 < 0.2, "{est}");
+    }
+
+    #[test]
+    fn noise_subtraction_separates_flows() {
+        // One elephant among many mice: per-flow estimates must
+        // distinguish them despite full register sharing.
+        let mut v = VirtualRegisterSketch::new(65_536, 256, HashScheme::with_seed(2)).unwrap();
+        for i in 0..100_000u32 {
+            v.record(0, &i.to_le_bytes()); // elephant
+        }
+        for flow in 1..500u64 {
+            for i in 0..100u32 {
+                v.record(flow, &(flow as u32 * 1000 + i).to_le_bytes());
+            }
+        }
+        let elephant = v.estimate(0);
+        assert!(
+            (elephant - 100_000.0).abs() / 100_000.0 < 0.25,
+            "elephant {elephant}"
+        );
+        // Mice: noisy, but must be an order of magnitude below the
+        // elephant on average.
+        let mice_mean: f64 =
+            (1..500u64).map(|f| v.estimate(f)).sum::<f64>() / 499.0;
+        assert!(mice_mean < 10_000.0, "mice mean {mice_mean}");
+    }
+
+    #[test]
+    fn total_estimate_covers_all_traffic() {
+        // The total (noise) estimator treats the M registers as one
+        // HLL, which assumes items spread over the whole file — true in
+        // the sketch's intended many-flows regime (flows·s ≫ M), not
+        // for a handful of flows that can only touch their own slots.
+        let mut v = VirtualRegisterSketch::new(16_384, 128, HashScheme::with_seed(3)).unwrap();
+        for flow in 0..2000u64 {
+            for i in 0..10u32 {
+                v.record(flow, &(flow as u32 * 300 + i).to_le_bytes());
+            }
+        }
+        let total = v.total_estimate();
+        assert!((total - 20_000.0).abs() / 20_000.0 < 0.15, "{total}");
+    }
+
+    #[test]
+    fn memory_is_shared_not_per_flow() {
+        let v = VirtualRegisterSketch::new(4096, 64, HashScheme::default()).unwrap();
+        assert_eq!(v.memory_bits(), 4096 * 5);
+        assert_eq!(v.physical_registers(), 4096);
+        assert_eq!(v.virtual_registers(), 64);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut v = VirtualRegisterSketch::new(1024, 32, HashScheme::default()).unwrap();
+        v.record(1, b"x");
+        v.clear();
+        assert_eq!(v.total_estimate(), 0.0);
+        assert_eq!(v.estimate(1), 0.0);
+    }
+}

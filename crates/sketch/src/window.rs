@@ -1,0 +1,254 @@
+//! Jumping-window cardinality estimation.
+//!
+//! Streams are often measured over a recent window ("distinct sources
+//! in the last 10 minutes"), not since the beginning of time. The
+//! standard low-cost construction is the *jumping window*: the window
+//! of span `W` is covered by `k` sub-windows of span `W/k`; each
+//! sub-window gets its own estimator; when time advances past a
+//! sub-window boundary the oldest estimator is dropped and a fresh one
+//! starts. A query merges the live sub-windows — exact for any
+//! [`MergeableEstimator`], since merged sketches estimate the union of
+//! their streams (items recurring across sub-windows are not double
+//! counted).
+//!
+//! SMB does not support merging (its per-round sampling history cannot
+//! be reconciled), so a windowed SMB uses [`SummingWindow`], which adds
+//! sub-window estimates — an upper bound that overcounts items
+//! recurring across sub-window boundaries. Both are provided; pick by
+//! whether your items recur across sub-windows.
+
+use smb_core::{CardinalityEstimator, MergeableEstimator, Result};
+
+/// A jumping window over a mergeable estimator: queries estimate the
+/// union of the last `k` sub-windows exactly (up to sketch error).
+pub struct JumpingWindow<E: MergeableEstimator + Clone> {
+    subs: Vec<E>,
+    /// Index of the sub-window currently recording.
+    head: usize,
+    /// Sub-windows that have ever been used (≤ k; before the first
+    /// full rotation some are still empty).
+    factory: Box<dyn Fn() -> E + Send>,
+}
+
+impl<E: MergeableEstimator + Clone> JumpingWindow<E> {
+    /// A window of `k ≥ 1` sub-windows, each built by `factory`.
+    /// All estimators must share a hash scheme for merging; the factory
+    /// is responsible for that.
+    pub fn new(k: usize, factory: impl Fn() -> E + Send + 'static) -> Self {
+        assert!(k >= 1, "need at least one sub-window");
+        JumpingWindow {
+            subs: (0..k).map(|_| factory()).collect(),
+            head: 0,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Record an item into the current sub-window.
+    #[inline]
+    pub fn record(&mut self, item: &[u8]) {
+        self.subs[self.head].record(item);
+    }
+
+    /// Advance to the next sub-window: the oldest sub-window's
+    /// contents leave the window.
+    pub fn rotate(&mut self) {
+        self.head = (self.head + 1) % self.subs.len();
+        self.subs[self.head] = (self.factory)();
+    }
+
+    /// Estimate the distinct count over the whole window (union of all
+    /// live sub-windows).
+    ///
+    /// # Errors
+    /// Propagates [`smb_core::Error::MergeIncompatible`] if the factory
+    /// produced estimators with mismatched schemes.
+    pub fn estimate(&self) -> Result<f64> {
+        let mut merged = self.subs[0].clone();
+        for sub in &self.subs[1..] {
+            merged.merge_from(sub)?;
+        }
+        Ok(merged.estimate())
+    }
+
+    /// Number of sub-windows `k`.
+    pub fn sub_windows(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Total memory across sub-windows, in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.subs.iter().map(|s| s.memory_bits()).sum()
+    }
+}
+
+/// A jumping window over *any* estimator (including SMB): queries sum
+/// the sub-window estimates. Exact when items do not recur across
+/// sub-windows; otherwise an upper bound.
+pub struct SummingWindow<E: CardinalityEstimator> {
+    subs: Vec<E>,
+    head: usize,
+    factory: Box<dyn Fn() -> E + Send>,
+}
+
+impl<E: CardinalityEstimator> SummingWindow<E> {
+    /// A window of `k ≥ 1` sub-windows, each built by `factory`.
+    pub fn new(k: usize, factory: impl Fn() -> E + Send + 'static) -> Self {
+        assert!(k >= 1, "need at least one sub-window");
+        SummingWindow {
+            subs: (0..k).map(|_| factory()).collect(),
+            head: 0,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Record an item into the current sub-window.
+    #[inline]
+    pub fn record(&mut self, item: &[u8]) {
+        self.subs[self.head].record(item);
+    }
+
+    /// Advance to the next sub-window.
+    pub fn rotate(&mut self) {
+        self.head = (self.head + 1) % self.subs.len();
+        self.subs[self.head].clear();
+    }
+
+    /// Sum of sub-window estimates (upper bound on the window's
+    /// distinct count).
+    pub fn estimate(&self) -> f64 {
+        self.subs.iter().map(|s| s.estimate()).sum()
+    }
+
+    /// Number of sub-windows `k`.
+    pub fn sub_windows(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Total memory across sub-windows, in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.subs.iter().map(|s| s.memory_bits()).sum()
+    }
+
+    /// Rebuild every sub-window (full reset).
+    pub fn clear(&mut self) {
+        for s in &mut self.subs {
+            *s = (self.factory)();
+        }
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smb_baselines::HllPlusPlus;
+    use smb_core::Smb;
+    use smb_hash::HashScheme;
+
+    fn hpp_window(k: usize) -> JumpingWindow<HllPlusPlus> {
+        let scheme = HashScheme::with_seed(33);
+        JumpingWindow::new(k, move || HllPlusPlus::with_scheme(1024, scheme).unwrap())
+    }
+
+    #[test]
+    fn union_not_double_counted_across_subwindows() {
+        // The same 10k items in every sub-window: the union is 10k, not
+        // 40k.
+        let mut w = hpp_window(4);
+        for _ in 0..4 {
+            for i in 0..10_000u32 {
+                w.record(&i.to_le_bytes());
+            }
+            w.rotate();
+        }
+        let est = w.estimate().unwrap();
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.15, "{est}");
+    }
+
+    #[test]
+    fn old_subwindows_expire() {
+        let mut w = hpp_window(3);
+        // 30k items land in sub-window 0…
+        for i in 0..30_000u32 {
+            w.record(&i.to_le_bytes());
+        }
+        // …then three rotations push it out of the window entirely.
+        for _ in 0..3 {
+            w.rotate();
+        }
+        for i in 30_000..31_000u32 {
+            w.record(&i.to_le_bytes());
+        }
+        let est = w.estimate().unwrap();
+        assert!(est < 3_000.0, "expired items still visible: {est}");
+    }
+
+    #[test]
+    fn disjoint_subwindows_add_up() {
+        let mut w = hpp_window(4);
+        for block in 0..4u32 {
+            for i in 0..5_000u32 {
+                w.record(&(block * 5_000 + i).to_le_bytes());
+            }
+            if block < 3 {
+                w.rotate();
+            }
+        }
+        let est = w.estimate().unwrap();
+        assert!((est - 20_000.0).abs() / 20_000.0 < 0.15, "{est}");
+    }
+
+    #[test]
+    fn summing_window_with_smb() {
+        let scheme = HashScheme::with_seed(44);
+        let mut w = SummingWindow::new(4, move || {
+            Smb::with_scheme(2048, 128, scheme).unwrap()
+        });
+        // Disjoint blocks → the sum is accurate.
+        for block in 0..4u32 {
+            for i in 0..5_000u32 {
+                w.record(&(block * 5_000 + i).to_le_bytes());
+            }
+            if block < 3 {
+                w.rotate();
+            }
+        }
+        let est = w.estimate();
+        assert!((est - 20_000.0).abs() / 20_000.0 < 0.2, "{est}");
+        // Rotations expire the oldest block.
+        w.rotate();
+        let est2 = w.estimate();
+        assert!(est2 < est, "rotation must drop the oldest block");
+    }
+
+    #[test]
+    fn summing_window_overcounts_recurring_items() {
+        // Documented semantics: recurring items are double counted.
+        let scheme = HashScheme::with_seed(55);
+        let mut w = SummingWindow::new(2, move || {
+            Smb::with_scheme(2048, 128, scheme).unwrap()
+        });
+        for i in 0..5_000u32 {
+            w.record(&i.to_le_bytes());
+        }
+        w.rotate();
+        for i in 0..5_000u32 {
+            w.record(&i.to_le_bytes());
+        }
+        let est = w.estimate();
+        assert!(est > 8_000.0, "summing window should double count: {est}");
+    }
+
+    #[test]
+    fn clear_and_reuse() {
+        let scheme = HashScheme::with_seed(66);
+        let mut w = SummingWindow::new(2, move || {
+            Smb::with_scheme(1024, 64, scheme).unwrap()
+        });
+        w.record(b"x");
+        w.clear();
+        assert_eq!(w.estimate(), 0.0);
+        assert_eq!(w.sub_windows(), 2);
+        assert_eq!(w.memory_bits(), 2048);
+    }
+}

@@ -1,0 +1,269 @@
+//! Heavy-tail samplers and weighted selection.
+//!
+//! * [`Zipf`] — Zipf(α) over `{1..N}` by rejection-inversion (Hörmann &
+//!   Derflinger), the standard O(1)-per-sample method; used for flow
+//!   popularity in the synthetic trace.
+//! * [`truncated_pareto`] — inverse-CDF sampling of a Pareto(α) capped
+//!   at `max`; used for per-flow cardinalities (most flows tiny, a few
+//!   huge — the CAIDA shape).
+//! * [`AliasTable`] — Walker/Vose alias method for O(1) weighted
+//!   discrete sampling; used to pick which flow emits each packet.
+
+use rand::Rng;
+
+/// Zipf distribution over `{1, …, n}` with exponent `alpha > 0`,
+/// sampled by rejection-inversion. `P(k) ∝ k^−α`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: f64,
+    alpha: f64,
+    // Precomputed constants of the rejection-inversion scheme.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Zipf over `{1..=n}` with exponent `alpha` (must be positive and
+    /// not exactly 1-pathological; any `alpha > 0` works).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n >= 1, "support must be non-empty");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let nf = n as f64;
+        let h = |x: f64| -> f64 {
+            // H(x) = ∫ x^-α dx, handled for α = 1.
+            if (alpha - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha)
+            }
+        };
+        let h_x1 = h(1.5) - 1.0;
+        let h_n = h(nf + 0.5);
+        let s = 2.0 - Self::h_inv_static(alpha, h(2.5) - 2f64.powf(-alpha));
+        Zipf {
+            n: nf,
+            alpha,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    fn h_static(alpha: f64, x: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            x.ln()
+        } else {
+            (x.powf(1.0 - alpha) - 1.0) / (1.0 - alpha)
+        }
+    }
+
+    fn h_inv_static(alpha: f64, y: f64) -> f64 {
+        if (alpha - 1.0).abs() < 1e-12 {
+            y.exp()
+        } else {
+            (1.0 + y * (1.0 - alpha)).powf(1.0 / (1.0 - alpha))
+        }
+    }
+
+    /// Draw one sample in `{1..=n}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        loop {
+            let u = self.h_x1 + rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let x = Self::h_inv_static(self.alpha, u);
+            let k = (x + 0.5).floor().clamp(1.0, self.n);
+            let h_k = Self::h_static(self.alpha, k + 0.5);
+            let accept = u >= h_k - k.powf(-self.alpha) || k >= self.s;
+            if accept {
+                return k as u64;
+            }
+        }
+    }
+}
+
+/// Sample a Pareto(α, xmin=1) truncated to `[1, max]` by inverse CDF:
+/// heavy-tailed sizes with a hard cap.
+pub fn truncated_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, max: f64) -> f64 {
+    assert!(alpha > 0.0 && max > 1.0);
+    let u: f64 = rng.gen::<f64>();
+    // CDF of truncated Pareto: F(x) = (1 − x^−α)/(1 − max^−α).
+    let tail = 1.0 - max.powf(-alpha);
+    (1.0 - u * tail).powf(-1.0 / alpha).min(max)
+}
+
+/// Walker/Vose alias table for O(1) sampling of `i` with probability
+/// proportional to `weights[i]`.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (at least one must be positive).
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0 && n <= u32::MAX as usize);
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative with positive sum"
+        );
+        let scale = n as f64 / total;
+        let mut prob = vec![0.0f64; n];
+        let mut alias = vec![0u32; n];
+        let mut small = Vec::with_capacity(n);
+        let mut large = Vec::with_capacity(n);
+        let scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut scaled = scaled;
+        while !small.is_empty() && !large.is_empty() {
+            let s = small.pop().expect("checked non-empty");
+            let l = *large.last().expect("checked non-empty");
+            prob[s] = scaled[s];
+            alias[s] = l as u32;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(large.pop().expect("checked non-empty"));
+            }
+        }
+        // Leftovers (from either list — floating point can strand
+        // entries in `small` at ≈1.0) always accept.
+        for i in large.into_iter().chain(small) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True iff the table has no categories (cannot occur
+    /// post-construction; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_frequencies_follow_power_law() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let z = Zipf::new(1000, 1.0);
+        let n = 200_000;
+        let mut counts = vec![0u64; 1001];
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // P(1)/P(2) = 2 for α = 1.
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 2.0).abs() < 0.25, "ratio {ratio}");
+        // Rank 1 should hold ~1/H_1000 ≈ 13.4% of the mass.
+        let frac = counts[1] as f64 / n as f64;
+        assert!((frac - 0.134).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn zipf_alpha_two_concentrates_more() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let z1 = Zipf::new(1000, 1.0);
+        let z2 = Zipf::new(1000, 2.0);
+        let top1 = (0..50_000).filter(|_| z1.sample(&mut rng) == 1).count();
+        let top2 = (0..50_000).filter(|_| z2.sample(&mut rng) == 1).count();
+        assert!(top2 > top1);
+    }
+
+    #[test]
+    fn zipf_single_element_support() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = Zipf::new(1, 1.5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn pareto_respects_truncation_and_tail() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut over_10 = 0;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = truncated_pareto(&mut rng, 1.0, 80_000.0);
+            assert!((1.0..=80_000.0).contains(&x));
+            if x > 10.0 {
+                over_10 += 1;
+            }
+        }
+        // P(X > 10) ≈ 10^-1 / (1 − 80000^-1) ≈ 0.1.
+        let frac = over_10 as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let table = AliasTable::new(&weights);
+        let n = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expect = n as f64 * weights[i] / 10.0;
+            assert!(
+                ((c as f64) - expect).abs() < 5.0 * expect.sqrt(),
+                "cat {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_handles_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let table = AliasTable::new(&[0.0, 1.0, 0.0]);
+        for _ in 0..1000 {
+            assert_eq!(table.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn alias_table_rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let table = AliasTable::new(&[3.5]);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Random-string item streams — the paper's §V-A synthetic workload.
+//!
+//! "The data stream contains randomly generated strings within the
+//! length of 128, each acting as a data item. The cardinality of the
+//! data stream is the number of distinct strings."
+//!
+//! A [`StreamSpec`] describes the stream (distinct count, total count
+//! including duplicates, item length, seed); [`ItemStream`] generates
+//! it lazily so even billion-item streams need no materialisation.
+//! Distinct items are indexed `0..cardinality`; the first appearance of
+//! every index is guaranteed (so the realised cardinality equals the
+//! spec exactly), and the remaining `total − cardinality` slots repeat
+//! uniformly random indices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maximum item length of the paper's workload.
+pub const MAX_ITEM_LEN: usize = 128;
+
+/// Description of a synthetic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamSpec {
+    /// Number of distinct items (the ground-truth cardinality).
+    pub cardinality: u64,
+    /// Total items including duplicates (`≥ cardinality`).
+    pub total: u64,
+    /// Byte length of each generated item (1..=128).
+    pub item_len: usize,
+    /// RNG seed; same seed → identical stream.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// A duplicate-free stream of `n` distinct items.
+    pub fn distinct(n: u64, seed: u64) -> Self {
+        StreamSpec {
+            cardinality: n,
+            total: n,
+            item_len: 16,
+            seed,
+        }
+    }
+
+    /// A stream of `n` distinct items with duplication factor `f`
+    /// (total ≈ `n·f`).
+    pub fn with_duplication(n: u64, f: f64, seed: u64) -> Self {
+        StreamSpec {
+            cardinality: n,
+            total: ((n as f64) * f.max(1.0)) as u64,
+            item_len: 16,
+            seed,
+        }
+    }
+
+    /// Builder-style item length override.
+    pub fn item_len(mut self, len: usize) -> Self {
+        assert!((1..=MAX_ITEM_LEN).contains(&len), "item_len must be 1..=128");
+        self.item_len = len;
+        self
+    }
+
+    /// Iterate the stream.
+    pub fn stream(&self) -> ItemStream {
+        ItemStream::new(*self)
+    }
+}
+
+/// Lazy generator over a [`StreamSpec`].
+///
+/// Yields `total` items into a caller-provided buffer via
+/// [`ItemStream::next_into`], or as owned vectors through the
+/// `Iterator` impl (the buffer API avoids per-item allocation in the
+/// throughput benchmarks).
+#[derive(Debug, Clone)]
+pub struct ItemStream {
+    spec: StreamSpec,
+    rng: StdRng,
+    emitted: u64,
+}
+
+impl ItemStream {
+    /// Start a stream from its spec.
+    pub fn new(spec: StreamSpec) -> Self {
+        assert!(spec.total >= spec.cardinality, "total < cardinality");
+        assert!(spec.item_len >= 1 && spec.item_len <= MAX_ITEM_LEN);
+        ItemStream {
+            spec,
+            rng: StdRng::seed_from_u64(spec.seed),
+            emitted: 0,
+        }
+    }
+
+    /// The spec this stream realises.
+    pub fn spec(&self) -> StreamSpec {
+        self.spec
+    }
+
+    /// Render distinct-item `index` of this stream into `buf`
+    /// (deterministic: index `i` always yields the same bytes for the
+    /// same spec). Returns the item length.
+    ///
+    /// Items are derived by seeded mixing, not stored, so a stream of a
+    /// million distinct 128-byte items costs no memory.
+    pub fn render_item(&self, index: u64, buf: &mut [u8]) -> usize {
+        let len = self.spec.item_len;
+        let mut x = smb_hash::splitmix::splitmix64_mix(
+            index ^ self.spec.seed.rotate_left(17) ^ 0xA5A5_5A5A_DEAD_BEEF,
+        );
+        for chunk in buf[..len].chunks_mut(8) {
+            x = smb_hash::splitmix::splitmix64_mix(x);
+            let bytes = x.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        len
+    }
+
+    /// Write the next item into `buf` (must hold `item_len` bytes).
+    /// Returns `None` when the stream is exhausted, else the item
+    /// length.
+    pub fn next_into(&mut self, buf: &mut [u8]) -> Option<usize> {
+        if self.emitted >= self.spec.total {
+            return None;
+        }
+        // First pass guarantees every distinct index appears; the tail
+        // is uniform repeats.
+        let index = if self.emitted < self.spec.cardinality {
+            self.emitted
+        } else {
+            self.rng.gen_range(0..self.spec.cardinality)
+        };
+        self.emitted += 1;
+        Some(self.render_item(index, buf))
+    }
+
+    /// Items remaining.
+    pub fn remaining(&self) -> u64 {
+        self.spec.total - self.emitted
+    }
+}
+
+impl Iterator for ItemStream {
+    type Item = Vec<u8>;
+
+    fn next(&mut self) -> Option<Vec<u8>> {
+        let mut buf = [0u8; MAX_ITEM_LEN];
+        let len = self.next_into(&mut buf)?;
+        Some(buf[..len].to_vec())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.remaining() as usize;
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn realised_cardinality_is_exact() {
+        let spec = StreamSpec::with_duplication(1000, 3.0, 42);
+        let distinct: HashSet<Vec<u8>> = spec.stream().collect();
+        assert_eq!(distinct.len(), 1000);
+        assert_eq!(spec.stream().count(), 3000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<Vec<u8>> = StreamSpec::distinct(100, 7).stream().collect();
+        let b: Vec<Vec<u8>> = StreamSpec::distinct(100, 7).stream().collect();
+        assert_eq!(a, b);
+        let c: Vec<Vec<u8>> = StreamSpec::distinct(100, 8).stream().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn item_length_respected() {
+        for len in [1usize, 7, 8, 9, 16, 127, 128] {
+            let spec = StreamSpec::distinct(10, 1).item_len(len);
+            for item in spec.stream() {
+                assert_eq!(item.len(), len);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "item_len")]
+    fn oversized_item_len_panics() {
+        StreamSpec::distinct(1, 0).item_len(129);
+    }
+
+    #[test]
+    fn distinct_items_are_distinct() {
+        // The index→bytes derivation must be collision-free in practice
+        // for experiment-scale cardinalities.
+        let spec = StreamSpec::distinct(200_000, 3).item_len(16);
+        let distinct: HashSet<Vec<u8>> = spec.stream().collect();
+        assert_eq!(distinct.len(), 200_000);
+    }
+
+    #[test]
+    fn buffered_api_matches_iterator() {
+        let spec = StreamSpec::with_duplication(50, 2.0, 9);
+        let owned: Vec<Vec<u8>> = spec.stream().collect();
+        let mut stream = spec.stream();
+        let mut buf = [0u8; MAX_ITEM_LEN];
+        let mut buffered = Vec::new();
+        while let Some(len) = stream.next_into(&mut buf) {
+            buffered.push(buf[..len].to_vec());
+        }
+        assert_eq!(owned, buffered);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut s = StreamSpec::distinct(10, 1).stream();
+        assert_eq!(s.size_hint(), (10, Some(10)));
+        s.next();
+        assert_eq!(s.size_hint(), (9, Some(9)));
+    }
+
+    #[test]
+    fn duplicates_only_after_first_pass() {
+        let spec = StreamSpec::with_duplication(100, 2.0, 5);
+        let all: Vec<Vec<u8>> = spec.stream().collect();
+        let first_pass: HashSet<&Vec<u8>> = all[..100].iter().collect();
+        assert_eq!(first_pass.len(), 100, "first pass is duplicate-free");
+        for item in &all[100..] {
+            assert!(first_pass.contains(item), "tail items repeat the first pass");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # smb-stream — seeded workloads for the SMB experiments
+//!
+//! Everything the evaluation section consumes:
+//!
+//! * [`items`] — the paper's §V-A workload: streams of random strings
+//!   (≤ 128 bytes) with a controlled number of distinct items and
+//!   duplication pattern;
+//! * [`dist`] — heavy-tail samplers (Zipf by rejection-inversion,
+//!   truncated Pareto) and the alias method for weighted flow
+//!   selection;
+//! * [`trace`] — the synthetic CAIDA-like packet trace
+//!   ([`trace::SyntheticCaida`]): the documented substitution for the
+//!   proprietary CAIDA capture (DESIGN.md §4) — ~400k destination
+//!   flows, heavy-tailed per-flow distinct-source counts capped at
+//!   ~80k, packets ≫ distinct sources;
+//! * [`exact`] — hash-set ground truth ([`exact::ExactCounter`]) and
+//!   per-flow ground truth for trace experiments;
+//! * [`stats`] — mean/stddev/percentile helpers for the harness.
+//!
+//! All generators are deterministic given their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod exact;
+pub mod items;
+pub mod stats;
+pub mod trace;
+
+pub use exact::ExactCounter;
+pub use items::{ItemStream, StreamSpec};
+pub use trace::{Packet, SyntheticCaida, TraceConfig};

@@ -1,0 +1,90 @@
+//! Small summary-statistics helpers for the experiment harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Root mean square.
+pub fn rms(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// `q`-quantile (0 ≤ q ≤ 1) by nearest-rank on a sorted copy.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank]
+}
+
+/// Mean absolute error of estimates against a single truth.
+pub fn mean_absolute_error(estimates: &[f64], truth: f64) -> f64 {
+    mean(&estimates.iter().map(|e| (e - truth).abs()).collect::<Vec<_>>())
+}
+
+/// Mean relative error of estimates against a single truth.
+pub fn mean_relative_error(estimates: &[f64], truth: f64) -> f64 {
+    assert!(truth != 0.0);
+    mean_absolute_error(estimates, truth) / truth.abs()
+}
+
+/// Relative bias `mean(estimates)/truth − 1`.
+pub fn relative_bias(estimates: &[f64], truth: f64) -> f64 {
+    assert!(truth != 0.0);
+    mean(estimates) / truth - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_stddev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert!((stddev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_known() {
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let ests = [90.0, 110.0];
+        assert!((mean_absolute_error(&ests, 100.0) - 10.0).abs() < 1e-12);
+        assert!((mean_relative_error(&ests, 100.0) - 0.1).abs() < 1e-12);
+        assert!(relative_bias(&ests, 100.0).abs() < 1e-12);
+        assert!((relative_bias(&[120.0], 100.0) - 0.2).abs() < 1e-12);
+    }
+}

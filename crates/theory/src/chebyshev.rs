@@ -1,0 +1,159 @@
+//! Standard-error models and Chebyshev bounds for MRB and HLL++ —
+//! the comparison curves of the paper's Fig. 5(b).
+//!
+//! The paper takes each algorithm's published standard error `σ/n` and
+//! converts it to a `β(δ)` curve with Chebyshev's inequality,
+//! `P(|n̂−n| ≥ δn) ≤ (σ_rel/δ)²`:
+//!
+//! * **HLL++** — `σ_rel = 1.04/√t` with `t = m/5` registers (Flajolet
+//!   et al. 2007; unchanged by HLL++'s corrections at large n).
+//! * **MRB** — the original papers give no closed form for the
+//!   multiresolution estimator, so we derive one by the delta method,
+//!   which is the standard route (and what the linear-counting σ the
+//!   paper cites comes from): with base level `i`, the estimate scales
+//!   a linear count of the `n·2⁻ⁱ`-item sample held in `(k−i)`
+//!   components of `c` bits each, so
+//!
+//!   ```text
+//!   σ²_rel ≈ (2ⁱ − 1)/n                (Bernoulli sampling at p = 2⁻ⁱ)
+//!          + (e^ρ − ρ − 1)/(ρ²·m_used) (linear counting, ρ = n·2⁻ⁱ/m_used)
+//!   ```
+//!
+//!   evaluated at the base level MRB itself would select. See
+//!   `DESIGN.md` §4 for this documented substitution.
+
+/// Relative standard error of HLL++ with an `m`-bit budget
+/// (`t = m/5` registers).
+pub fn hllpp_sigma_rel(m: usize) -> f64 {
+    let t = (m / 5) as f64;
+    1.04 / t.sqrt()
+}
+
+/// Relative standard error of linear counting: `m` bits loaded with
+/// `n` items (`ρ = n/m`).
+pub fn linear_counting_sigma_rel(m_bits: f64, n: f64) -> f64 {
+    let rho = n / m_bits;
+    ((rho.exp() - rho - 1.0).max(0.0)).sqrt() / (rho * m_bits.sqrt())
+}
+
+/// Relative standard error of MRB with `k` components carved from `m`
+/// bits, measuring cardinality `n` (delta-method model; see module
+/// docs).
+pub fn mrb_sigma_rel(m: usize, k: usize, n: f64) -> f64 {
+    let c = (m / k) as f64;
+    // The base level MRB would select: smallest i whose base component
+    // is not overloaded. Component i holds the items with G = i
+    // (n·2^-(i+1) of them); aim its expected fill below ~0.7.
+    let mut base = 0usize;
+    for i in 0..k {
+        let items_at_level = n * 2f64.powi(-(i as i32) - 1);
+        let fill = 1.0 - (-items_at_level / c).exp();
+        if fill < 0.7 {
+            base = i;
+            break;
+        }
+        base = i;
+    }
+    let p = 2f64.powi(-(base as i32));
+    let sampled = (n * p).max(1.0);
+    let m_used = c * (k - base) as f64;
+    let sampling_var = if p < 1.0 { (1.0 / p - 1.0) / n } else { 0.0 };
+    let lc_sigma = linear_counting_sigma_rel(m_used, sampled);
+    (sampling_var + lc_sigma * lc_sigma).sqrt()
+}
+
+/// Chebyshev: `β(δ) = max(0, 1 − (σ_rel/δ)²)`.
+pub fn chebyshev_beta(sigma_rel: f64, delta: f64) -> f64 {
+    (1.0 - (sigma_rel / delta).powi(2)).max(0.0)
+}
+
+/// Fig. 5(b) curves: `(δ, β_SMB, β_MRB, β_HLL++)` at `n`, memory `m`,
+/// with SMB's `T` and MRB's `k` chosen by their respective recommended
+/// rules.
+pub fn figure5b(m: usize, n: f64, deltas: &[f64]) -> Vec<(f64, f64, f64, f64)> {
+    let t = crate::optimal_t::optimal_threshold(m, n).t;
+    let k = smb_k_for_mrb(m, n);
+    let smb_curve = crate::bound::beta_curve(m, t, n, deltas);
+    deltas
+        .iter()
+        .zip(smb_curve)
+        .map(|(&d, (_, smb))| {
+            let mrb = chebyshev_beta(mrb_sigma_rel(m, k, n), d);
+            let hpp = chebyshev_beta(hllpp_sigma_rel(m), d);
+            (d, smb, mrb, hpp)
+        })
+        .collect()
+}
+
+/// MRB's recommended component count (duplicated from
+/// `smb_baselines::Mrb::recommended_k` to keep this crate free of the
+/// baselines dependency; the integration tests assert the two agree).
+pub fn smb_k_for_mrb(m: usize, n_max: f64) -> usize {
+    for k in 2..=64usize {
+        let c = m / k;
+        if c < 8 {
+            break;
+        }
+        let max_est = 2f64.powi(k as i32 - 1) * c as f64 * (c as f64).ln();
+        if max_est >= 2.0 * n_max {
+            return k;
+        }
+    }
+    64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hllpp_sigma_known_value() {
+        // m = 10000 → t = 2000 → 1.04/√2000 ≈ 0.02325.
+        assert!((hllpp_sigma_rel(10_000) - 0.02325).abs() < 1e-4);
+    }
+
+    #[test]
+    fn chebyshev_is_clamped_and_monotone() {
+        assert_eq!(chebyshev_beta(0.5, 0.1), 0.0);
+        let b1 = chebyshev_beta(0.02, 0.05);
+        let b2 = chebyshev_beta(0.02, 0.10);
+        assert!(b2 > b1);
+        assert!(b2 < 1.0);
+    }
+
+    #[test]
+    fn lc_sigma_matches_whang_shape() {
+        // More memory → smaller error; higher load → larger error.
+        let s1 = linear_counting_sigma_rel(10_000.0, 5_000.0);
+        let s2 = linear_counting_sigma_rel(20_000.0, 5_000.0);
+        assert!(s2 < s1);
+        let s3 = linear_counting_sigma_rel(10_000.0, 20_000.0);
+        assert!(s3 > s1);
+    }
+
+    #[test]
+    fn mrb_sigma_larger_than_hllpp() {
+        // The paper's premise: HLL++ is more accurate than MRB at the
+        // same memory.
+        let m = 10_000;
+        let n = 1e6;
+        let k = smb_k_for_mrb(m, n);
+        assert!(mrb_sigma_rel(m, k, n) > hllpp_sigma_rel(m));
+    }
+
+    #[test]
+    fn figure5b_smb_dominates() {
+        // The paper's Fig. 5(b): under the same δ, SMB's β exceeds both
+        // baselines' Chebyshev βs at n = 1M, m = 10000. Exponential
+        // concentration bounds have weaker *constants* than Chebyshev
+        // at very small δ (the figure's x-axis starts where they bite),
+        // so we assert dominance from δ = 0.1 up, which is the region
+        // the paper's figure displays β ≈ 0.97+ in.
+        let deltas = [0.1, 0.15, 0.2, 0.3];
+        let rows = figure5b(10_000, 1e6, &deltas);
+        for (d, smb, mrb, hpp) in rows {
+            assert!(smb >= mrb - 1e-9, "δ={d}: SMB {smb} < MRB {mrb}");
+            assert!(smb >= hpp - 1e-9, "δ={d}: SMB {smb} < HLL++ {hpp}");
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Harmonic numbers `H_x = Σ_{i=1..x} 1/i` and their asymptotics.
+//!
+//! The paper's Lemma 4 sums expected geometric waiting times into
+//! differences of harmonic numbers, `E[Σ X_i^j] = 2^i·m·(H_{m_i} −
+//! H_{m_i−T})`, and then applies the asymptotic
+//! `H_x ≈ ln x + γ + 1/(2x)` to show `E[X] → n̂`. This module provides
+//! both the exact and asymptotic forms so tests can verify the lemma's
+//! approximation quality at the bitmap sizes the paper uses.
+
+/// Euler–Mascheroni constant γ.
+pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
+
+/// Exact harmonic number `H_x` by summation. O(x) — use for
+/// cross-checks and small arguments.
+pub fn harmonic_exact(x: u64) -> f64 {
+    (1..=x).map(|i| 1.0 / i as f64).sum()
+}
+
+/// Asymptotic harmonic number
+/// `H_x ≈ ln x + γ + 1/(2x) − 1/(12x²)`, accurate to `O(x⁻⁴)`.
+pub fn harmonic_asymptotic(x: u64) -> f64 {
+    if x == 0 {
+        return 0.0;
+    }
+    let xf = x as f64;
+    xf.ln() + EULER_GAMMA + 1.0 / (2.0 * xf) - 1.0 / (12.0 * xf * xf)
+}
+
+/// `H_a − H_b` for `a ≥ b`, computed stably: exact when the range is
+/// small, asymptotic difference otherwise.
+pub fn harmonic_diff(a: u64, b: u64) -> f64 {
+    debug_assert!(a >= b);
+    if a == b {
+        return 0.0;
+    }
+    if a - b <= 4096 {
+        (b + 1..=a).map(|i| 1.0 / i as f64).sum()
+    } else {
+        harmonic_asymptotic(a) - harmonic_asymptotic(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values() {
+        assert_eq!(harmonic_exact(0), 0.0);
+        assert_eq!(harmonic_exact(1), 1.0);
+        assert!((harmonic_exact(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic_exact(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn asymptotic_matches_exact() {
+        for x in [10u64, 100, 1000, 10_000] {
+            let exact = harmonic_exact(x);
+            let asym = harmonic_asymptotic(x);
+            assert!(
+                (exact - asym).abs() < 1e-6,
+                "x={x}: exact {exact} vs asym {asym}"
+            );
+        }
+    }
+
+    #[test]
+    fn diff_consistent_both_paths() {
+        // Small-range (exact) path.
+        let d1 = harmonic_diff(1000, 900);
+        assert!((d1 - (harmonic_exact(1000) - harmonic_exact(900))).abs() < 1e-12);
+        // Large-range (asymptotic) path.
+        let d2 = harmonic_diff(1_000_000, 10_000);
+        let expect = harmonic_exact(1_000_000) - harmonic_exact(10_000);
+        assert!((d2 - expect).abs() < 1e-8, "{d2} vs {expect}");
+    }
+
+    #[test]
+    fn lemma_4_waiting_time_identity() {
+        // E[Σ_{j=1..T} X^j] for one SMB round equals 2^i·m·(H_{m_i} −
+        // H_{m_i−T}), and the lemma approximates it by the round
+        // estimate −2^i·m·ln(1 − T/m_i). Verify the approximation is
+        // tight at paper-scale m.
+        let m = 10_000u64;
+        let t = 625u64;
+        for i in 0..4u32 {
+            let m_i = m - (i as u64) * t;
+            let wait = 2f64.powi(i as i32) * m as f64 * harmonic_diff(m_i, m_i - t);
+            let round_est =
+                -(2f64.powi(i as i32)) * m as f64 * (1.0 - t as f64 / m_i as f64).ln();
+            let rel = (wait - round_est).abs() / round_est;
+            assert!(rel < 1e-3, "round {i}: wait {wait} vs est {round_est}");
+        }
+    }
+}

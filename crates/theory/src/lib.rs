@@ -1,0 +1,26 @@
+//! # smb-theory — analytic results of the paper, as executable code
+//!
+//! * [`bound`] — Theorem 3: the probability `β` that SMB's relative
+//!   error stays within `δ`, computed exactly as the paper's proof
+//!   prescribes (worst-case `(r, U_r)` given `n(1+δ)`, Janson's
+//!   geometric-sum tail). Regenerates Fig. 5(a).
+//! * [`chebyshev`] — standard-error models for MRB and HLL++ and the
+//!   Chebyshev bounds derived from them, for the Fig. 5(b) comparison.
+//! * [`optimal_t`] — the numerical search for the β-maximising
+//!   threshold `T` (the paper's Table II).
+//! * [`overhead`] — the analytic per-item recording/query cost model
+//!   behind Table I.
+//! * [`harmonic`] — harmonic numbers and their asymptotics (used by the
+//!   paper's Lemma 4 and our cross-checks of `E[X] = n̂`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod chebyshev;
+pub mod harmonic;
+pub mod optimal_t;
+pub mod overhead;
+
+pub use bound::{error_bound, SmbBoundInput};
+pub use optimal_t::{optimal_threshold, OptimalT};

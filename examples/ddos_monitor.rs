@@ -1,0 +1,79 @@
+//! DDoS detection — the paper's second motivating application: all
+//! packets to a destination form a stream, source addresses are the
+//! items, and a surge in distinct sources signals a distributed attack.
+//!
+//! This example also demonstrates *why* interval-based adaptation (the
+//! Adaptive Bitmap of §II-C) fails exactly when it matters: a sudden
+//! surge arrives with the sampling probability tuned for the previous,
+//! quiet interval. SMB, adapting continuously, rides through.
+//!
+//! ```text
+//! cargo run --release --example ddos_monitor
+//! ```
+
+use smb::baselines::AdaptiveBitmap;
+use smb::core::{CardinalityEstimator, Smb};
+use smb::hash::HashScheme;
+
+const MEMORY_BITS: usize = 5000;
+
+/// Distinct sources contacting the service per interval: three quiet
+/// intervals, then the attack.
+const INTERVALS: [u64; 5] = [2_000, 2_500, 1_800, 600_000, 650_000];
+const ALARM: f64 = 100_000.0;
+
+fn main() {
+    let scheme = HashScheme::with_seed(1);
+    let mut adaptive = AdaptiveBitmap::new(MEMORY_BITS, scheme).expect("valid params");
+
+    println!("interval |   true n |      SMB (fresh/interval) |  AdaptiveBitmap |  alarm");
+    println!("---------+----------+---------------------------+-----------------+-------");
+    let mut base: u64 = 0;
+    for (idx, &n) in INTERVALS.iter().enumerate() {
+        // Fresh SMB per interval (continuous adaptation needs no prior
+        // knowledge); AdaptiveBitmap carries its tuned p across
+        // intervals, which is its design and its weakness.
+        let mut smb = Smb::builder()
+            .memory_bits(MEMORY_BITS)
+            .expected_max_cardinality(1_000_000)
+            .hash_scheme(scheme)
+            .build()
+            .expect("valid params");
+
+        for i in 0..n {
+            let item = (base + i).to_le_bytes();
+            // Each source sends a handful of packets.
+            for _ in 0..3 {
+                smb.record(&item);
+                adaptive.record(&item);
+            }
+        }
+        base += n;
+
+        let smb_est = smb.estimate();
+        let ab_est = adaptive.estimate();
+        let alarm = if smb_est >= ALARM { "SMB!" } else { "" };
+        println!(
+            "{:>8} | {:>8} | {:>25.0} | {:>15.0} | {:>6}",
+            idx, n, smb_est, ab_est, alarm
+        );
+
+        if idx == 3 {
+            // The surge interval: the adaptive bitmap was tuned for
+            // ~2k distinct sources and saturates.
+            let smb_err = (smb_est - n as f64).abs() / n as f64;
+            println!(
+                "         |          | SMB err {:.1}% — adaptive bitmap mis-tuned (p = {:.4})",
+                smb_err * 100.0,
+                adaptive.current_probability()
+            );
+            assert!(smb_err < 0.25, "SMB must track the surge");
+            assert!(smb_est >= ALARM, "SMB must raise the alarm");
+        }
+
+        adaptive.advance_interval();
+    }
+
+    println!("\nSMB detects the surge in the interval it happens; the interval-adaptive");
+    println!("bitmap needs the *next* interval (after re-tuning) to see it.");
+}

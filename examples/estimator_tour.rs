@@ -1,0 +1,75 @@
+//! Tour of every estimator in the workspace on one stream, at equal
+//! memory — a one-screen reproduction of the paper's accuracy story,
+//! plus per-algorithm query cost.
+//!
+//! ```text
+//! cargo run --release --example estimator_tour [cardinality] [memory_bits]
+//! ```
+
+use std::time::Instant;
+
+use smb::baselines::{
+    AdaptiveBitmap, Bjkst, Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb,
+    SuperLogLog,
+};
+use smb::core::{Bitmap, CardinalityEstimator, Smb};
+use smb::hash::HashScheme;
+use smb::theory::optimal_threshold;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let m: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5000);
+    let scheme = HashScheme::with_seed(2024);
+
+    let t = optimal_threshold(m, (n as f64).max(1e6)).t;
+    let mut estimators: Vec<Box<dyn CardinalityEstimator>> = vec![
+        Box::new(Smb::with_scheme(m, t, scheme).unwrap()),
+        Box::new(Mrb::for_expected_cardinality(m, 1e6, scheme).unwrap()),
+        Box::new(Fm::with_memory_bits_scheme(m, scheme).unwrap()),
+        Box::new(Hll::with_memory_bits(m, scheme).unwrap()),
+        Box::new(HllPlusPlus::with_memory_bits(m, scheme).unwrap()),
+        Box::new(HllTailCut::with_memory_bits(m, scheme).unwrap()),
+        Box::new(LogLog::with_memory_bits(m, scheme).unwrap()),
+        Box::new(SuperLogLog::with_memory_bits(m, scheme).unwrap()),
+        Box::new(Kmv::with_memory_bits(m, scheme).unwrap()),
+        Box::new(Bjkst::with_memory_bits(m, scheme).unwrap()),
+        Box::new(MinCount::with_memory_bits(m, scheme).unwrap()),
+        Box::new(Bitmap::with_scheme(m, scheme).unwrap()),
+        Box::new(AdaptiveBitmap::new(m.max(200), scheme).unwrap()),
+    ];
+
+    println!("stream: {n} distinct items; memory budget: {m} bits each\n");
+    for est in &mut estimators {
+        for i in 0..n {
+            est.record(&i.to_le_bytes());
+        }
+    }
+
+    println!(
+        "{:<15} {:>12} {:>9} {:>10} {:>14} {:>10}",
+        "algorithm", "estimate", "err%", "mem(bits)", "query ns", "saturated"
+    );
+    for est in &estimators {
+        let e = est.estimate();
+        let err = (e - n as f64).abs() / n as f64 * 100.0;
+        let start = Instant::now();
+        let reps = 10_000;
+        for _ in 0..reps {
+            std::hint::black_box(est.estimate());
+        }
+        let ns = start.elapsed().as_nanos() as f64 / reps as f64;
+        println!(
+            "{:<15} {:>12.0} {:>8.2}% {:>10} {:>14.0} {:>10}",
+            est.name(),
+            e,
+            err,
+            est.memory_bits(),
+            ns,
+            if est.is_saturated() { "yes" } else { "" }
+        );
+    }
+    println!("\nNote the two shapes the paper predicts: the bitmap saturates (its range");
+    println!("caps at m·ln m), and the register family pays O(m) per query while SMB");
+    println!("reads two integers.");
+}

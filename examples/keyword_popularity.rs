@@ -1,0 +1,92 @@
+//! Search-keyword popularity tracking — the paper's search-engine
+//! example: all queries for the same keyword form a stream, the client
+//! IP is the data item, and the stream's cardinality is the keyword's
+//! popularity (distinct users searching it).
+//!
+//! Compares SMB against HLL++ and MRB per keyword, at identical memory,
+//! against exact ground truth.
+//!
+//! ```text
+//! cargo run --release --example keyword_popularity
+//! ```
+
+use smb::baselines::{HllPlusPlus, Mrb};
+use smb::core::{CardinalityEstimator, Smb};
+use smb::hash::{HashScheme, SplitMix64};
+use smb::stream::dist::Zipf;
+use smb::stream::ExactCounter;
+
+const KEYWORDS: [&str; 8] = [
+    "weather", "news", "rust", "cardinality", "bitmap", "streaming", "sketch", "icde",
+];
+const MEMORY_BITS: usize = 5000;
+const QUERIES: u64 = 2_000_000;
+const USERS: u64 = 500_000;
+
+fn main() {
+    let scheme = HashScheme::with_seed(42);
+
+    // Per-keyword estimators at identical memory.
+    let mut smbs: Vec<Smb> = KEYWORDS
+        .iter()
+        .map(|_| Smb::builder().memory_bits(MEMORY_BITS).hash_scheme(scheme).build().unwrap())
+        .collect();
+    let mut hpps: Vec<HllPlusPlus> = KEYWORDS
+        .iter()
+        .map(|_| HllPlusPlus::with_memory_bits(MEMORY_BITS, scheme).unwrap())
+        .collect();
+    let mut mrbs: Vec<Mrb> = KEYWORDS
+        .iter()
+        .map(|_| Mrb::for_expected_cardinality(MEMORY_BITS, 1e6, scheme).unwrap())
+        .collect();
+    let mut exact: Vec<ExactCounter> = KEYWORDS
+        .iter()
+        .map(|_| ExactCounter::with_scheme(scheme))
+        .collect();
+
+    // Query stream: keyword popularity is Zipfian (keyword 1 most
+    // searched), and each query comes from a random user. More popular
+    // keywords accumulate more distinct users.
+    let kw_dist = Zipf::new(KEYWORDS.len() as u64, 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    use rand::{Rng, SeedableRng};
+    let mut user_mix = SplitMix64::new(3);
+    for _ in 0..QUERIES {
+        let kw = (kw_dist.sample(&mut rng) - 1) as usize;
+        // Users are Zipf-ish too: heavy users search everything.
+        let user = if rng.gen::<f64>() < 0.3 {
+            user_mix.next_below(1000) // hot users
+        } else {
+            user_mix.next_below(USERS)
+        };
+        let item = user.to_le_bytes();
+        smbs[kw].record(&item);
+        hpps[kw].record(&item);
+        mrbs[kw].record(&item);
+        exact[kw].record(&item);
+    }
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>10} {:>8} {:>10} {:>8}",
+        "keyword", "true", "SMB", "err%", "HLL++", "err%", "MRB", "err%"
+    );
+    let mut err_sums = [0.0f64; 3];
+    for (i, kw) in KEYWORDS.iter().enumerate() {
+        let truth = exact[i].count() as f64;
+        let ests = [smbs[i].estimate(), hpps[i].estimate(), mrbs[i].estimate()];
+        let errs: Vec<f64> = ests.iter().map(|e| (e - truth).abs() / truth * 100.0).collect();
+        for (s, e) in err_sums.iter_mut().zip(&errs) {
+            *s += e;
+        }
+        println!(
+            "{:<12} {:>10.0} {:>10.0} {:>7.2}% {:>10.0} {:>7.2}% {:>10.0} {:>7.2}%",
+            kw, truth, ests[0], errs[0], ests[1], errs[1], ests[2], errs[2]
+        );
+    }
+    println!(
+        "\nmean relative error: SMB {:.2}%  HLL++ {:.2}%  MRB {:.2}%",
+        err_sums[0] / KEYWORDS.len() as f64,
+        err_sums[1] / KEYWORDS.len() as f64,
+        err_sums[2] / KEYWORDS.len() as f64
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: estimate the cardinality of one stream with SMB.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smb::core::{CardinalityEstimator, Smb};
+
+fn main() {
+    // 5000 bits (625 bytes) of memory, sized for streams up to ~1M
+    // distinct items.
+    let mut smb = Smb::builder()
+        .memory_bits(5000)
+        .expected_max_cardinality(1_000_000)
+        .build()
+        .expect("valid configuration");
+
+    println!(
+        "SMB: m = {} bits, T = {}, up to {} morphing rounds\n",
+        smb.memory_bits(),
+        smb.threshold(),
+        smb.max_rounds()
+    );
+
+    // Feed a stream with many duplicates: 300k distinct items, each
+    // appearing 3 times.
+    let n_distinct = 300_000u64;
+    for rep in 0..3 {
+        for i in 0..n_distinct {
+            smb.record(&i.to_le_bytes());
+            let _ = rep;
+        }
+    }
+
+    let estimate = smb.estimate();
+    let err = (estimate - n_distinct as f64).abs() / n_distinct as f64;
+    println!("true cardinality     : {n_distinct}");
+    println!("estimated cardinality: {estimate:.0}");
+    println!("relative error       : {:.2}%", err * 100.0);
+    println!(
+        "state: round r = {} (sampling p = {:.5}), fresh ones v = {}",
+        smb.round(),
+        smb.sampling_probability(),
+        smb.fresh_ones()
+    );
+    println!("\nQueries read just (r, v) — O(1), fit for per-packet use.");
+
+    assert!(err < 0.2, "estimate should be within 20%");
+}

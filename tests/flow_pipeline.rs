@@ -1,0 +1,122 @@
+//! End-to-end multi-stream pipeline tests: synthetic trace → per-flow
+//! structures → estimates vs exact ground truth, exercising the
+//! "estimator as a plug-in" claim with three different estimator types.
+
+use smb::baselines::{HllPlusPlus, Mrb};
+use smb::core::{CardinalityEstimator, Smb};
+use smb::hash::HashScheme;
+use smb::sketch::{EstimatorArray, FlowTable};
+use smb::stream::{stats, TraceConfig};
+
+/// Record a trace into a flow table built by `factory` and return the
+/// mean relative error over flows with cardinality ≥ 200.
+fn flow_table_mre<E: CardinalityEstimator>(
+    factory: impl Fn(u64) -> E + Send + 'static,
+) -> f64 {
+    let trace = TraceConfig::tiny(21).build();
+    let mut table = FlowTable::new(factory);
+    for p in trace.packets() {
+        table.record(p.flow as u64, &p.item_bytes());
+    }
+    let mut errs = Vec::new();
+    for (flow, &truth) in trace.ground_truths().iter().enumerate() {
+        if truth >= 200 {
+            let est = table.estimate(flow as u64).expect("flow recorded");
+            errs.push((est - truth as f64).abs() / truth as f64);
+        }
+    }
+    assert!(!errs.is_empty(), "trace should contain flows ≥ 200");
+    stats::mean(&errs)
+}
+
+#[test]
+fn flow_table_with_smb_plugin() {
+    let mre = flow_table_mre(|flow| {
+        Smb::with_scheme(2048, 128, HashScheme::with_seed(flow)).unwrap()
+    });
+    assert!(mre < 0.15, "SMB plug-in MRE {mre}");
+}
+
+#[test]
+fn flow_table_with_hllpp_plugin() {
+    let mre = flow_table_mre(|flow| {
+        HllPlusPlus::with_memory_bits(2048, HashScheme::with_seed(flow)).unwrap()
+    });
+    assert!(mre < 0.15, "HLL++ plug-in MRE {mre}");
+}
+
+#[test]
+fn flow_table_with_mrb_plugin() {
+    let mre = flow_table_mre(|flow| {
+        Mrb::for_expected_cardinality(2048, 1e5, HashScheme::with_seed(flow)).unwrap()
+    });
+    assert!(mre < 0.35, "MRB plug-in MRE {mre}");
+}
+
+/// The shared-cell estimator array also accepts any plug-in; its
+/// Count-Min-style minimum must upper-bound per-flow truth (modulo
+/// estimator noise) and stay within a small factor for large flows.
+#[test]
+fn estimator_array_with_smb_plugin() {
+    // A larger flow population than `tiny` so the heavy tail reliably
+    // produces some ≥300-cardinality flows.
+    let trace = smb::stream::SyntheticCaida::new(smb::stream::TraceConfig {
+        flows: 3000,
+        max_cardinality: 5000,
+        alpha: 1.1,
+        duplication: 2.0,
+        seed: 22,
+    });
+    let mut array = EstimatorArray::new(256, 2, |i| {
+        Smb::with_scheme(2048, 128, HashScheme::with_seed(i as u64)).unwrap()
+    });
+    for p in trace.packets() {
+        array.record(p.flow as u64, &p.item_bytes());
+    }
+    let mut ratios = Vec::new();
+    for (flow, &truth) in trace.ground_truths().iter().enumerate() {
+        if truth >= 300 {
+            let est = array.estimate(flow as u64);
+            assert!(
+                est > 0.6 * truth as f64,
+                "flow {flow}: estimate {est} below truth {truth}"
+            );
+            ratios.push(est / truth as f64);
+        }
+    }
+    assert!(!ratios.is_empty());
+    // Large flows dominate their cells, so the overestimate factor is
+    // modest.
+    let mean_ratio = stats::mean(&ratios);
+    assert!(mean_ratio < 3.0, "mean overestimate {mean_ratio}");
+}
+
+/// Memory accounting flows through: per-flow tables report the sum of
+/// their plug-ins.
+#[test]
+fn pipeline_memory_accounting() {
+    let trace = TraceConfig::tiny(23).build();
+    let mut table = FlowTable::new(|flow| {
+        Smb::with_scheme(1024, 64, HashScheme::with_seed(flow)).unwrap()
+    });
+    for p in trace.packets() {
+        table.record(p.flow as u64, &p.item_bytes());
+    }
+    assert_eq!(table.len(), trace.ground_truths().len());
+    assert_eq!(table.total_memory_bits(), table.len() * 1024);
+}
+
+/// The trace's own promise: exact per-flow ground truth by
+/// construction, verified through the ExactCounter plug-in.
+#[test]
+fn exact_plugin_matches_trace_ground_truth() {
+    let trace = TraceConfig::tiny(24).build();
+    let mut table = FlowTable::new(|_| smb::stream::ExactCounter::new());
+    for p in trace.packets() {
+        table.record(p.flow as u64, &p.item_bytes());
+    }
+    for (flow, &truth) in trace.ground_truths().iter().enumerate() {
+        let est = table.estimate(flow as u64).expect("flow recorded");
+        assert_eq!(est as u32, truth, "flow {flow}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests over the workload generators and the SMB query
+//! formula — the parts of the harness every experiment's validity
+//! rests on.
+
+use proptest::prelude::*;
+
+use smb::core::{CardinalityEstimator, Smb};
+use smb::hash::HashScheme;
+use smb::stream::items::StreamSpec;
+use smb::stream::TraceConfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Streams realise exactly the cardinality and total their spec
+    /// promises, for arbitrary parameters.
+    #[test]
+    fn stream_spec_is_honoured(
+        n in 1u64..2000,
+        dup in 1.0f64..4.0,
+        seed in any::<u64>(),
+        len in 1usize..64,
+    ) {
+        let spec = StreamSpec::with_duplication(n, dup, seed).item_len(len);
+        let mut distinct = std::collections::HashSet::new();
+        let mut total = 0u64;
+        for item in spec.stream() {
+            prop_assert_eq!(item.len(), len);
+            distinct.insert(item);
+            total += 1;
+        }
+        prop_assert_eq!(distinct.len() as u64, n);
+        prop_assert_eq!(total, spec.total);
+        prop_assert!(total >= n);
+    }
+
+    /// The same spec always generates the same stream; different seeds
+    /// diverge.
+    #[test]
+    fn stream_determinism(n in 2u64..500, seed in any::<u64>()) {
+        let a: Vec<Vec<u8>> = StreamSpec::distinct(n, seed).stream().collect();
+        let b: Vec<Vec<u8>> = StreamSpec::distinct(n, seed).stream().collect();
+        prop_assert_eq!(&a, &b);
+        let c: Vec<Vec<u8>> = StreamSpec::distinct(n, seed ^ 1).stream().collect();
+        prop_assert_ne!(&a, &c);
+    }
+
+    /// Trace plans respect their configuration bounds for arbitrary
+    /// small configs, and packet emission exactly exhausts the plan.
+    #[test]
+    fn trace_plan_bounds(flows in 1usize..200, max_card in 2u64..500, seed in any::<u64>()) {
+        let trace = TraceConfig {
+            flows,
+            max_cardinality: max_card,
+            alpha: 1.1,
+            duplication: 1.5,
+            seed,
+        }
+        .build();
+        prop_assert_eq!(trace.ground_truths().len(), flows);
+        for &c in trace.ground_truths() {
+            prop_assert!(c >= 1 && (c as u64) <= max_card);
+        }
+        let emitted = trace.packets().count() as u64;
+        prop_assert_eq!(emitted, trace.total_packets());
+    }
+
+    /// `Smb::estimate_at` agrees with an independent evaluation of the
+    /// paper's Eq. (11) for any reachable (r, v) state.
+    #[test]
+    fn smb_query_formula_cross_check(
+        m_exp in 7u32..12,
+        c in 2usize..16,
+        n in 0u64..50_000,
+    ) {
+        let m = 1usize << m_exp;
+        let t = m / c;
+        prop_assume!(t >= 1 && t <= m / 2);
+        let mut smb = Smb::with_scheme(m, t, HashScheme::with_seed(9)).unwrap();
+        for i in 0..n {
+            smb.record(&i.to_le_bytes());
+        }
+        let (r, v) = (smb.round(), smb.fresh_ones());
+        // Independent evaluation: S[r] from the recurrence, then Eq. 11.
+        let mut s = 0.0f64;
+        for i in 0..r {
+            let m_i = (m - (i as usize) * t) as f64;
+            s += -(2f64.powi(i as i32)) * (m as f64) * (1.0 - t as f64 / m_i).ln();
+        }
+        let m_r = (m - (r as usize) * t) as f64;
+        let v_eff = (v as f64).min(m_r - 1.0);
+        let expected = s - 2f64.powi(r as i32) * (m as f64) * (1.0 - v_eff / m_r).ln();
+        prop_assert!(
+            (smb.estimate() - expected).abs() < 1e-6,
+            "estimate {} vs formula {}", smb.estimate(), expected
+        );
+    }
+
+    /// Hash schemes produce different streams of hashes for different
+    /// algorithms and seeds, but identical ones for identical schemes —
+    /// for arbitrary items.
+    #[test]
+    fn hash_scheme_separation(item in proptest::collection::vec(any::<u8>(), 0..64), seed in any::<u64>()) {
+        let a = HashScheme::with_seed(seed);
+        let b = HashScheme::with_seed(seed);
+        prop_assert_eq!(a.hash64(&item), b.hash64(&item));
+        let c = HashScheme::with_seed(seed.wrapping_add(1));
+        // Equality would be a 2^-64 coincidence; treat as failure.
+        prop_assert_ne!(a.hash64(&item), c.hash64(&item));
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based tests over every estimator in the workspace.
+//!
+//! The central invariant is the one the paper proves for SMB
+//! (Theorem 2) and that every cardinality estimator must satisfy
+//! structurally: *duplicate-insensitivity* — recording a multiset
+//! leaves exactly the state of recording its support set, in order.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use smb::baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
+use smb::core::{Bitmap, CardinalityEstimator, Smb};
+use smb::hash::HashScheme;
+
+/// Build one of each estimator under test, at small sizes so proptest
+/// cases stay fast.
+fn estimators(seed: u64) -> Vec<Box<dyn CardinalityEstimator>> {
+    let scheme = HashScheme::with_seed(seed);
+    vec![
+        Box::new(Smb::with_scheme(512, 64, scheme).unwrap()),
+        Box::new(Bitmap::with_scheme(512, scheme).unwrap()),
+        Box::new(Mrb::with_scheme(512, 4, scheme).unwrap()),
+        Box::new(Fm::with_scheme(16, scheme).unwrap()),
+        Box::new(Hll::with_scheme(64, scheme).unwrap()),
+        Box::new(HllPlusPlus::with_scheme(64, scheme).unwrap()),
+        Box::new(HllPlusPlus::sparse(256, scheme).unwrap()),
+        Box::new(HllTailCut::with_scheme(64, scheme).unwrap()),
+        Box::new(LogLog::with_scheme(64, scheme).unwrap()),
+        Box::new(SuperLogLog::with_scheme(64, scheme).unwrap()),
+        Box::new(Kmv::with_scheme(32, scheme).unwrap()),
+        Box::new(MinCount::with_scheme(32, scheme).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recording any stream with duplicates produces the same estimate
+    /// as recording each distinct item once, in first-appearance order.
+    #[test]
+    fn duplicate_insensitivity(items in vec(0u32..500, 1..300), seed in 0u64..32) {
+        // Deduplicate preserving first-appearance order.
+        let mut seen = std::collections::HashSet::new();
+        let dedup: Vec<u32> = items.iter().copied().filter(|i| seen.insert(*i)).collect();
+
+        let mut with_dups = estimators(seed);
+        let mut without = estimators(seed);
+        for est in &mut with_dups {
+            for &i in &items {
+                est.record(&i.to_le_bytes());
+            }
+        }
+        for est in &mut without {
+            for &i in &dedup {
+                est.record(&i.to_le_bytes());
+            }
+        }
+        for (a, b) in with_dups.iter().zip(&without) {
+            prop_assert_eq!(a.estimate(), b.estimate(), "{} differs", a.name());
+        }
+    }
+
+    /// Estimates never decrease as more (distinct) items arrive.
+    #[test]
+    fn estimates_monotone_in_distinct_items(n in 1u32..2000, seed in 0u64..16) {
+        let mut ests = estimators(seed);
+        let mut last: Vec<f64> = ests.iter().map(|e| e.estimate()).collect();
+        for i in 0..n {
+            for est in ests.iter_mut() {
+                est.record(&i.to_le_bytes());
+            }
+            if i % 97 == 0 {
+                for (est, l) in ests.iter().zip(last.iter_mut()) {
+                    let now = est.estimate();
+                    // KMV/MinCount estimators may wiggle slightly at the
+                    // exact/estimated boundary; allow a tiny slack.
+                    prop_assert!(
+                        now >= *l - (*l * 0.25 + 2.0),
+                        "{} decreased: {} -> {now}", est.name(), *l
+                    );
+                    *l = now;
+                }
+            }
+        }
+    }
+
+    /// clear() restores the empty state for every estimator.
+    #[test]
+    fn clear_restores_empty(items in vec(0u32..100, 1..100), seed in 0u64..16) {
+        let mut ests = estimators(seed);
+        for est in &mut ests {
+            for &i in &items {
+                est.record(&i.to_le_bytes());
+            }
+            est.clear();
+            prop_assert!(est.estimate().abs() < 1e-9, "{} not empty after clear", est.name());
+            // And it still works afterwards.
+            est.record(b"post-clear");
+            prop_assert!(est.estimate() > 0.0, "{} dead after clear", est.name());
+        }
+    }
+
+    /// SMB's structural invariants hold along any stream prefix.
+    #[test]
+    fn smb_structural_invariants(items in vec(any::<u32>(), 1..2000), t_idx in 0usize..3) {
+        let t = [32usize, 64, 128][t_idx];
+        let mut smb = Smb::with_scheme(1024, t, HashScheme::with_seed(5)).unwrap();
+        for (k, i) in items.iter().enumerate() {
+            smb.record(&i.to_le_bytes());
+            if k % 53 == 0 {
+                // ones = r·T + v
+                prop_assert_eq!(smb.ones(), smb.as_bits().count_ones());
+                // v < T unless in the final round
+                if smb.round() + 1 < smb.max_rounds() {
+                    prop_assert!(smb.fresh_ones() < smb.threshold());
+                }
+                prop_assert!(smb.round() < smb.max_rounds());
+                prop_assert!(smb.estimate().is_finite());
+                prop_assert!(smb.estimate() >= 0.0);
+            }
+        }
+    }
+
+    /// Merging two estimators equals recording the union stream, for
+    /// every mergeable type.
+    #[test]
+    fn merge_equals_union(
+        xs in vec(0u32..1000, 1..200),
+        ys in vec(0u32..1000, 1..200),
+        seed in 0u64..16,
+    ) {
+        use smb::core::MergeableEstimator;
+        let scheme = HashScheme::with_seed(seed);
+
+        macro_rules! check {
+            ($make:expr) => {{
+                let mut a = $make;
+                let mut b = $make;
+                let mut u = $make;
+                for &x in &xs { a.record(&x.to_le_bytes()); u.record(&x.to_le_bytes()); }
+                for &y in &ys { b.record(&y.to_le_bytes()); u.record(&y.to_le_bytes()); }
+                a.merge_from(&b).unwrap();
+                prop_assert!((a.estimate() - u.estimate()).abs() < 1e-9,
+                    "{}: merge {} vs union {}", a.name(), a.estimate(), u.estimate());
+            }};
+        }
+        check!(Bitmap::with_scheme(256, scheme).unwrap());
+        check!(Fm::with_scheme(16, scheme).unwrap());
+        check!(Hll::with_scheme(32, scheme).unwrap());
+        check!(HllPlusPlus::with_scheme(32, scheme).unwrap());
+        check!(LogLog::with_scheme(32, scheme).unwrap());
+        check!(SuperLogLog::with_scheme(32, scheme).unwrap());
+        check!(Kmv::with_scheme(16, scheme).unwrap());
+    }
+
+    /// Estimators built from the same scheme see identical item hashes:
+    /// record() and record_hash(scheme.item_hash(..)) are equivalent.
+    #[test]
+    fn record_and_record_hash_agree(items in vec(any::<u64>(), 1..100), seed in 0u64..16) {
+        let scheme = HashScheme::with_seed(seed);
+        let mut by_item = Smb::with_scheme(512, 64, scheme).unwrap();
+        let mut by_hash = Smb::with_scheme(512, 64, scheme).unwrap();
+        for &i in &items {
+            by_item.record(&i.to_le_bytes());
+            by_hash.record_hash(scheme.item_hash(&i.to_le_bytes()));
+        }
+        prop_assert_eq!(by_item.estimate(), by_hash.estimate());
+        prop_assert_eq!(by_item.snapshot(), by_hash.snapshot());
+    }
+}

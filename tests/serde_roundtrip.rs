@@ -1,0 +1,63 @@
+//! Serialization round-trips (requires `--features serde`): an
+//! estimator checkpointed mid-stream and restored must continue exactly
+//! where it left off.
+#![cfg(feature = "serde")]
+
+use smb::baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
+use smb::core::{Bitmap, CardinalityEstimator, SampledBitmap, Smb};
+use smb::hash::HashScheme;
+
+fn roundtrip<E>(mut est: E)
+where
+    E: CardinalityEstimator + serde::Serialize + serde::de::DeserializeOwned,
+{
+    // Record half a stream, checkpoint, restore, record the other
+    // half into both; states must stay identical.
+    for i in 0..5000u32 {
+        est.record(&i.to_le_bytes());
+    }
+    let json = serde_json::to_string(&est).expect("serialize");
+    let mut restored: E = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(est.estimate(), restored.estimate(), "restored state differs");
+    for i in 5000..10_000u32 {
+        est.record(&i.to_le_bytes());
+        restored.record(&i.to_le_bytes());
+    }
+    assert_eq!(
+        est.estimate(),
+        restored.estimate(),
+        "divergence after resume ({})",
+        est.name()
+    );
+}
+
+#[test]
+fn all_estimators_roundtrip() {
+    let scheme = HashScheme::with_seed(77);
+    roundtrip(Smb::with_scheme(2048, 256, scheme).unwrap());
+    roundtrip(Bitmap::with_scheme(2048, scheme).unwrap());
+    roundtrip(SampledBitmap::new(2048, 0.5, scheme).unwrap());
+    roundtrip(Mrb::with_scheme(2048, 8, scheme).unwrap());
+    roundtrip(Fm::with_scheme(64, scheme).unwrap());
+    roundtrip(Hll::with_scheme(256, scheme).unwrap());
+    roundtrip(HllPlusPlus::with_scheme(256, scheme).unwrap());
+    roundtrip(HllPlusPlus::sparse(1024, scheme).unwrap());
+    roundtrip(HllTailCut::with_scheme(256, scheme).unwrap());
+    roundtrip(LogLog::with_scheme(256, scheme).unwrap());
+    roundtrip(SuperLogLog::with_scheme(256, scheme).unwrap());
+    roundtrip(Kmv::with_scheme(64, scheme).unwrap());
+    roundtrip(MinCount::with_scheme(64, scheme).unwrap());
+}
+
+#[test]
+fn snapshot_is_serializable() {
+    let mut smb = Smb::new(1024, 128).unwrap();
+    for i in 0..3000u32 {
+        smb.record(&i.to_le_bytes());
+    }
+    let snap = smb.snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: smb::core::SmbSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(snap, back);
+    assert_eq!(smb.estimate_at(back.r, back.v), smb.estimate());
+}

@@ -1,0 +1,128 @@
+//! Theory-vs-simulation integration tests: the analytic results of
+//! `smb-theory` checked against the behaviour of the real `smb-core`
+//! implementation.
+
+use smb::core::{CardinalityEstimator, Smb};
+use smb::hash::HashScheme;
+use smb::theory::bound::{error_bound, SmbBoundInput};
+use smb::theory::optimal_t::{max_estimate, optimal_threshold, s_table};
+
+/// Lemma 1: round `i` samples items with probability `2^-i`. Drive an
+/// SMB into round r and measure the fraction of fresh distinct items
+/// that get recorded.
+#[test]
+fn lemma1_sampling_probability() {
+    let mut smb = Smb::with_scheme(4096, 512, HashScheme::with_seed(3)).unwrap();
+    // Push into round 2 (p = 1/4).
+    let mut i = 0u64;
+    while smb.round() < 2 {
+        smb.record(&i.to_le_bytes());
+        i += 1;
+    }
+    assert_eq!(smb.round(), 2);
+    // Feed fresh items and watch the physical ones counter. Only
+    // sampled items (p = 1/4) can set bits, and a sampled item sets a
+    // *fresh* bit only when it lands on one of the remaining zeros, so
+    // the collision-adjusted expectation is
+    // z₀·(1 − exp(−batch·p/m)) with z₀ the current zero count.
+    let m = 4096f64;
+    let z0 = m - smb.ones() as f64;
+    let ones_before = smb.ones();
+    let batch = 2000u64;
+    for j in 0..batch {
+        smb.record(&(1_000_000_000 + j).to_le_bytes());
+        if smb.round() != 2 {
+            break; // stop if we morph mid-batch
+        }
+    }
+    let recorded = (smb.ones() - ones_before) as f64;
+    let expected = z0 * (1.0 - (-(batch as f64) * 0.25 / m).exp());
+    assert!(
+        (recorded - expected).abs() < 5.0 * expected.sqrt() + 20.0,
+        "recorded {recorded} vs expected ~{expected:.0}"
+    );
+}
+
+/// The theory crate's S-table and max-estimate formulas must match the
+/// core implementation exactly (they are written independently).
+#[test]
+fn s_table_and_capacity_cross_check() {
+    for (m, t) in [(1000usize, 125usize), (5000, 384), (10_000, 833), (8, 2)] {
+        let smb = Smb::new(m, t).unwrap();
+        let table = s_table(m, t);
+        assert_eq!(table.len() as u32, smb.max_rounds());
+        for (i, &s) in table.iter().enumerate() {
+            assert!((s - smb.s_value(i as u32)).abs() < 1e-9, "(m={m},T={t}) S[{i}]");
+        }
+        assert!((max_estimate(m, t) - smb.max_estimate()).abs() < 1e-6);
+    }
+}
+
+/// Theorem 3 empirically: over many independent runs, the fraction of
+/// estimates within δ of the truth must be at least β (the bound is a
+/// lower bound, so observed coverage ≥ β − sampling noise).
+#[test]
+fn theorem3_bound_holds_empirically() {
+    let m = 10_000usize;
+    let n = 200_000u64;
+    let t = optimal_threshold(m, n as f64).t;
+    let delta = 0.1;
+    let beta = error_bound(SmbBoundInput { m, t, n: n as f64, delta }).beta;
+
+    let runs = 60;
+    let mut within = 0;
+    for run in 0..runs {
+        let mut smb = Smb::with_scheme(m, t, HashScheme::with_seed(run * 31 + 7)).unwrap();
+        for i in 0..n {
+            smb.record(&(i ^ (run << 40)).to_le_bytes());
+        }
+        if ((smb.estimate() - n as f64) / n as f64).abs() <= delta {
+            within += 1;
+        }
+    }
+    let coverage = within as f64 / runs as f64;
+    // Allow binomial noise: σ = √(β(1−β)/runs) ≈ 0.05 at worst.
+    assert!(
+        coverage >= beta - 0.15,
+        "coverage {coverage} below bound β = {beta}"
+    );
+}
+
+/// The maximum-estimate formula is really the saturation point: an SMB
+/// fed far past capacity reports (close to) max_estimate and flags
+/// saturation.
+#[test]
+fn capacity_formula_matches_saturation() {
+    let mut smb = Smb::new(512, 128).unwrap();
+    for i in 0..3_000_000u64 {
+        smb.record(&i.to_le_bytes());
+    }
+    assert!(smb.is_saturated());
+    let est = smb.estimate();
+    assert!(est <= smb.max_estimate() + 1e-6);
+    assert!(
+        est > 0.5 * smb.max_estimate(),
+        "saturated estimate {est} should approach capacity {}",
+        smb.max_estimate()
+    );
+}
+
+/// Optimal-T selections must themselves be *usable*: building an SMB
+/// with the Table II threshold and running a stream of that n keeps the
+/// error small.
+#[test]
+fn optimal_t_configurations_work_end_to_end() {
+    for (m, n) in [(10_000usize, 1_000_000u64), (5000, 500_000), (2500, 200_000)] {
+        let opt = optimal_threshold(m, n as f64);
+        let mut errs = Vec::new();
+        for run in 0..6 {
+            let mut smb = Smb::with_scheme(m, opt.t, HashScheme::with_seed(run)).unwrap();
+            for i in 0..n {
+                smb.record(&(i.wrapping_mul(run + 1)).to_le_bytes());
+            }
+            errs.push((smb.estimate() - n as f64).abs() / n as f64);
+        }
+        let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+        assert!(mean < 0.12, "m={m} n={n} c={}: mean err {mean}", opt.c);
+    }
+}
