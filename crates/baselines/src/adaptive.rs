@@ -33,7 +33,6 @@ const LOAD_TARGET: f64 = 1.6;
 /// boundaries; recording and querying between boundaries follow the
 /// usual trait methods.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AdaptiveBitmap {
     coarse: Mrb,
     fine: SampledBitmap,
@@ -193,5 +192,44 @@ mod tests {
         ab.clear();
         assert_eq!(ab.current_probability(), p);
         assert_eq!(ab.coarse_estimate(), 0.0);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::AdaptiveBitmap;
+    use crate::mrb::Mrb;
+    use smb_core::{CardinalityEstimator, SampledBitmap};
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for AdaptiveBitmap {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("coarse".into(), self.coarse.to_json()),
+                ("fine".into(), self.fine.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let coarse = Mrb::from_json(v.field("coarse")?)?;
+            let fine = SampledBitmap::from_json(v.field("fine")?)?;
+            // The coarse structure must hash through the derived scheme
+            // the constructor would have assigned.
+            if coarse.scheme() != scheme.derive(1) {
+                return Err(JsonError::new(
+                    "coarse MRB scheme is not derive(1) of the outer scheme",
+                ));
+            }
+            let fine_bits = fine.memory_bits();
+            Ok(AdaptiveBitmap {
+                coarse,
+                fine,
+                fine_bits,
+                scheme,
+            })
+        }
     }
 }

@@ -29,7 +29,6 @@ use smb_hash::{HashScheme, ItemHash};
 /// assert!((est - 100_000.0).abs() / 100_000.0 < 0.25);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bjkst {
     /// Retained fingerprints (full 64-bit hashes; the original paper
     /// coarsens them with a second hash to save space — we keep them
@@ -237,5 +236,57 @@ mod tests {
     #[test]
     fn tiny_capacity_rejected() {
         assert!(Bjkst::new(7).is_err());
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::Bjkst;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::{HashScheme, ItemHash};
+
+    impl Snapshot for Bjkst {
+        fn to_json(&self) -> Json {
+            let mut buffer: Vec<u64> = self.buffer.iter().copied().collect();
+            // HashSet iteration order is nondeterministic; sort so the
+            // snapshot text is stable and diffable.
+            buffer.sort_unstable();
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("capacity".into(), Json::Int(self.capacity as i128)),
+                ("z".into(), Json::Int(self.z as i128)),
+                (
+                    "buffer".into(),
+                    Json::Arr(buffer.iter().map(|&h| Json::Int(h as i128)).collect()),
+                ),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let capacity = v.field("capacity")?.as_usize()?;
+            let z = v.field("z")?.as_u32()?;
+            let mut bjkst = Bjkst::with_scheme(capacity, scheme)
+                .map_err(|e| JsonError::new(e.to_string()))?;
+            bjkst.z = z;
+            for item in v.field("buffer")?.as_arr()? {
+                let h = item.as_u64()?;
+                // Every retained fingerprint must pass the current
+                // sampling level — the structure's defining invariant.
+                if ItemHash::new(h).geometric() < z {
+                    return Err(JsonError::new(format!(
+                        "fingerprint {h:#x} fails sampling level z = {z}"
+                    )));
+                }
+                bjkst.buffer.insert(h);
+            }
+            if bjkst.buffer.len() > capacity {
+                return Err(JsonError::new(format!(
+                    "{} fingerprints exceed capacity {capacity}",
+                    bjkst.buffer.len()
+                )));
+            }
+            Ok(bjkst)
+        }
     }
 }

@@ -27,7 +27,6 @@ use crate::constants::FM_PHI;
 /// assert!((est - 50_000.0).abs() / 50_000.0 < 0.3);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Fm {
     regs: Vec<u32>,
     scheme: HashScheme,
@@ -245,5 +244,32 @@ mod tests {
         fm.record(b"y");
         fm.clear();
         assert!(fm.regs.iter().all(|&r| r == 0));
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::Fm;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for Fm {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("regs".into(), self.regs.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let regs: Vec<u32> = Vec::from_json(v.field("regs")?)?;
+            if regs.is_empty() {
+                return Err(JsonError::new("FM needs at least one register"));
+            }
+            Ok(Fm {
+                scheme: HashScheme::from_json(v.field("scheme")?)?,
+                regs,
+            })
+        }
     }
 }

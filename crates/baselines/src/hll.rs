@@ -39,7 +39,6 @@ const REGISTER_WIDTH: u8 = 5;
 /// assert!((est - 100_000.0).abs() / 100_000.0 < 0.15);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hll {
     regs: MaxRegisters,
     scheme: HashScheme,
@@ -229,5 +228,29 @@ mod tests {
         }
         hll.clear();
         assert_eq!(hll.estimate(), 0.0);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::Hll;
+    use crate::registers::MaxRegisters;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for Hll {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("regs".into(), self.regs.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            Ok(Hll {
+                scheme: HashScheme::from_json(v.field("scheme")?)?,
+                regs: MaxRegisters::from_json(v.field("regs")?)?,
+            })
+        }
     }
 }

@@ -30,7 +30,6 @@ use crate::constants::EULER_GAMMA;
 /// assert!((est - 100_000.0).abs() / 100_000.0 < 0.3);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Kmv {
     k: usize,
     /// The current k smallest distinct hashes (ordered).
@@ -136,7 +135,6 @@ impl smb_core::MergeableEstimator for Kmv {
 
 /// MinCount estimator (Giroire): `b` buckets of minimum hash fractions.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MinCount {
     /// Per-bucket minimum of the hash fraction in (0, 1]; 1.0 = empty.
     mins: Vec<f64>,
@@ -339,5 +337,73 @@ mod tests {
         mc.clear();
         assert_eq!(mc.estimate(), 0.0);
         assert_eq!(mc.touched, 0);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::{Kmv, MinCount};
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for Kmv {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("k".into(), Json::Int(self.k as i128)),
+                (
+                    "mins".into(),
+                    Json::Arr(self.mins.iter().map(|&h| Json::Int(h as i128)).collect()),
+                ),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let k = v.field("k")?.as_usize()?;
+            let mut kmv =
+                Kmv::with_scheme(k, scheme).map_err(|e| JsonError::new(e.to_string()))?;
+            for item in v.field("mins")?.as_arr()? {
+                kmv.mins.insert(item.as_u64()?);
+            }
+            if kmv.mins.len() > k {
+                return Err(JsonError::new(format!(
+                    "{} retained values exceed k = {k}",
+                    kmv.mins.len()
+                )));
+            }
+            Ok(kmv)
+        }
+    }
+
+    impl Snapshot for MinCount {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("mins".into(), self.mins.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let mins: Vec<f64> = Vec::from_json(v.field("mins")?)?;
+            if mins.is_empty() {
+                return Err(JsonError::new("MinCount needs at least one bucket"));
+            }
+            for (idx, &frac) in mins.iter().enumerate() {
+                if !(frac > 0.0 && frac <= 1.0) {
+                    return Err(JsonError::new(format!(
+                        "bucket {idx} minimum {frac} outside (0, 1]"
+                    )));
+                }
+            }
+            // `touched` is derived: untouched buckets sit at exactly 1.0.
+            let touched = mins.iter().filter(|&&frac| frac < 1.0).count();
+            Ok(MinCount {
+                scheme,
+                mins,
+                touched,
+            })
+        }
     }
 }

@@ -38,7 +38,6 @@ const REGISTER_WIDTH: u8 = 5;
 
 /// The LogLog estimator.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LogLog {
     regs: MaxRegisters,
     scheme: HashScheme,
@@ -46,7 +45,6 @@ pub struct LogLog {
 
 /// The SuperLogLog estimator (truncation rule θ = 0.7).
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SuperLogLog {
     regs: MaxRegisters,
     scheme: HashScheme,
@@ -303,4 +301,35 @@ mod tests {
         assert!(LogLog::new(0).is_err());
         assert!(SuperLogLog::new(0).is_err());
     }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::{LogLog, SuperLogLog};
+    use crate::registers::MaxRegisters;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    macro_rules! loglog_snapshot {
+        ($ty:ident) => {
+            impl Snapshot for $ty {
+                fn to_json(&self) -> Json {
+                    Json::Obj(vec![
+                        ("scheme".into(), self.scheme.to_json()),
+                        ("regs".into(), self.regs.to_json()),
+                    ])
+                }
+
+                fn from_json(v: &Json) -> Result<Self, JsonError> {
+                    Ok($ty {
+                        scheme: HashScheme::from_json(v.field("scheme")?)?,
+                        regs: MaxRegisters::from_json(v.field("regs")?)?,
+                    })
+                }
+            }
+        };
+    }
+
+    loglog_snapshot!(LogLog);
+    loglog_snapshot!(SuperLogLog);
 }

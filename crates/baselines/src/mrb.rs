@@ -59,7 +59,6 @@ const DEFAULT_SELECT_FRACTION: f64 = 2.0 / 3.0;
 /// assert!((est - 100_000.0).abs() / 100_000.0 < 0.3);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Mrb {
     bits: BitVec,
     /// Number of components `k`.
@@ -337,5 +336,54 @@ mod tests {
         feed(&mut mrb, 5_000_000);
         assert!(mrb.is_saturated());
         assert!(mrb.estimate().is_finite());
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::Mrb;
+    use smb_core::bits::BitVec;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for Mrb {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("k".into(), Json::Int(self.k as i128)),
+                ("c".into(), Json::Int(self.c as i128)),
+                (
+                    "select_threshold".into(),
+                    Json::Int(self.select_threshold as i128),
+                ),
+                ("bits".into(), self.bits.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let k = v.field("k")?.as_usize()?;
+            let c = v.field("c")?.as_usize()?;
+            let select_threshold = v.field("select_threshold")?.as_u32()?;
+            let bits = BitVec::from_json(v.field("bits")?)?;
+            let m = c
+                .checked_mul(k)
+                .ok_or_else(|| JsonError::new("c·k overflows"))?;
+            // The constructor re-validates (m, k) and re-derives c.
+            let mut mrb = Mrb::with_scheme(m, k, scheme)
+                .map_err(|e| JsonError::new(e.to_string()))?;
+            if bits.len() != m {
+                return Err(JsonError::new(format!(
+                    "bit array length {} does not match c·k = {m}",
+                    bits.len()
+                )));
+            }
+            mrb.bits = bits;
+            // The §V-C counter array is derived state: rebuild it from
+            // the bitmap rather than trusting the wire.
+            mrb.ones = mrb.recount_ones();
+            mrb.set_select_threshold(select_threshold);
+            Ok(mrb)
+        }
     }
 }

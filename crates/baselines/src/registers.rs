@@ -11,7 +11,6 @@ use smb_hash::ItemHash;
 /// *logical* width (5 bits for HLL/HLL++, per the paper) is enforced by
 /// clamping and reported via [`MaxRegisters::register_bits`].
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MaxRegisters {
     vals: Vec<u8>,
     /// Logical register width in bits (memory accounting).
@@ -236,5 +235,45 @@ mod tests {
         let r = MaxRegisters::new(2000, 5);
         assert_eq!(r.memory_bits(), 10_000);
         assert_eq!(r.register_bits(), 5);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::MaxRegisters;
+    use smb_devtools::{Json, JsonError, Snapshot};
+
+    impl Snapshot for MaxRegisters {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("width".into(), Json::Int(self.width as i128)),
+                ("vals".into(), self.vals.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let width = v.field("width")?.as_u8()?;
+            let vals: Vec<u8> = Vec::from_json(v.field("vals")?)?;
+            if vals.is_empty() {
+                return Err(JsonError::new("register array must be non-empty"));
+            }
+            if !(1..=8).contains(&width) {
+                return Err(JsonError::new(format!("register width {width} out of 1..=8")));
+            }
+            // Rebuild through the constructor so `cap` and `zeros` are
+            // derived, then validate each persisted value against the
+            // width before installing it.
+            let mut regs = MaxRegisters::new(vals.len(), width);
+            for (idx, &val) in vals.iter().enumerate() {
+                if val > regs.cap {
+                    return Err(JsonError::new(format!(
+                        "register {idx} value {val} exceeds width cap {}",
+                        regs.cap
+                    )));
+                }
+                regs.set_at_least(idx, val);
+            }
+            Ok(regs)
+        }
     }
 }

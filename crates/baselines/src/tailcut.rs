@@ -33,7 +33,6 @@ const OFFSET_CAP: u8 = 15;
 /// assert!((est - 100_000.0).abs() / 100_000.0 < 0.15);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HllTailCut {
     /// 4-bit offsets from `base` (stored one per byte; logical width 4).
     offsets: Vec<u8>,
@@ -275,5 +274,46 @@ mod tests {
         assert_eq!(tc.base(), 0);
         assert_eq!(tc.estimate(), 0.0);
         assert_eq!(tc.zero_offsets, 64);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::{HllTailCut, OFFSET_CAP};
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for HllTailCut {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("base".into(), Json::Int(self.base as i128)),
+                ("offsets".into(), self.offsets.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let base = v.field("base")?.as_u8()?;
+            let offsets: Vec<u8> = Vec::from_json(v.field("offsets")?)?;
+            if offsets.is_empty() {
+                return Err(JsonError::new("need at least one register"));
+            }
+            for (idx, &off) in offsets.iter().enumerate() {
+                if off > OFFSET_CAP {
+                    return Err(JsonError::new(format!(
+                        "offset {off} at register {idx} exceeds 4-bit cap {OFFSET_CAP}"
+                    )));
+                }
+            }
+            // `zero_offsets` is derived state, recomputed here.
+            let zero_offsets = offsets.iter().filter(|&&o| o == 0).count();
+            Ok(HllTailCut {
+                scheme,
+                base,
+                offsets,
+                zero_offsets,
+            })
+        }
     }
 }

@@ -6,90 +6,85 @@
 //!   mixed FNV) on the recording path;
 //! * MRB with vs without the §V-C per-component ones counters at query
 //!   time.
+//!
+//! Run with `cargo bench -p smb-bench --bench ablation`; pass
+//! `-- --smoke` (or set `SMB_BENCH_SMOKE=1`) for a fast sanity pass and
+//! `SMB_BENCH_JSON=path` to capture the results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use smb_devtools::{black_box, Bench};
 
 use smb_bench::runner::ItemBuffer;
 use smb_core::{CardinalityEstimator, Smb};
 use smb_hash::{HashAlgorithm, HashScheme};
 use smb_stream::items::StreamSpec;
 
-fn bench_smb_threshold(c: &mut Criterion) {
-    let items = ItemBuffer::from_spec(StreamSpec::distinct(500_000, 3));
-    let mut group = c.benchmark_group("ablation_smb_threshold");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(items.len() as u64));
+fn bench_smb_threshold(bench: &mut Bench, n: u64) {
+    let items = ItemBuffer::from_spec(StreamSpec::distinct(n, 3));
     let m = 5000usize;
     for c_rounds in [4usize, 8, 13, 32] {
         let t = m / c_rounds;
-        group.bench_with_input(BenchmarkId::new("record", format!("c={c_rounds}")), &items, |b, items| {
-            b.iter(|| {
-                let mut smb = Smb::new(m, t).unwrap();
-                for item in items.iter() {
-                    smb.record(item);
-                }
-                black_box(smb.estimate())
-            });
+        bench.bench(format!("ablation_smb_threshold/record/c={c_rounds}"), || {
+            let mut smb = Smb::new(m, t).unwrap();
+            for item in items.iter() {
+                smb.record(item);
+            }
+            black_box(smb.estimate());
         });
     }
-    group.finish();
 }
 
-fn bench_hash_substrate(c: &mut Criterion) {
-    let items = ItemBuffer::from_spec(StreamSpec::distinct(200_000, 4).item_len(64));
-    let mut group = c.benchmark_group("ablation_hash_substrate");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(items.len() as u64));
+fn bench_hash_substrate(bench: &mut Bench, n: u64) {
+    let items = ItemBuffer::from_spec(StreamSpec::distinct(n, 4).item_len(64));
     for (name, algo) in [
         ("xxh64", HashAlgorithm::Xxh64),
         ("murmur3_128", HashAlgorithm::Murmur3_128Low),
         ("fnv1a_mixed", HashAlgorithm::Fnv1aMixed),
     ] {
-        group.bench_with_input(BenchmarkId::new("smb_record", name), &items, |b, items| {
-            b.iter(|| {
-                let scheme = HashScheme::new(algo, 7);
-                let mut smb = Smb::with_scheme(5000, 384, scheme).unwrap();
-                for item in items.iter() {
-                    smb.record(item);
-                }
-                black_box(smb.estimate())
-            });
+        bench.bench(format!("ablation_hash_substrate/smb_record/{name}"), || {
+            let scheme = HashScheme::new(algo, 7);
+            let mut smb = Smb::with_scheme(5000, 384, scheme).unwrap();
+            for item in items.iter() {
+                smb.record(item);
+            }
+            black_box(smb.estimate());
         });
     }
-    group.finish();
 }
 
-fn bench_mrb_counters(c: &mut Criterion) {
+fn bench_mrb_counters(bench: &mut Bench, n: u64) {
     // MRB query with counters (our implementation) vs a popcount scan
     // over the raw bitmap (what a counter-less MRB would do per §V-C).
     use smb_baselines::Mrb;
     let mut mrb = Mrb::new(5000, 13).unwrap();
-    let items = ItemBuffer::from_spec(StreamSpec::distinct(300_000, 6));
+    let items = ItemBuffer::from_spec(StreamSpec::distinct(n, 6));
     for item in items.iter() {
         mrb.record(item);
     }
-    let mut group = c.benchmark_group("ablation_mrb_query");
-    group.bench_function("with_counters", |b| b.iter(|| black_box(mrb.estimate())));
-    group.bench_function("popcount_scan", |b| {
-        b.iter(|| {
-            // The counter-less variant: recount every component's ones
-            // from the raw bitmap before estimating.
-            let counts = mrb.recount_ones();
-            let c_bits = mrb.component_bits();
-            let total: f64 = counts
-                .iter()
-                .map(|&u| smb_core::Bitmap::linear_count(u as usize, c_bits))
-                .sum();
-            black_box(total)
-        })
+    bench.bench("ablation_mrb_query/with_counters", || {
+        black_box(mrb.estimate());
     });
-    group.finish();
+    bench.bench("ablation_mrb_query/popcount_scan", || {
+        // The counter-less variant: recount every component's ones
+        // from the raw bitmap before estimating.
+        let counts = mrb.recount_ones();
+        let c_bits = mrb.component_bits();
+        let total: f64 = counts
+            .iter()
+            .map(|&u| smb_core::Bitmap::linear_count(u as usize, c_bits))
+            .sum();
+        black_box(total);
+    });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_smb_threshold, bench_hash_substrate, bench_mrb_counters
+fn main() {
+    let mut bench = Bench::new("ablation");
+    let (n_thresh, n_hash, n_mrb) = if bench.is_smoke() {
+        (20_000, 10_000, 20_000)
+    } else {
+        (500_000, 200_000, 300_000)
+    };
+    bench_smb_threshold(&mut bench, n_thresh);
+    bench_hash_substrate(&mut bench, n_hash);
+    bench_mrb_counters(&mut bench, n_mrb);
+    bench.finish();
 }
-criterion_main!(benches);

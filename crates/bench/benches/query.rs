@@ -1,58 +1,57 @@
-//! Criterion counterpart of Tables V–VII: single-query latency per
+//! Bench counterpart of Tables V–VII: single-query latency per
 //! algorithm across memory allocations (the paper's query-throughput
 //! experiment, inverted to per-call cost).
+//!
+//! Run with `cargo bench -p smb-bench --bench query`; pass `-- --smoke`
+//! (or set `SMB_BENCH_SMOKE=1`) for a fast sanity pass and
+//! `SMB_BENCH_JSON=path` to capture the results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use smb_devtools::{black_box, Bench};
 
 use smb_bench::runner::ItemBuffer;
 use smb_bench::{build_estimator, COMPARED_ALGOS};
 use smb_stream::items::StreamSpec;
 
-fn bench_query(c: &mut Criterion) {
-    let items = ItemBuffer::from_spec(StreamSpec::distinct(100_000, 5));
-    let mut group = c.benchmark_group("table5_query");
+fn bench_query(bench: &mut Bench, n: u64) {
+    let items = ItemBuffer::from_spec(StreamSpec::distinct(n, 5));
     for m in [10_000usize, 5000, 1000] {
         for algo in COMPARED_ALGOS {
             let mut est = build_estimator(algo, m, 1e6, 5);
             for item in items.iter() {
                 est.record(item);
             }
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), format!("m={m}")),
-                &est,
-                |b, est| b.iter(|| black_box(est.estimate())),
-            );
+            bench.bench(format!("table5_query/{}/m={m}", algo.name()), || {
+                black_box(est.estimate());
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_online_loop(c: &mut Criterion) {
+fn bench_online_loop(bench: &mut Bench, n: u64) {
     // The per-packet record+query loop of the paper's introduction —
     // the regime where SMB's O(1) query pays off end to end.
-    let items = ItemBuffer::from_spec(StreamSpec::distinct(50_000, 9));
-    let mut group = c.benchmark_group("online_record_query");
-    group.sample_size(10);
+    let items = ItemBuffer::from_spec(StreamSpec::distinct(n, 9));
     for algo in COMPARED_ALGOS {
-        group.bench_with_input(BenchmarkId::new(algo.name(), "n=50k"), &items, |b, items| {
-            b.iter(|| {
-                let mut est = build_estimator(algo, 5000, 1e6, 2);
-                let mut acc = 0.0;
-                for item in items.iter() {
-                    est.record(item);
-                    acc += est.estimate();
-                }
-                black_box(acc)
-            });
+        bench.bench(format!("online_record_query/{}", algo.name()), || {
+            let mut est = build_estimator(algo, 5000, 1e6, 2);
+            let mut acc = 0.0;
+            for item in items.iter() {
+                est.record(item);
+                acc += est.estimate();
+            }
+            black_box(acc);
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_query, bench_online_loop
+fn main() {
+    let mut bench = Bench::new("query");
+    let (n_query, n_loop) = if bench.is_smoke() {
+        (10_000, 2000)
+    } else {
+        (100_000, 50_000)
+    };
+    bench_query(&mut bench, n_query);
+    bench_online_loop(&mut bench, n_loop);
+    bench.finish();
 }
-criterion_main!(benches);

@@ -1,83 +1,72 @@
-//! Criterion counterpart of Table IV: per-item recording cost for each
+//! Bench counterpart of Table IV: per-item recording cost for each
 //! algorithm, at small and large stream cardinality, under both the
 //! optimized single-hash path and the paper's two-hash cost model.
+//!
+//! Run with `cargo bench -p smb-bench --bench recording`; pass
+//! `-- --smoke` (or set `SMB_BENCH_SMOKE=1`) for a fast sanity pass and
+//! `SMB_BENCH_JSON=path` to capture the results as JSON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use smb_devtools::{black_box, Bench};
 
 use smb_bench::runner::ItemBuffer;
 use smb_bench::{build_estimator, Algo, COMPARED_ALGOS};
 use smb_stream::items::StreamSpec;
 
-fn bench_recording(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table4_recording");
+fn bench_recording(bench: &mut Bench, tile: usize) {
     for &n in &[10_000u64, 1_000_000] {
-        let items = ItemBuffer::tiled(StreamSpec::distinct(n, n), 1_000_000);
-        group.throughput(Throughput::Elements(items.len() as u64));
+        let items = ItemBuffer::tiled(StreamSpec::distinct(n, n), tile);
         for algo in COMPARED_ALGOS {
-            group.bench_with_input(
-                BenchmarkId::new(algo.name(), format!("n={n}")),
-                &items,
-                |b, items| {
-                    b.iter(|| {
-                        let mut est = build_estimator(algo, 5000, 1e6, 1);
-                        for item in items.iter() {
-                            est.record(item);
-                        }
-                        black_box(est.estimate())
-                    });
-                },
-            );
+            bench.bench(format!("table4_recording/{}/n={n}", algo.name()), || {
+                let mut est = build_estimator(algo, 5000, 1e6, 1);
+                for item in items.iter() {
+                    est.record(item);
+                }
+                black_box(est.estimate());
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_recording_two_hash(c: &mut Criterion) {
+fn bench_recording_two_hash(bench: &mut Bench, tile: usize) {
     use smb_hash::{HashScheme, ItemHash};
-    let mut group = c.benchmark_group("table4_recording_two_hash");
-    group.sample_size(10);
     for &n in &[10_000u64, 1_000_000] {
-        let items = ItemBuffer::tiled(StreamSpec::distinct(n, n).item_len(128), 1_000_000);
-        group.throughput(Throughput::Elements(items.len() as u64));
+        let items = ItemBuffer::tiled(StreamSpec::distinct(n, n).item_len(128), tile);
         // SMB with lazy second hash vs MRB paying both hashes.
-        group.bench_with_input(BenchmarkId::new("SMB-lazy", format!("n={n}")), &items, |b, items| {
-            b.iter(|| {
-                let scheme_g = HashScheme::with_seed(1);
-                let scheme_h = scheme_g.derive(1);
-                let t = smb_theory::optimal_threshold(5000, 1e6).t;
-                let mut est = smb_core::Smb::with_scheme(5000, t, scheme_g).unwrap();
-                use smb_core::CardinalityEstimator;
-                for item in items.iter() {
-                    let g_lane = (scheme_g.hash64(item) >> 32) as u32;
-                    if smb_hash::geometric_rank_capped(g_lane) >= est.round() {
-                        let h_lane = scheme_h.hash64(item) as u32;
-                        est.record_hash(ItemHash::new(((g_lane as u64) << 32) | h_lane as u64));
-                    }
-                }
-                black_box(est.estimate())
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("MRB-eager", format!("n={n}")), &items, |b, items| {
-            b.iter(|| {
-                let scheme_g = HashScheme::with_seed(1);
-                let scheme_h = scheme_g.derive(1);
-                let mut est = build_estimator(Algo::Mrb, 5000, 1e6, 1);
-                for item in items.iter() {
-                    let g_lane = (scheme_g.hash64(item) >> 32) as u32;
+        bench.bench(format!("table4_two_hash/SMB-lazy/n={n}"), || {
+            let scheme_g = HashScheme::with_seed(1);
+            let scheme_h = scheme_g.derive(1);
+            let t = smb_theory::optimal_threshold(5000, 1e6).t;
+            let mut est = smb_core::Smb::with_scheme(5000, t, scheme_g).unwrap();
+            use smb_core::CardinalityEstimator;
+            for item in items.iter() {
+                let g_lane = (scheme_g.hash64(item) >> 32) as u32;
+                if smb_hash::geometric_rank_capped(g_lane) >= est.round() {
                     let h_lane = scheme_h.hash64(item) as u32;
                     est.record_hash(ItemHash::new(((g_lane as u64) << 32) | h_lane as u64));
                 }
-                black_box(est.estimate())
-            });
+            }
+            black_box(est.estimate());
+        });
+        bench.bench(format!("table4_two_hash/MRB-eager/n={n}"), || {
+            let scheme_g = HashScheme::with_seed(1);
+            let scheme_h = scheme_g.derive(1);
+            let mut est = build_estimator(Algo::Mrb, 5000, 1e6, 1);
+            for item in items.iter() {
+                let g_lane = (scheme_g.hash64(item) >> 32) as u32;
+                let h_lane = scheme_h.hash64(item) as u32;
+                est.record_hash(ItemHash::new(((g_lane as u64) << 32) | h_lane as u64));
+            }
+            black_box(est.estimate());
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_recording, bench_recording_two_hash
+fn main() {
+    let mut bench = Bench::new("recording");
+    // Smoke mode shrinks the replayed buffer so the whole suite runs in
+    // seconds; full mode replays the Table IV-sized 1M-item buffer.
+    let tile = if bench.is_smoke() { 20_000 } else { 1_000_000 };
+    bench_recording(&mut bench, tile);
+    bench_recording_two_hash(&mut bench, tile);
+    bench.finish();
 }
-criterion_main!(benches);

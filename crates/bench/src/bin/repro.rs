@@ -6,6 +6,9 @@
 //! repro --full fig6 table8 # paper-scale runs of two experiments
 //! repro list               # show available experiment ids
 //! ```
+//!
+//! Set `SMB_REPRO_JSON=path` to also write a machine-readable JSON
+//! transcript of every experiment's output.
 
 use smb_bench::experiments::{ablation, accuracy, caida, theory_exps, throughput, Scale};
 
@@ -65,15 +68,35 @@ fn main() {
     } else {
         args
     };
+    let mut transcript = Vec::new();
     for id in &ids {
         match run_one(id, scale) {
             Some(out) => {
                 println!("{out}");
+                transcript.push(smb_devtools::Json::Obj(vec![
+                    ("experiment".into(), smb_devtools::Json::str(id.clone())),
+                    (
+                        "scale".into(),
+                        smb_devtools::Json::str(match scale {
+                            Scale::Full => "full",
+                            Scale::Quick => "quick",
+                        }),
+                    ),
+                    ("output".into(), smb_devtools::Json::str(out)),
+                ]));
             }
             None => {
                 eprintln!("unknown experiment `{id}` — try `repro list`");
                 std::process::exit(2);
             }
         }
+    }
+    if let Ok(path) = std::env::var("SMB_REPRO_JSON") {
+        let doc = smb_devtools::Json::Arr(transcript);
+        if let Err(e) = std::fs::write(&path, doc.to_string()) {
+            eprintln!("could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote JSON transcript to {path}");
     }
 }

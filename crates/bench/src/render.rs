@@ -1,4 +1,7 @@
-//! Plain-text table/series rendering for the repro binary.
+//! Plain-text table/series rendering for the repro binary, plus JSON
+//! emission (via `smb_devtools::Json`) for machine-readable capture.
+
+use smb_devtools::Json;
 
 /// Render an aligned text table. `headers.len()` must equal each row's
 /// length.
@@ -31,6 +34,29 @@ pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// The same table as [`table`], as a JSON value:
+/// `{"title": ..., "headers": [...], "rows": [[...], ...]}`.
+pub fn table_json(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Json {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged row in `{title}`");
+    }
+    Json::Obj(vec![
+        ("title".into(), Json::str(title)),
+        (
+            "headers".into(),
+            Json::Arr(headers.iter().map(|h| Json::str(*h)).collect()),
+        ),
+        (
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|row| Json::Arr(row.iter().map(|c| Json::str(c.clone())).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Format a float with engineering-style significance.
@@ -73,6 +99,19 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_rows_rejected() {
         table("bad", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn table_json_round_trips() {
+        let j = table_json(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = j.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back.field("title").unwrap().as_str().unwrap(), "demo");
+        assert_eq!(back.field("rows").unwrap().as_arr().unwrap().len(), 1);
     }
 
     #[test]

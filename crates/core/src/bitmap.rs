@@ -29,7 +29,6 @@ use crate::traits::{CardinalityEstimator, MergeableEstimator};
 /// assert!((est - 1000.0).abs() < 100.0);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Bitmap {
     bits: BitVec,
     ones: usize,
@@ -249,5 +248,35 @@ mod tests {
         assert_eq!(b.ones(), b.as_bits().count_ones());
         assert!(b.is_saturated());
         assert!(b.estimate() <= b.max_estimate() + 1e-9);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::Bitmap;
+    use crate::bits::BitVec;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for Bitmap {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("bits".into(), self.bits.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let bits = BitVec::from_json(v.field("bits")?)?;
+            // Re-validate parameters through the constructor, then
+            // install the persisted bits; `ones` is derived state and
+            // is recomputed, never trusted from the wire.
+            let mut bitmap = Bitmap::with_scheme(bits.len(), scheme)
+                .map_err(|e| JsonError::new(e.to_string()))?;
+            bitmap.ones = bits.count_ones();
+            bitmap.bits = bits;
+            Ok(bitmap)
+        }
     }
 }

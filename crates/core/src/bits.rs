@@ -8,7 +8,6 @@
 
 /// A fixed-length packed bit array.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BitVec {
     words: Vec<u64>,
     len: usize,
@@ -215,5 +214,38 @@ mod tests {
         assert_eq!(BitVec::new(1).storage_bits(), 64);
         assert_eq!(BitVec::new(64).storage_bits(), 64);
         assert_eq!(BitVec::new(65).storage_bits(), 128);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::BitVec;
+    use smb_devtools::{Json, JsonError, Snapshot};
+
+    impl Snapshot for BitVec {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("len".into(), Json::Int(self.len() as i128)),
+                (
+                    "ones".into(),
+                    Json::Arr(self.iter_ones().map(|i| Json::Int(i as i128)).collect()),
+                ),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let len = v.field("len")?.as_usize()?;
+            let mut bits = BitVec::new(len);
+            for item in v.field("ones")?.as_arr()? {
+                let idx = item.as_usize()?;
+                if idx >= len {
+                    return Err(JsonError::new(format!(
+                        "bit index {idx} out of range for len {len}"
+                    )));
+                }
+                bits.set(idx);
+            }
+            Ok(bits)
+        }
     }
 }

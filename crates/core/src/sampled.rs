@@ -21,7 +21,6 @@ use crate::traits::{CardinalityEstimator, MergeableEstimator};
 /// sharing a scheme and independent of the index part used for bit
 /// placement.
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SampledBitmap {
     bits: BitVec,
     ones: usize,
@@ -194,5 +193,36 @@ mod tests {
         s.clear();
         assert_eq!(s.ones(), 0);
         assert_eq!(s.estimate(), 0.0);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::SampledBitmap;
+    use crate::bits::BitVec;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for SampledBitmap {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("p".into(), Json::Float(self.p)),
+                ("bits".into(), self.bits.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let p = v.field("p")?.as_f64()?;
+            let bits = BitVec::from_json(v.field("bits")?)?;
+            // The constructor re-validates (m, p) and rebuilds the
+            // acceptance bound; `ones` is recomputed.
+            let mut sampled = SampledBitmap::new(bits.len(), p, scheme)
+                .map_err(|e| JsonError::new(e.to_string()))?;
+            sampled.ones = bits.count_ones();
+            sampled.bits = bits;
+            Ok(sampled)
+        }
     }
 }

@@ -60,7 +60,6 @@ use crate::traits::CardinalityEstimator;
 /// assert!((est - 50_000.0).abs() / 50_000.0 < 0.25);
 /// ```
 #[derive(Debug, Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Smb {
     bits: BitVec,
     /// Physical size `m` in bits.
@@ -268,7 +267,6 @@ impl CardinalityEstimator for Smb {
 /// The two integers `(r, v)` that fully determine an SMB estimate —
 /// what the paper's O(1) query reads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SmbSnapshot {
     /// Round index at snapshot time.
     pub r: u32,
@@ -601,5 +599,86 @@ mod tests {
         let smb = Smb::new(8, 2).unwrap();
         assert_eq!(smb.max_rounds(), 4);
         assert_eq!(smb.logical_len(), 8);
+    }
+}
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl {
+    use super::{Smb, SmbSnapshot};
+    use crate::bits::BitVec;
+    use smb_devtools::{Json, JsonError, Snapshot};
+    use smb_hash::HashScheme;
+
+    impl Snapshot for Smb {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("scheme".into(), self.scheme.to_json()),
+                ("m".into(), Json::Int(self.m as i128)),
+                ("t".into(), Json::Int(self.t as i128)),
+                ("r".into(), Json::Int(self.r as i128)),
+                ("v".into(), Json::Int(self.v as i128)),
+                ("bits".into(), self.bits.to_json()),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            let scheme = HashScheme::from_json(v.field("scheme")?)?;
+            let m = v.field("m")?.as_usize()?;
+            let t = v.field("t")?.as_usize()?;
+            let r = v.field("r")?.as_u32()?;
+            let fresh = v.field("v")?.as_usize()?;
+            let bits = BitVec::from_json(v.field("bits")?)?;
+            // The constructor re-validates (m, t) and rebuilds the
+            // derived S-table and round budget.
+            let mut smb = Smb::with_scheme(m, t, scheme)
+                .map_err(|e| JsonError::new(e.to_string()))?;
+            if bits.len() != m {
+                return Err(JsonError::new(format!(
+                    "bit array length {} does not match m = {m}",
+                    bits.len()
+                )));
+            }
+            if r >= smb.max_rounds {
+                return Err(JsonError::new(format!(
+                    "round {r} out of range (max_rounds {})",
+                    smb.max_rounds
+                )));
+            }
+            // Outside a saturating final round, v must sit below T.
+            if r + 1 < smb.max_rounds && fresh >= t {
+                return Err(JsonError::new(format!(
+                    "fresh-ones {fresh} must be below threshold {t} in round {r}"
+                )));
+            }
+            // The structural invariant of Algorithm 1: total physical
+            // ones equal r·T + v.
+            let ones = bits.count_ones();
+            if ones != (r as usize) * t + fresh {
+                return Err(JsonError::new(format!(
+                    "ones invariant violated: popcount {ones} != r·T + v = {}",
+                    (r as usize) * t + fresh
+                )));
+            }
+            smb.bits = bits;
+            smb.r = r;
+            smb.v = fresh;
+            Ok(smb)
+        }
+    }
+
+    impl Snapshot for SmbSnapshot {
+        fn to_json(&self) -> Json {
+            Json::Obj(vec![
+                ("r".into(), Json::Int(self.r as i128)),
+                ("v".into(), Json::Int(self.v as i128)),
+            ])
+        }
+
+        fn from_json(v: &Json) -> Result<Self, JsonError> {
+            Ok(SmbSnapshot {
+                r: v.field("r")?.as_u32()?,
+                v: v.field("v")?.as_usize()?,
+            })
+        }
     }
 }

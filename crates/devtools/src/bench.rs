@@ -1,0 +1,364 @@
+//! Micro-benchmark harness — the in-tree replacement for `criterion`
+//! under the offline-dependency policy.
+//!
+//! The model is deliberately simple and fits the repo's tables-driven
+//! experiments (DESIGN.md §4, EXPERIMENTS.md):
+//!
+//! 1. **warmup** — run the closure until the warmup budget elapses
+//!    (caches hot, frequency scaled up);
+//! 2. **calibrate** — pick an iteration count per sample so each
+//!    sample runs long enough for `Instant` granularity not to matter;
+//! 3. **measure** — collect N samples, each the mean ns/iter over its
+//!    batch, and report min / median / p95 / mean.
+//!
+//! Results print as an aligned table and, when `SMB_BENCH_JSON=<path>`
+//! is set, are also written as a JSON document through the in-tree
+//! [`Json`](crate::json::Json) layer so downstream tooling can diff
+//! runs.
+//!
+//! **Smoke mode** (`--smoke` argument or `SMB_BENCH_SMOKE=1`) shrinks
+//! warmup and sample counts to make the whole suite finish in seconds
+//! — it validates that every bench path executes, not the numbers.
+//!
+//! ```no_run
+//! use smb_devtools::bench::Bench;
+//! use std::hint::black_box;
+//!
+//! let mut b = Bench::new("recording");
+//! b.bench("smb/m=4096", || {
+//!     black_box(2u64.pow(12));
+//! });
+//! b.finish();
+//! ```
+
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+pub use std::hint::black_box;
+
+/// Tunables for a bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Warmup budget per benchmark.
+    pub warmup: Duration,
+    /// Number of timed samples.
+    pub samples: u32,
+    /// Minimum wall time per sample (drives batch calibration).
+    pub min_sample: Duration,
+}
+
+impl BenchConfig {
+    /// Full-fidelity measurement settings.
+    pub fn full() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(300),
+            samples: 30,
+            min_sample: Duration::from_millis(5),
+        }
+    }
+
+    /// Smoke settings: exercise every path in seconds.
+    pub fn smoke() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(5),
+            samples: 3,
+            min_sample: Duration::from_micros(200),
+        }
+    }
+
+    /// Pick full or smoke from the process arguments / environment:
+    /// `--smoke` or `SMB_BENCH_SMOKE=1` selects smoke mode.
+    pub fn from_env() -> Self {
+        let smoke = std::env::args().any(|a| a == "--smoke")
+            || std::env::var("SMB_BENCH_SMOKE").map_or(false, |v| v != "0" && !v.is_empty());
+        if smoke {
+            BenchConfig::smoke()
+        } else {
+            BenchConfig::full()
+        }
+    }
+}
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label, e.g. `"table4_recording/smb/m=4096"`.
+    pub label: String,
+    /// Total closure invocations across all samples.
+    pub iters: u64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Mean across samples.
+    pub mean_ns: f64,
+}
+
+impl BenchResult {
+    /// This result as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::Str(self.label.clone())),
+            ("iters".into(), Json::Int(self.iters as i128)),
+            ("min_ns".into(), Json::Float(self.min_ns)),
+            ("median_ns".into(), Json::Float(self.median_ns)),
+            ("p95_ns".into(), Json::Float(self.p95_ns)),
+            ("mean_ns".into(), Json::Float(self.mean_ns)),
+        ])
+    }
+}
+
+/// A benchmark suite: register closures with [`bench`](Bench::bench),
+/// then call [`finish`](Bench::finish).
+pub struct Bench {
+    suite: String,
+    config: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// A suite with config from `--smoke` / `SMB_BENCH_SMOKE`.
+    pub fn new(suite: impl Into<String>) -> Self {
+        Bench::with_config(suite, BenchConfig::from_env())
+    }
+
+    /// A suite with explicit config.
+    pub fn with_config(suite: impl Into<String>, config: BenchConfig) -> Self {
+        let suite = suite.into();
+        eprintln!("bench suite `{suite}` ({} samples/bench)", config.samples);
+        Bench {
+            suite,
+            config,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether the suite is in smoke mode (callers shrink workloads).
+    pub fn is_smoke(&self) -> bool {
+        self.config.samples <= BenchConfig::smoke().samples
+    }
+
+    /// Time `f`, printing and recording its stats. Wrap inputs and
+    /// outputs in [`black_box`] inside the closure to defeat
+    /// dead-code elimination.
+    pub fn bench<F: FnMut()>(&mut self, label: impl Into<String>, mut f: F) {
+        let label = label.into();
+        let cfg = self.config;
+
+        // Warmup.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < cfg.warmup || warm_iters == 0 {
+            f();
+            warm_iters += 1;
+            if warm_iters >= 1_000_000_000 {
+                break;
+            }
+        }
+
+        // Calibrate batch size from the observed warmup rate.
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((cfg.min_sample.as_nanos() as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        // Measure.
+        let mut samples = Vec::with_capacity(cfg.samples as usize);
+        let mut total_iters = 0u64;
+        for _ in 0..cfg.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            samples.push(ns);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        let result = BenchResult {
+            label: label.clone(),
+            iters: total_iters,
+            min_ns: samples[0],
+            median_ns: percentile(&samples, 50.0),
+            p95_ns: percentile(&samples, 95.0),
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+        };
+        eprintln!(
+            "  {label:<48} median {:>12}  p95 {:>12}  (x{total_iters})",
+            fmt_ns(result.median_ns),
+            fmt_ns(result.p95_ns),
+        );
+        self.results.push(result);
+    }
+
+    /// The collected results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The whole suite as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("suite".into(), Json::Str(self.suite.clone())),
+            (
+                "results".into(),
+                Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Print the summary table; when `SMB_BENCH_JSON=<path>` is set,
+    /// also write the suite as JSON to that path (a directory path
+    /// gets `<suite>.json` appended).
+    pub fn finish(self) {
+        println!("{}", render_results(&self.suite, &self.results));
+        if let Ok(dest) = std::env::var("SMB_BENCH_JSON") {
+            let path = if std::path::Path::new(&dest).is_dir() {
+                format!("{dest}/{}.json", self.suite)
+            } else {
+                dest
+            };
+            match std::fs::write(&path, self.to_json().to_string()) {
+                Ok(()) => eprintln!("bench json written to {path}"),
+                Err(e) => eprintln!("bench json write to {path} failed: {e}"),
+            }
+        }
+    }
+}
+
+/// Render a suite's results as an aligned text table.
+pub fn render_results(suite: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n== {suite} ==\n"));
+    let wide = results
+        .iter()
+        .map(|r| r.label.len())
+        .max()
+        .unwrap_or(8)
+        .max(8);
+    out.push_str(&format!(
+        "{:<wide$}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+        "bench", "min", "median", "p95", "mean"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<wide$}  {:>12}  {:>12}  {:>12}  {:>12}\n",
+            r.label,
+            fmt_ns(r.min_ns),
+            fmt_ns(r.median_ns),
+            fmt_ns(r.p95_ns),
+            fmt_ns(r.mean_ns),
+        ));
+    }
+    out
+}
+
+/// Linear-interpolated percentile over sorted samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Human-readable nanoseconds: `843ns`, `1.24µs`, `3.50ms`, `1.20s`.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2}µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_config_measures_and_orders_stats() {
+        let mut b = Bench::with_config("unit", BenchConfig::smoke());
+        let mut acc = 0u64;
+        b.bench("wrapping_mul", || {
+            acc = black_box(acc.wrapping_mul(6364136223846793005).wrapping_add(1));
+        });
+        let r = &b.results()[0];
+        assert!(r.iters > 0);
+        assert!(r.min_ns > 0.0);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.median_ns <= r.p95_ns + 1e-9);
+        assert_eq!(r.label, "wrapping_mul");
+    }
+
+    #[test]
+    fn json_output_has_all_fields() {
+        let mut b = Bench::with_config("unit", BenchConfig::smoke());
+        b.bench("noop", || {
+            black_box(1 + 1);
+        });
+        let doc = b.to_json();
+        assert_eq!(doc.field("suite").unwrap().as_str().unwrap(), "unit");
+        let results = doc.field("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        for key in ["label", "iters", "min_ns", "median_ns", "p95_ns", "mean_ns"] {
+            assert!(results[0].field(key).is_ok(), "missing {key}");
+        }
+        // The document must reparse through the in-tree layer.
+        assert!(Json::parse(&doc.to_string()).is_ok());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert_eq!(percentile(&s, 50.0), 2.5);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(850.0), "850ns");
+        assert_eq!(fmt_ns(1_240.0), "1.24µs");
+        assert_eq!(fmt_ns(3_500_000.0), "3.50ms");
+        assert_eq!(fmt_ns(1_200_000_000.0), "1.20s");
+    }
+
+    #[test]
+    fn render_results_includes_every_label() {
+        let results = vec![
+            BenchResult {
+                label: "a".into(),
+                iters: 10,
+                min_ns: 1.0,
+                median_ns: 2.0,
+                p95_ns: 3.0,
+                mean_ns: 2.0,
+            },
+            BenchResult {
+                label: "b/longer-label".into(),
+                iters: 10,
+                min_ns: 1.0,
+                median_ns: 2.0,
+                p95_ns: 3.0,
+                mean_ns: 2.0,
+            },
+        ];
+        let table = render_results("suite", &results);
+        assert!(table.contains("a"));
+        assert!(table.contains("b/longer-label"));
+        assert!(table.contains("median"));
+    }
+}

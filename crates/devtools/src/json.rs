@@ -1,0 +1,627 @@
+//! A small JSON value type with a writer and a recursive-descent
+//! parser — the in-tree replacement for `serde_json` under the
+//! offline-dependency policy.
+//!
+//! Design points that matter for sketch snapshots:
+//!
+//! * Integers and floats are distinct variants. [`Json::Int`] holds an
+//!   `i128` so every `u64` (hash seeds, register words) round-trips
+//!   exactly; an `f64`-only number type would silently corrupt values
+//!   above 2⁵³.
+//! * Floats are written with `{:?}`, Rust's shortest round-trip
+//!   formatting, so `f64` state (e.g. sampling probabilities, S-table
+//!   entries) survives a write/parse cycle bit-exactly.
+//! * The parser enforces a nesting-depth limit so malformed input
+//!   cannot blow the stack.
+//!
+//! Objects preserve insertion order (they are association lists, not
+//! maps) — snapshot output is stable and diffable.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts.
+const MAX_DEPTH: u32 = 128;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number with no fractional part or exponent. `i128` covers the
+    /// full `u64` and `i64` ranges exactly.
+    Int(i128),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Error from parsing or from typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    msg: String,
+}
+
+impl JsonError {
+    /// An error with a message. Public so downstream [`Snapshot`]
+    /// implementations can report validation failures.
+    ///
+    /// [`Snapshot`]: crate::snapshot::Snapshot
+    pub fn new(msg: impl Into<String>) -> Self {
+        JsonError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    // ---- constructors -------------------------------------------------
+
+    /// An object from key/value pairs.
+    pub fn obj(fields: Vec<(String, Json)>) -> Json {
+        Json::Obj(fields)
+    }
+
+    /// An integer value.
+    pub fn int(v: impl Into<i128>) -> Json {
+        Json::Int(v.into())
+    }
+
+    /// A string value.
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    // ---- typed accessors ----------------------------------------------
+
+    /// The field `key` of an object.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| JsonError::new(format!("missing field `{key}`"))),
+            other => Err(JsonError::new(format!(
+                "expected object with field `{key}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// This value as `u64`.
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match self {
+            Json::Int(v) => u64::try_from(*v)
+                .map_err(|_| JsonError::new(format!("integer {v} out of u64 range"))),
+            other => Err(JsonError::new(format!("expected integer, got {}", other.kind()))),
+        }
+    }
+
+    /// This value as `i64`.
+    pub fn as_i64(&self) -> Result<i64, JsonError> {
+        match self {
+            Json::Int(v) => i64::try_from(*v)
+                .map_err(|_| JsonError::new(format!("integer {v} out of i64 range"))),
+            other => Err(JsonError::new(format!("expected integer, got {}", other.kind()))),
+        }
+    }
+
+    /// This value as `usize`.
+    pub fn as_usize(&self) -> Result<usize, JsonError> {
+        usize::try_from(self.as_u64()?).map_err(|_| JsonError::new("integer out of usize range"))
+    }
+
+    /// This value as `u32`.
+    pub fn as_u32(&self) -> Result<u32, JsonError> {
+        u32::try_from(self.as_u64()?).map_err(|_| JsonError::new("integer out of u32 range"))
+    }
+
+    /// This value as `u8`.
+    pub fn as_u8(&self) -> Result<u8, JsonError> {
+        u8::try_from(self.as_u64()?).map_err(|_| JsonError::new("integer out of u8 range"))
+    }
+
+    /// This value as `f64`. Integers widen losslessly when they fit.
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match self {
+            Json::Float(v) => Ok(*v),
+            Json::Int(v) => Ok(*v as f64),
+            other => Err(JsonError::new(format!("expected number, got {}", other.kind()))),
+        }
+    }
+
+    /// This value as `bool`.
+    pub fn as_bool(&self) -> Result<bool, JsonError> {
+        match self {
+            Json::Bool(v) => Ok(*v),
+            other => Err(JsonError::new(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+
+    /// This value as `&str`.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(v) => Ok(v),
+            other => Err(JsonError::new(format!("expected string, got {}", other.kind()))),
+        }
+    }
+
+    /// This value as a slice of array elements.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => Err(JsonError::new(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Int(_) => "integer",
+            Json::Float(_) => "float",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    // ---- writing ------------------------------------------------------
+
+    /// Serialize to a compact JSON string.
+    pub fn to_string(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // {:?} is Rust's shortest-round-trip float format.
+                    // It may print "1.0"-style trailing zeros, which is
+                    // valid JSON either way.
+                    out.push_str(&format!("{v:?}"));
+                } else {
+                    // JSON has no NaN/Inf; snapshots never contain them,
+                    // but degrade to null rather than emit invalid text.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    // ---- parsing ------------------------------------------------------
+
+    /// Parse a JSON document. Trailing non-whitespace is an error.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(JsonError::new(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(JsonError::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(JsonError::new("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.keyword("null", Json::Null),
+            Some(b't') => self.keyword("true", Json::Bool(true)),
+            Some(b'f') => self.keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(b) => Err(JsonError::new(format!(
+                "unexpected byte `{}` at {}",
+                b as char, self.pos
+            ))),
+            None => Err(JsonError::new("unexpected end of input")),
+        }
+    }
+
+    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(JsonError::new(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(JsonError::new(format!("expected `,` or `]` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(JsonError::new(format!("expected `,` or `}}` at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(JsonError::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.hex4()?;
+                            // Surrogate pairs for astral-plane chars.
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00));
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| JsonError::new("invalid surrogate pair"))?
+                                } else {
+                                    return Err(JsonError::new("lone surrogate"));
+                                }
+                            } else {
+                                char::from_u32(cp)
+                                    .ok_or_else(|| JsonError::new("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // hex4 advanced pos past the digits; undo
+                            // the +1 the loop footer will apply.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(JsonError::new("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar; input is a &str so the
+                    // bytes are valid UTF-8.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| JsonError::new("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(hex, 16).map_err(|_| JsonError::new("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| JsonError::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| JsonError::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Json) -> Json {
+        Json::parse(&v.to_string()).expect("reparse")
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(-42),
+            Json::Int(u64::MAX as i128),
+            Json::Float(0.5),
+            Json::Float(-1234.5678),
+            Json::Str("hello".into()),
+            Json::Str("esc \"q\" \\ \n \t \u{1}".into()),
+            Json::Str("unicode: λ → 🦀".into()),
+        ] {
+            assert_eq!(roundtrip(&v), v, "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        // 2^53 + 1 is the first integer f64 cannot represent; Int(i128)
+        // must carry it and the full u64 range without loss.
+        for seed in [(1u64 << 53) + 1, u64::MAX, 0x9E37_79B9_7F4A_7C15] {
+            let v = Json::Int(seed as i128);
+            assert_eq!(roundtrip(&v).as_u64().unwrap(), seed);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for x in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-17, 1.0] {
+            let v = Json::Float(x);
+            match roundtrip(&v) {
+                Json::Float(y) => assert_eq!(x.to_bits(), y.to_bits(), "x={x}"),
+                // "1.0" reparses as a float thanks to the dot — Int
+                // would indicate a writer bug.
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::Obj(vec![
+            ("name".into(), Json::Str("smb".into())),
+            (
+                "regs".into(),
+                Json::Arr(vec![Json::Int(1), Json::Int(2), Json::Int(3)]),
+            ),
+            (
+                "nested".into(),
+                Json::Obj(vec![("p".into(), Json::Float(0.25))]),
+            ),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2.5 , \"x\\u0041\\n\" ] } ").unwrap();
+        assert_eq!(
+            v,
+            Json::Obj(vec![(
+                "a".into(),
+                Json::Arr(vec![
+                    Json::Int(1),
+                    Json::Float(2.5),
+                    Json::Str("xA\n".into())
+                ])
+            )])
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        let v = Json::parse("\"\\ud83e\\udd80\"").unwrap();
+        assert_eq!(v, Json::Str("🦀".into()));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "nul",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "--5",
+        ] {
+            assert!(Json::parse(bad).is_err(), "input {bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn field_access_helpers() {
+        let v = Json::parse("{\"m\":4096,\"p\":0.5,\"tag\":\"dense\",\"on\":true}").unwrap();
+        assert_eq!(v.field("m").unwrap().as_u64().unwrap(), 4096);
+        assert_eq!(v.field("m").unwrap().as_usize().unwrap(), 4096);
+        assert_eq!(v.field("p").unwrap().as_f64().unwrap(), 0.5);
+        assert_eq!(v.field("tag").unwrap().as_str().unwrap(), "dense");
+        assert!(v.field("on").unwrap().as_bool().unwrap());
+        assert!(v.field("missing").is_err());
+        assert!(v.field("m").unwrap().as_str().is_err());
+        assert!(Json::Int(-1).as_u64().is_err());
+        assert!(Json::Int(300).as_u8().is_err());
+    }
+
+    #[test]
+    fn int_widens_to_f64_for_as_f64() {
+        assert_eq!(Json::Int(7).as_f64().unwrap(), 7.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # smb-devtools — in-tree development substrate
+//!
+//! Everything the workspace previously pulled from crates.io for
+//! testing and benchmarking, reimplemented in-tree so the repo builds
+//! and tests **offline and deterministically** (DESIGN.md, "Building
+//! offline"):
+//!
+//! | module | replaces | provides |
+//! |---|---|---|
+//! | [`rng`] | `rand` | [`rng::SplitMix64`], [`rng::Xoshiro256pp`], the [`rng::Rng`] trait |
+//! | [`prop`] | `proptest` | [`forall!`] runner, generators, seed reporting + shrinking |
+//! | [`bench`] | `criterion` | warmup + median/p95 harness with JSON emission |
+//! | [`json`] | `serde_json` | [`json::Json`] value type, parser, writer |
+//! | [`snapshot`] | `serde` derive | [`snapshot::Snapshot`] round-trip trait |
+//!
+//! The only dependency is `smb-hash` (for the SplitMix64 mixer and the
+//! hash-config snapshot impls); nothing here touches the network or a
+//! registry.
+//!
+//! ## Reproducing a property failure
+//!
+//! On falsification the harness prints the case seed:
+//!
+//! ```text
+//! [prop tests/properties.rs:42] falsified after 17 case(s) (5 shrink step(s))
+//! counterexample: [90]
+//! error: assertion `...` failed
+//! reproduce with: SMB_PROP_SEED=0x3c5f9a… cargo test
+//! ```
+//!
+//! Re-running the named test with that environment variable pins the
+//! harness to exactly that case.
+//!
+//! ## Running benches
+//!
+//! ```text
+//! cargo bench -p smb-bench --offline            # full measurement
+//! cargo bench -p smb-bench --offline -- --smoke # seconds-long smoke
+//! SMB_BENCH_JSON=target/bench.json cargo bench -p smb-bench --offline
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod snapshot;
+
+pub use bench::{black_box, Bench, BenchConfig, BenchResult};
+pub use json::{Json, JsonError};
+pub use prop::{Gen, PropError, PropResult};
+pub use rng::{Rng, SplitMix64, Xoshiro256pp};
+pub use snapshot::Snapshot;

@@ -1,0 +1,669 @@
+//! Minimal property-testing harness — the in-tree replacement for
+//! `proptest` under the offline-dependency policy.
+//!
+//! # Model
+//!
+//! A property is a closure over values drawn from a [`Gen`]; the
+//! runner ([`forall`] or the [`forall!`] macro) executes it for a
+//! configurable number of cases, each case seeded deterministically
+//! from a run seed. On failure the harness:
+//!
+//! 1. shrinks the counterexample with the generator's linear shrinking
+//!    rules (integers step toward their range start, vectors drop
+//!    elements then shrink them pointwise);
+//! 2. panics with the *case seed* in the message.
+//!
+//! Re-running with `SMB_PROP_SEED=<that seed>` pins the harness to
+//! exactly that case, reproducing the failure:
+//!
+//! ```text
+//! SMB_PROP_SEED=0x9a3c... cargo test -q failing_test_name
+//! ```
+//!
+//! `SMB_PROP_CASES=<n>` overrides the case count for longer soaks.
+//!
+//! # Writing properties
+//!
+//! ```
+//! use smb_devtools::forall;
+//! use smb_devtools::prop::gens;
+//!
+//! forall!(cases = 64, (n in gens::u64s(1..1000), k in gens::usizes(1..8)) => {
+//!     smb_devtools::prop_assert!(n as usize * k >= n as usize, "k={k}");
+//! });
+//! ```
+//!
+//! Inside the body use [`prop_assert!`](crate::prop_assert),
+//! [`prop_assert_eq!`](crate::prop_assert_eq),
+//! [`prop_assert_ne!`](crate::prop_assert_ne) and
+//! [`prop_assume!`](crate::prop_assume) (discards the case instead of
+//! failing). Plain `assert!` also works but skips shrinking's failure
+//! classification (a panic is treated as a failure all the same).
+
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use smb_hash::splitmix::splitmix64_mix;
+
+use crate::rng::{Rng, Xoshiro256pp};
+
+/// Outcome of one property evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropError {
+    /// The property failed with a message.
+    Fail(String),
+    /// The case's preconditions were not met; draw another input.
+    Discard,
+}
+
+impl PropError {
+    /// A failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        PropError::Fail(msg.into())
+    }
+}
+
+/// Result type a property body returns.
+pub type PropResult = Result<(), PropError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of cases to run.
+    pub cases: u32,
+    /// Run seed; case `i` derives its seed from this.
+    pub seed: u64,
+    /// When true (set via `SMB_PROP_SEED`), run exactly one case whose
+    /// seed is `seed` itself — the reproduction mode.
+    pub fixed_seed: bool,
+    /// Cap on shrink attempts per failure.
+    pub max_shrink_steps: u32,
+}
+
+impl Config {
+    /// Default config for `cases` cases, honouring the
+    /// `SMB_PROP_SEED` / `SMB_PROP_CASES` environment overrides.
+    pub fn from_env(cases: u32) -> Self {
+        let mut cfg = Config {
+            cases,
+            // Fixed default run seed: deterministic CI by default.
+            // Vary via SMB_PROP_SEED for soak testing.
+            seed: 0x5EED_0F_C0DE_u64,
+            fixed_seed: false,
+            max_shrink_steps: 512,
+        };
+        if let Ok(s) = std::env::var("SMB_PROP_CASES") {
+            if let Ok(n) = s.trim().parse::<u32>() {
+                cfg.cases = n.max(1);
+            }
+        }
+        if let Ok(s) = std::env::var("SMB_PROP_SEED") {
+            let t = s.trim();
+            let parsed = if let Some(hex) = t.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                t.parse::<u64>().ok()
+            };
+            if let Some(seed) = parsed {
+                cfg.seed = seed;
+                cfg.fixed_seed = true;
+                cfg.cases = 1;
+            }
+        }
+        cfg
+    }
+
+    /// The seed driving case `i` of this run.
+    pub fn case_seed(&self, i: u32) -> u64 {
+        if self.fixed_seed {
+            self.seed
+        } else {
+            splitmix64_mix(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        }
+    }
+}
+
+/// A value generator with linear shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Debug + Clone;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut dyn Rng) -> Self::Value;
+
+    /// Candidate smaller inputs, most aggressive first. Default: none.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Run `prop` over `cases` values drawn from `gen`; panic with the
+/// reproducing seed on failure. `name` labels the failure message
+/// (the `forall!` macro passes `file:line`).
+pub fn forall<G: Gen>(name: &str, cases: u32, gen: G, prop: impl Fn(&G::Value) -> PropResult) {
+    let cfg = Config::from_env(cases);
+    let mut executed = 0u32;
+    let mut attempts = 0u64;
+    // Allow generous discards before concluding the assumptions are
+    // unsatisfiable.
+    let max_attempts = (cfg.cases as u64) * 16 + 64;
+    let mut case = 0u32;
+    while executed < cfg.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "[prop {name}] gave up: only {executed}/{} cases passed their \
+                 prop_assume! preconditions after {attempts} draws",
+                cfg.cases
+            );
+        }
+        let case_seed = cfg.case_seed(case);
+        case += 1;
+        attempts += 1;
+        let mut rng = Xoshiro256pp::seed_from_u64(case_seed);
+        let value = gen.generate(&mut rng);
+        match eval(&prop, &value) {
+            Ok(()) => executed += 1,
+            Err(PropError::Discard) => {}
+            Err(PropError::Fail(msg)) => {
+                let (small, small_msg, steps) = shrink_failure(&cfg, &gen, &prop, value, msg);
+                panic!(
+                    "[prop {name}] falsified after {} case(s) ({} shrink step(s))\n\
+                     counterexample: {:?}\n\
+                     error: {}\n\
+                     reproduce with: SMB_PROP_SEED={:#x} cargo test",
+                    executed + 1,
+                    steps,
+                    small,
+                    small_msg,
+                    case_seed,
+                );
+            }
+        }
+    }
+}
+
+/// Evaluate the property, converting panics into failures so plain
+/// `assert!` works inside property bodies.
+fn eval<V>(prop: &impl Fn(&V) -> PropResult, value: &V) -> PropResult {
+    match catch_unwind(AssertUnwindSafe(|| prop(value))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&'static str>().copied())
+                .unwrap_or("property panicked");
+            Err(PropError::fail(format!("panic: {msg}")))
+        }
+    }
+}
+
+/// Greedily walk shrink candidates while they keep failing.
+fn shrink_failure<G: Gen>(
+    cfg: &Config,
+    gen: &G,
+    prop: &impl Fn(&G::Value) -> PropResult,
+    mut value: G::Value,
+    mut msg: String,
+    // Returns (shrunk value, its failure message, steps taken).
+) -> (G::Value, String, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in gen.shrink(&value) {
+            steps += 1;
+            if let Err(PropError::Fail(m)) = eval(prop, &candidate) {
+                value = candidate;
+                msg = m;
+                continue 'outer;
+            }
+            if steps >= cfg.max_shrink_steps {
+                break;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+/// Fail the property unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::PropError::fail(format!(
+                "assertion `{}` failed: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fail the property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        $crate::prop_assert_eq!($a, $b, "")
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::prop::PropError::fail(format!(
+                "assertion `{} == {}` failed: {:?} != {:?} {}",
+                stringify!($a), stringify!($b), left, right, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Fail the property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        $crate::prop_assert_ne!($a, $b, "")
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::prop::PropError::fail(format!(
+                "assertion `{} != {}` failed: both are {:?} {}",
+                stringify!($a), stringify!($b), left, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Discard the case (draw a fresh input) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::prop::PropError::Discard);
+        }
+    };
+}
+
+/// Property over one or more named generators:
+///
+/// ```ignore
+/// forall!(cases = 64, (xs in gens::vecs(gens::u32s(0..500), 1..300),
+///                      seed in gens::u64s(0..32)) => {
+///     // body returning () — use prop_assert!/prop_assume! inside
+/// });
+/// ```
+#[macro_export]
+macro_rules! forall {
+    (cases = $cases:expr, ($($name:ident in $gen:expr),+ $(,)?) => $body:block) => {{
+        $crate::prop::forall(
+            concat!(file!(), ":", line!()),
+            $cases,
+            ($($gen,)+),
+            |__tuple| {
+                let ($($name,)+) = ::std::clone::Clone::clone(__tuple);
+                $body
+                #[allow(unreachable_code)]
+                ::std::result::Result::Ok(())
+            },
+        );
+    }};
+}
+
+macro_rules! impl_tuple_gen {
+    ($($G:ident / $idx:tt),+) => {
+        impl<$($G: Gen),+> Gen for ($($G,)+) {
+            type Value = ($($G::Value,)+);
+
+            fn generate(&self, rng: &mut dyn Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_gen!(A / 0);
+impl_tuple_gen!(A / 0, B / 1);
+impl_tuple_gen!(A / 0, B / 1, C / 2);
+impl_tuple_gen!(A / 0, B / 1, C / 2, D / 3);
+
+/// The built-in generators.
+pub mod gens {
+    use super::{Gen, Rng};
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    macro_rules! int_gen {
+        ($fn_name:ident, $struct_name:ident, $any_name:ident, $ty:ty) => {
+            /// Uniform integers in a half-open range, shrinking toward
+            /// the range start.
+            #[derive(Debug, Clone)]
+            pub struct $struct_name {
+                range: Range<$ty>,
+            }
+
+            /// Uniform integers in `range` (half-open).
+            pub fn $fn_name(range: Range<$ty>) -> $struct_name {
+                assert!(range.start < range.end, "empty range");
+                $struct_name { range }
+            }
+
+            /// Any value of the type (full range).
+            pub fn $any_name() -> $struct_name {
+                $struct_name {
+                    range: <$ty>::MIN..<$ty>::MAX,
+                }
+            }
+
+            impl Gen for $struct_name {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut dyn Rng) -> $ty {
+                    // Draw in u64 space; `$ty` is at most 64 bits.
+                    // `end` is exclusive except for the `any` case where
+                    // end == MAX is treated inclusively (off-by-one on
+                    // the extreme value is irrelevant for testing).
+                    let span = (self.range.end as u64).wrapping_sub(self.range.start as u64);
+                    let off = if span == 0 { 0 } else { rng.gen_below_u64(span) };
+                    (self.range.start as u64).wrapping_add(off) as $ty
+                }
+
+                fn shrink(&self, value: &$ty) -> Vec<$ty> {
+                    let lo = self.range.start;
+                    let v = *value;
+                    if v <= lo {
+                        return Vec::new();
+                    }
+                    let mut out = vec![lo];
+                    let mid = lo + (v - lo) / 2;
+                    if mid != lo && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != lo && v - 1 != mid {
+                        out.push(v - 1);
+                    }
+                    out
+                }
+            }
+        };
+    }
+
+    int_gen!(u8s, U8Gen, any_u8, u8);
+    int_gen!(u32s, U32Gen, any_u32, u32);
+    int_gen!(u64s, U64Gen, any_u64, u64);
+    int_gen!(usizes, UsizeGen, any_usize, usize);
+
+    /// Uniform `f64` in a half-open range, shrinking toward the start.
+    #[derive(Debug, Clone)]
+    pub struct F64Gen {
+        range: Range<f64>,
+    }
+
+    /// Uniform floats in `range` (half-open).
+    pub fn f64s(range: Range<f64>) -> F64Gen {
+        assert!(
+            range.start.is_finite() && range.end.is_finite() && range.start < range.end,
+            "need a finite non-empty range"
+        );
+        F64Gen { range }
+    }
+
+    impl Gen for F64Gen {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut dyn Rng) -> f64 {
+            self.range.start + rng.gen_f64() * (self.range.end - self.range.start)
+        }
+
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            let lo = self.range.start;
+            if *value <= lo {
+                return Vec::new();
+            }
+            vec![lo, lo + (*value - lo) / 2.0]
+        }
+    }
+
+    /// Vectors of values from an element generator, with a length
+    /// range. Shrinks by dropping elements (halves, then singly), then
+    /// by shrinking elements pointwise.
+    #[derive(Debug, Clone)]
+    pub struct VecGen<G> {
+        elem: G,
+        len: Range<usize>,
+    }
+
+    /// Vectors with lengths in `len` (half-open), elements from `elem`.
+    pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+        assert!(len.start < len.end, "empty length range");
+        VecGen { elem, len }
+    }
+
+    /// Byte vectors with lengths in `len` — shorthand for
+    /// `vecs(any_u8(), len)`.
+    pub fn bytes(len: Range<usize>) -> VecGen<U8Gen> {
+        vecs(any_u8(), len)
+    }
+
+    impl<G: Gen> Gen for VecGen<G>
+    where
+        G::Value: Debug + Clone,
+    {
+        type Value = Vec<G::Value>;
+
+        fn generate(&self, rng: &mut dyn Rng) -> Vec<G::Value> {
+            let len = rng.gen_range_usize(self.len.start..self.len.end);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+            let mut out = Vec::new();
+            let min = self.len.start;
+            // Structural shrinks: drop the back half, then one element
+            // from either end.
+            if value.len() > min {
+                let half = (value.len() + min).div_ceil(2).max(min);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+                out.push(value[1..].to_vec());
+            }
+            // Pointwise shrinks on the first few positions.
+            for i in 0..value.len().min(4) {
+                for cand in self.elem.shrink(&value[i]).into_iter().take(3) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+
+    /// A fixed set of choices, shrinking toward the first.
+    #[derive(Debug, Clone)]
+    pub struct ChoiceGen<T> {
+        options: Vec<T>,
+    }
+
+    /// One of the given options, uniformly.
+    pub fn one_of<T: Debug + Clone + PartialEq>(options: &[T]) -> ChoiceGen<T> {
+        assert!(!options.is_empty(), "need at least one option");
+        ChoiceGen {
+            options: options.to_vec(),
+        }
+    }
+
+    impl<T: Debug + Clone + PartialEq> Gen for ChoiceGen<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut dyn Rng) -> T {
+            self.options[rng.gen_range_usize(0..self.options.len())].clone()
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            // Earlier options are "smaller".
+            let pos = self.options.iter().position(|o| o == value).unwrap_or(0);
+            self.options[..pos].iter().rev().take(2).cloned().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gens;
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        forall("unit", 50, gens::u64s(0..100), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        assert_eq!(counter.get(), 50);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_reproduces() {
+        // Run a failing property, harvest the advertised seed from the
+        // panic message, then re-run pinned to that seed and check the
+        // same counterexample appears — the acceptance criterion of
+        // the harness.
+        let prop = |v: &u64| {
+            if *v >= 25 {
+                Err(PropError::fail(format!("{v} too big")))
+            } else {
+                Ok(())
+            }
+        };
+        let payload = std::panic::catch_unwind(|| {
+            forall("seeded", 64, gens::u64s(0..100), prop);
+        })
+        .expect_err("property must fail");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic carries a String")
+            .clone();
+        assert!(msg.contains("SMB_PROP_SEED="), "message: {msg}");
+        // Shrinking must land on the boundary counterexample.
+        assert!(msg.contains("counterexample: 25"), "message: {msg}");
+
+        let seed_hex = msg
+            .split("SMB_PROP_SEED=")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .expect("seed in message");
+        let seed = u64::from_str_radix(seed_hex.trim_start_matches("0x"), 16).unwrap();
+
+        // Reproduce by evaluating the same generator under the same
+        // case seed (equivalent to what SMB_PROP_SEED does in-process,
+        // without mutating the test runner's environment).
+        let cfg = Config {
+            cases: 1,
+            seed,
+            fixed_seed: true,
+            max_shrink_steps: 0,
+        };
+        let mut rng = Xoshiro256pp::seed_from_u64(cfg.case_seed(0));
+        let v = gens::u64s(0..100).generate(&mut rng);
+        assert!(prop(&v).is_err(), "seed {seed:#x} must reproduce, drew {v}");
+    }
+
+    #[test]
+    fn discarded_cases_do_not_count() {
+        let executed = std::cell::Cell::new(0u32);
+        forall("assume", 20, gens::u64s(0..100), |v| {
+            if *v % 2 == 1 {
+                return Err(PropError::Discard);
+            }
+            executed.set(executed.get() + 1);
+            Ok(())
+        });
+        assert_eq!(executed.get(), 20, "20 even draws must be executed");
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn unsatisfiable_assumptions_give_up() {
+        forall("never", 10, gens::u64s(0..100), |_| Err(PropError::Discard));
+    }
+
+    #[test]
+    fn vec_shrinking_reaches_minimal_example() {
+        // Property: no vector contains a value >= 90. The minimal
+        // counterexample is a single-element vector [90].
+        let payload = std::panic::catch_unwind(|| {
+            forall(
+                "vecshrink",
+                200,
+                gens::vecs(gens::u32s(0..100), 1..50),
+                |xs: &Vec<u32>| {
+                    if xs.iter().any(|&x| x >= 90) {
+                        Err(PropError::fail("contains large element"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        })
+        .expect_err("must fail");
+        let msg = payload.downcast_ref::<String>().unwrap().clone();
+        assert!(
+            msg.contains("counterexample: [90]"),
+            "shrinking should reach [90]: {msg}"
+        );
+    }
+
+    #[test]
+    fn plain_panics_are_caught_as_failures() {
+        let payload = std::panic::catch_unwind(|| {
+            forall("panicky", 10, gens::u64s(0..10), |v| {
+                assert!(*v > 100, "impossible");
+                Ok(())
+            });
+        })
+        .expect_err("must fail");
+        let msg = payload.downcast_ref::<String>().unwrap().clone();
+        assert!(msg.contains("panic"), "message: {msg}");
+    }
+
+    #[test]
+    fn forall_macro_binds_multiple_generators() {
+        forall!(cases = 16, (a in gens::u64s(1..10), b in gens::u64s(1..10)) => {
+            crate::prop_assert!(a * b >= a, "a={a} b={b}");
+        });
+    }
+
+    #[test]
+    fn tuple_gen_shrinks_componentwise() {
+        let gen = (gens::u64s(0..10), gens::u64s(0..10));
+        let shrinks = gen.shrink(&(5, 7));
+        assert!(shrinks.iter().any(|&(a, b)| a < 5 && b == 7));
+        assert!(shrinks.iter().any(|&(a, b)| a == 5 && b < 7));
+    }
+
+    #[test]
+    fn choice_gen_only_yields_options() {
+        let gen = gens::one_of(&[3u32, 5, 9]);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = gen.generate(&mut rng);
+            assert!([3, 5, 9].contains(&v));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Seedable PRNGs for workloads and tests.
+//!
+//! The workspace's offline-dependency policy (DESIGN.md §5) rules out
+//! the `rand` crate, so this module provides the two generators the
+//! repo actually needs:
+//!
+//! * [`smb_hash::SplitMix64`] — re-exported and given the [`Rng`]
+//!   trait; the right choice for seed derivation and cheap synthetic
+//!   item generation (one add + one mix per output).
+//! * [`Xoshiro256pp`] — xoshiro256++ (Blackman & Vigna 2019), the
+//!   general-purpose generator behind the workload samplers. 256 bits
+//!   of state, period 2²⁵⁶−1, passes BigCrush; seeded from a single
+//!   `u64` through SplitMix64 exactly as Vigna recommends.
+//!
+//! [`Rng`] is deliberately small: `next_u64` plus derived draws
+//! (floats, bounded integers, Bernoulli, exponential). Distribution
+//! machinery that is experiment-specific (Zipf, truncated Pareto,
+//! alias tables) stays in `smb-stream::dist`, generic over this trait.
+
+pub use smb_hash::SplitMix64;
+
+/// A source of 64-bit uniform randomness plus the derived draws the
+/// workspace uses. Object-safe: samplers take `&mut dyn Rng` or stay
+/// generic over `R: Rng + ?Sized`.
+pub trait Rng {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[0, bound)` by widening multiply (Lemire
+    /// reduction). The residual bias is `O(bound/2⁶⁴)` — immaterial for
+    /// workload generation, which is all this trait serves.
+    #[inline]
+    fn gen_below_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `range` (half-open).
+    #[inline]
+    fn gen_range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
+        debug_assert!(range.start < range.end, "empty range");
+        range.start + self.gen_below_u64(range.end - range.start)
+    }
+
+    /// Uniform `usize` in `range` (half-open).
+    #[inline]
+    fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        self.gen_range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Exponential draw with rate `lambda` (mean `1/λ`) by inversion.
+    /// Used for inter-arrival gaps in synthetic traces.
+    #[inline]
+    fn gen_exp(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0, "rate must be positive");
+        // 1 − U ∈ (0, 1] keeps ln finite.
+        -(1.0 - self.gen_f64()).ln() / lambda
+    }
+
+    /// Fill `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl Rng for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna), the workspace's general-purpose
+/// generator.
+///
+/// ```
+/// use smb_devtools::rng::{Rng, Xoshiro256pp};
+/// let mut a = Xoshiro256pp::seed_from_u64(7);
+/// let mut b = Xoshiro256pp::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seed the 256-bit state from one `u64` via SplitMix64 (the
+    /// reference seeding procedure — avoids the all-zero state and
+    /// decorrelates nearby seeds).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Xoshiro256pp {
+            s: [
+                SplitMix64::next_u64(&mut sm),
+                SplitMix64::next_u64(&mut sm),
+                SplitMix64::next_u64(&mut sm),
+                SplitMix64::next_u64(&mut sm),
+            ],
+        }
+    }
+
+    /// Construct from a full 256-bit state. Must not be all zero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Xoshiro256pp { s }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xoshiro_reference_vectors() {
+        // Reference sequence from the canonical C implementation
+        // (xoshiro256plusplus.c) with state {1, 2, 3, 4}.
+        let mut rng = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        let expect: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "output {i}");
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_state_rejected() {
+        Xoshiro256pp::from_state([0; 4]);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_uniform_mean() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn range_draws_cover_and_stay_in_bounds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range_usize(3..13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "1000 draws must cover 10 values");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn gen_exp_has_right_mean() {
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
+        let n = 200_000;
+        let mean = (0..n).map(|_| rng.gen_exp(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_length() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for len in [1usize, 7, 8, 9, 16, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            // All-zero output of a uniform draw is astronomically
+            // unlikely for len >= 4; shorter slices may collide.
+            if len >= 4 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_implements_rng() {
+        let mut rng = SplitMix64::new(0);
+        // Same first output as the reference sequence (see smb-hash).
+        assert_eq!(Rng::next_u64(&mut rng), 0xE220_A839_7B1D_CDAF);
+        let v = rng.gen_range_u64(10..20);
+        assert!((10..20).contains(&v));
+    }
+
+    #[test]
+    fn dyn_rng_is_object_safe() {
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x = dyn_rng.gen_f64();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

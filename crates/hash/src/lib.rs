@@ -18,10 +18,11 @@
 //!   estimators share, so that a single hash computation per item can be
 //!   split into an index part and a geometric part ([`ItemHash`]).
 //!
-//! No external hashing crates are used: the offline dependency policy of
-//! this workspace (see `DESIGN.md` §5) only allows `rand`, `proptest`,
-//! `criterion` and `serde`, so the functions here are first-party
-//! implementations.
+//! No external crates are used at all: the workspace's offline
+//! dependency policy (see `DESIGN.md`, "Building offline") forbids
+//! registry dependencies, so the functions here are first-party
+//! implementations validated against published test vectors
+//! (`tests/vectors.rs`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,9 +42,7 @@ pub use splitmix::SplitMix64;
 /// All algorithms produce 64 bits of output. `Murmur3_128Low` truncates
 /// the 128-bit MurmurHash3 variant to its low 64 bits, which is the
 /// standard way of deriving a 64-bit hash from it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum HashAlgorithm {
     /// xxHash, 64-bit variant (XXH64). The default: excellent speed and
     /// distribution for short keys.
@@ -71,9 +70,7 @@ pub enum HashAlgorithm {
 /// let h2 = scheme.hash64(b"alice");
 /// assert_eq!(h1, h2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HashScheme {
     algorithm: HashAlgorithm,
     seed: u64,

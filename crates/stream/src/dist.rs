@@ -9,7 +9,7 @@
 //! * [`AliasTable`] — Walker/Vose alias method for O(1) weighted
 //!   discrete sampling; used to pick which flow emits each packet.
 
-use rand::Rng;
+use smb_devtools::Rng;
 
 /// Zipf distribution over `{1, …, n}` with exponent `alpha > 0`,
 /// sampled by rejection-inversion. `P(k) ∝ k^−α`.
@@ -69,7 +69,7 @@ impl Zipf {
     /// Draw one sample in `{1..=n}`.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         loop {
-            let u = self.h_x1 + rng.gen::<f64>() * (self.h_n - self.h_x1);
+            let u = self.h_x1 + rng.gen_f64() * (self.h_n - self.h_x1);
             let x = Self::h_inv_static(self.alpha, u);
             let k = (x + 0.5).floor().clamp(1.0, self.n);
             let h_k = Self::h_static(self.alpha, k + 0.5);
@@ -85,7 +85,7 @@ impl Zipf {
 /// heavy-tailed sizes with a hard cap.
 pub fn truncated_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, max: f64) -> f64 {
     assert!(alpha > 0.0 && max > 1.0);
-    let u: f64 = rng.gen::<f64>();
+    let u = rng.gen_f64();
     // CDF of truncated Pareto: F(x) = (1 − x^−α)/(1 − max^−α).
     let tail = 1.0 - max.powf(-alpha);
     (1.0 - u * tail).powf(-1.0 / alpha).min(max)
@@ -155,8 +155,8 @@ impl AliasTable {
     /// Draw one category index.
     #[inline]
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
-        let i = rng.gen_range(0..self.prob.len());
-        if rng.gen::<f64>() < self.prob[i] {
+        let i = rng.gen_range_usize(0..self.prob.len());
+        if rng.gen_f64() < self.prob[i] {
             i
         } else {
             self.alias[i] as usize
@@ -167,12 +167,11 @@ impl AliasTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use smb_devtools::Xoshiro256pp;
 
     #[test]
     fn zipf_frequencies_follow_power_law() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
         let z = Zipf::new(1000, 1.0);
         let n = 200_000;
         let mut counts = vec![0u64; 1001];
@@ -191,7 +190,7 @@ mod tests {
 
     #[test]
     fn zipf_alpha_two_concentrates_more() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
         let z1 = Zipf::new(1000, 1.0);
         let z2 = Zipf::new(1000, 2.0);
         let top1 = (0..50_000).filter(|_| z1.sample(&mut rng) == 1).count();
@@ -201,7 +200,7 @@ mod tests {
 
     #[test]
     fn zipf_single_element_support() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
         let z = Zipf::new(1, 1.5);
         for _ in 0..100 {
             assert_eq!(z.sample(&mut rng), 1);
@@ -210,7 +209,7 @@ mod tests {
 
     #[test]
     fn pareto_respects_truncation_and_tail() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Xoshiro256pp::seed_from_u64(4);
         let mut over_10 = 0;
         let n = 100_000;
         for _ in 0..n {
@@ -227,7 +226,7 @@ mod tests {
 
     #[test]
     fn alias_table_matches_weights() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
         let weights = [1.0, 2.0, 3.0, 4.0];
         let table = AliasTable::new(&weights);
         let n = 400_000;
@@ -246,7 +245,7 @@ mod tests {
 
     #[test]
     fn alias_table_handles_zero_weights() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Xoshiro256pp::seed_from_u64(6);
         let table = AliasTable::new(&[0.0, 1.0, 0.0]);
         for _ in 0..1000 {
             assert_eq!(table.sample(&mut rng), 1);
@@ -261,7 +260,7 @@ mod tests {
 
     #[test]
     fn alias_table_single_category() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let table = AliasTable::new(&[3.5]);
         assert_eq!(table.len(), 1);
         assert_eq!(table.sample(&mut rng), 0);

@@ -12,8 +12,7 @@
 //! spec exactly), and the remaining `total − cardinality` slots repeat
 //! uniformly random indices.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smb_devtools::{Rng, Xoshiro256pp};
 
 /// Maximum item length of the paper's workload.
 pub const MAX_ITEM_LEN: usize = 128;
@@ -75,7 +74,7 @@ impl StreamSpec {
 #[derive(Debug, Clone)]
 pub struct ItemStream {
     spec: StreamSpec,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     emitted: u64,
 }
 
@@ -86,7 +85,7 @@ impl ItemStream {
         assert!(spec.item_len >= 1 && spec.item_len <= MAX_ITEM_LEN);
         ItemStream {
             spec,
-            rng: StdRng::seed_from_u64(spec.seed),
+            rng: Xoshiro256pp::seed_from_u64(spec.seed),
             emitted: 0,
         }
     }
@@ -128,7 +127,7 @@ impl ItemStream {
         let index = if self.emitted < self.spec.cardinality {
             self.emitted
         } else {
-            self.rng.gen_range(0..self.spec.cardinality)
+            self.rng.gen_range_u64(0..self.spec.cardinality)
         };
         self.emitted += 1;
         Some(self.render_item(index, buf))

@@ -25,8 +25,7 @@
 //! The default scale is laptop-friendly; `TraceConfig::paper_scale`
 //! selects the full 400k-flow configuration.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use smb_devtools::{Rng, Xoshiro256pp};
 
 use crate::dist::{truncated_pareto, AliasTable};
 
@@ -125,7 +124,7 @@ impl SyntheticCaida {
         assert!(config.flows > 0 && config.flows <= u32::MAX as usize);
         assert!(config.max_cardinality >= 1);
         assert!(config.duplication >= 1.0);
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(config.seed);
         let mut cardinalities = Vec::with_capacity(config.flows);
         let mut packet_budgets = Vec::with_capacity(config.flows);
         let mut total = 0u64;
@@ -135,7 +134,7 @@ impl SyntheticCaida {
                 .max(1.0) as u32;
             // Duplication factor jitters ±50% around the mean so flows
             // differ in duplicate density too.
-            let dup = config.duplication * (0.5 + rng.gen::<f64>());
+            let dup = config.duplication * (0.5 + rng.gen_f64());
             let packets = ((card as f64) * dup.max(1.0)).round() as u64;
             cardinalities.push(card);
             packet_budgets.push(packets.max(card as u64));
@@ -187,7 +186,7 @@ impl SyntheticCaida {
                     .map(|&b| b as f64)
                     .collect::<Vec<_>>(),
             ),
-            rng: StdRng::seed_from_u64(self.config.seed ^ 0x9E37_79B9),
+            rng: Xoshiro256pp::seed_from_u64(self.config.seed ^ 0x9E37_79B9),
             emitted_per_flow: vec![0u64; self.config.flows],
             emitted_total: 0,
         }
@@ -198,7 +197,7 @@ impl SyntheticCaida {
 pub struct PacketIter<'a> {
     trace: &'a SyntheticCaida,
     alias: AliasTable,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     emitted_per_flow: Vec<u64>,
     emitted_total: u64,
 }
@@ -234,7 +233,7 @@ impl Iterator for PacketIter<'_> {
         let item = if seq < card {
             seq as u32
         } else {
-            self.rng.gen_range(0..card) as u32
+            self.rng.gen_range_u64(0..card) as u32
         };
         self.emitted_per_flow[flow] += 1;
         self.emitted_total += 1;

@@ -25,7 +25,7 @@ const SUB_WINDOWS: usize = 6;
 const REQUESTS_PER_SUB: usize = 200_000;
 
 fn main() {
-    use rand::{rngs::StdRng, SeedableRng};
+    use smb_devtools::Xoshiro256pp;
     let scheme = HashScheme::with_seed(17);
     let mut window: JumpingWindow<HllPlusPlus> =
         JumpingWindow::new(SUB_WINDOWS, move || {
@@ -40,7 +40,7 @@ fn main() {
     // drifts over time (new objects enter, old ones cool off) — the
     // usual CDN shape.
     let catalog = Zipf::new(3_000_000, 0.9);
-    let mut rng = StdRng::seed_from_u64(4);
+    let mut rng = Xoshiro256pp::seed_from_u64(4);
     let mut drift = 0u64;
 
     println!(

@@ -48,13 +48,13 @@ fn main() {
     // searched), and each query comes from a random user. More popular
     // keywords accumulate more distinct users.
     let kw_dist = Zipf::new(KEYWORDS.len() as u64, 1.0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-    use rand::{Rng, SeedableRng};
+    let mut rng = smb_devtools::Xoshiro256pp::seed_from_u64(9);
+    use smb_devtools::Rng;
     let mut user_mix = SplitMix64::new(3);
     for _ in 0..QUERIES {
         let kw = (kw_dist.sample(&mut rng) - 1) as usize;
         // Users are Zipf-ish too: heavy users search everything.
-        let user = if rng.gen::<f64>() < 0.3 {
+        let user = if rng.gen_f64() < 0.3 {
             user_mix.next_below(1000) // hot users
         } else {
             user_mix.next_below(USERS)

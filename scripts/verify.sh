@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Hermetic verification gate: the whole workspace must build, test and
+# bench with --offline, using nothing outside the repository and the
+# Rust toolchain. Run from anywhere; operates on the repo root.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "Cargo.lock is registry-free"
+if grep -q "crates-io\|registry+" Cargo.lock; then
+    echo "FAIL: Cargo.lock references a crates.io registry source:" >&2
+    grep -n "crates-io\|registry+" Cargo.lock >&2
+    exit 1
+fi
+echo "ok: only path-local workspace crates in Cargo.lock"
+
+step "release build (offline)"
+cargo build --release --offline
+
+step "examples build (offline)"
+cargo build --examples --offline
+
+step "workspace tests (offline)"
+cargo test --workspace -q --offline
+
+step "snapshot feature tests (offline)"
+cargo test -q --offline --features snapshot
+
+step "smoke benchmarks (offline, in-tree harness)"
+bench_json="$(mktemp)"
+trap 'rm -f "$bench_json"' EXIT
+SMB_BENCH_JSON="$bench_json" cargo bench -p smb-bench --bench query --offline -- --smoke
+if ! grep -q '"label"' "$bench_json"; then
+    echo "FAIL: bench harness did not emit JSON results to SMB_BENCH_JSON" >&2
+    exit 1
+fi
+echo "ok: bench JSON written ($(wc -c <"$bench_json") bytes)"
+
+step "all checks passed"

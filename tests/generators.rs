@@ -1,26 +1,27 @@
 //! Property tests over the workload generators and the SMB query
 //! formula — the parts of the harness every experiment's validity
 //! rests on.
+//!
+//! Runs on the in-tree `smb_devtools::prop` harness. A failing case
+//! prints its seed; re-run with `SMB_PROP_SEED=<seed> cargo test` to
+//! reproduce it deterministically.
 
-use proptest::prelude::*;
+use smb_devtools::prop::gens;
+use smb_devtools::{forall, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
 
 use smb::core::{CardinalityEstimator, Smb};
 use smb::hash::HashScheme;
 use smb::stream::items::StreamSpec;
 use smb::stream::TraceConfig;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Streams realise exactly the cardinality and total their spec
-    /// promises, for arbitrary parameters.
-    #[test]
-    fn stream_spec_is_honoured(
-        n in 1u64..2000,
-        dup in 1.0f64..4.0,
-        seed in any::<u64>(),
-        len in 1usize..64,
-    ) {
+/// Streams realise exactly the cardinality and total their spec
+/// promises, for arbitrary parameters.
+#[test]
+fn stream_spec_is_honoured() {
+    forall!(cases = 32, (n in gens::u64s(1..2000),
+                         dup in gens::f64s(1.0..4.0),
+                         seed in gens::any_u64(),
+                         len in gens::usizes(1..64)) => {
         let spec = StreamSpec::with_duplication(n, dup, seed).item_len(len);
         let mut distinct = std::collections::HashSet::new();
         let mut total = 0u64;
@@ -32,23 +33,29 @@ proptest! {
         prop_assert_eq!(distinct.len() as u64, n);
         prop_assert_eq!(total, spec.total);
         prop_assert!(total >= n);
-    }
+    });
+}
 
-    /// The same spec always generates the same stream; different seeds
-    /// diverge.
-    #[test]
-    fn stream_determinism(n in 2u64..500, seed in any::<u64>()) {
+/// The same spec always generates the same stream; different seeds
+/// diverge.
+#[test]
+fn stream_determinism() {
+    forall!(cases = 32, (n in gens::u64s(2..500), seed in gens::any_u64()) => {
         let a: Vec<Vec<u8>> = StreamSpec::distinct(n, seed).stream().collect();
         let b: Vec<Vec<u8>> = StreamSpec::distinct(n, seed).stream().collect();
         prop_assert_eq!(&a, &b);
         let c: Vec<Vec<u8>> = StreamSpec::distinct(n, seed ^ 1).stream().collect();
         prop_assert_ne!(&a, &c);
-    }
+    });
+}
 
-    /// Trace plans respect their configuration bounds for arbitrary
-    /// small configs, and packet emission exactly exhausts the plan.
-    #[test]
-    fn trace_plan_bounds(flows in 1usize..200, max_card in 2u64..500, seed in any::<u64>()) {
+/// Trace plans respect their configuration bounds for arbitrary
+/// small configs, and packet emission exactly exhausts the plan.
+#[test]
+fn trace_plan_bounds() {
+    forall!(cases = 32, (flows in gens::usizes(1..200),
+                         max_card in gens::u64s(2..500),
+                         seed in gens::any_u64()) => {
         let trace = TraceConfig {
             flows,
             max_cardinality: max_card,
@@ -63,16 +70,16 @@ proptest! {
         }
         let emitted = trace.packets().count() as u64;
         prop_assert_eq!(emitted, trace.total_packets());
-    }
+    });
+}
 
-    /// `Smb::estimate_at` agrees with an independent evaluation of the
-    /// paper's Eq. (11) for any reachable (r, v) state.
-    #[test]
-    fn smb_query_formula_cross_check(
-        m_exp in 7u32..12,
-        c in 2usize..16,
-        n in 0u64..50_000,
-    ) {
+/// `Smb::estimate_at` agrees with an independent evaluation of the
+/// paper's Eq. (11) for any reachable (r, v) state.
+#[test]
+fn smb_query_formula_cross_check() {
+    forall!(cases = 32, (m_exp in gens::u32s(7..12),
+                         c in gens::usizes(2..16),
+                         n in gens::u64s(0..50_000)) => {
         let m = 1usize << m_exp;
         let t = m / c;
         prop_assume!(t >= 1 && t <= m / 2);
@@ -94,18 +101,20 @@ proptest! {
             (smb.estimate() - expected).abs() < 1e-6,
             "estimate {} vs formula {}", smb.estimate(), expected
         );
-    }
+    });
+}
 
-    /// Hash schemes produce different streams of hashes for different
-    /// algorithms and seeds, but identical ones for identical schemes —
-    /// for arbitrary items.
-    #[test]
-    fn hash_scheme_separation(item in proptest::collection::vec(any::<u8>(), 0..64), seed in any::<u64>()) {
+/// Hash schemes produce different streams of hashes for different
+/// algorithms and seeds, but identical ones for identical schemes —
+/// for arbitrary items.
+#[test]
+fn hash_scheme_separation() {
+    forall!(cases = 64, (item in gens::bytes(0..64), seed in gens::any_u64()) => {
         let a = HashScheme::with_seed(seed);
         let b = HashScheme::with_seed(seed);
         prop_assert_eq!(a.hash64(&item), b.hash64(&item));
         let c = HashScheme::with_seed(seed.wrapping_add(1));
         // Equality would be a 2^-64 coincidence; treat as failure.
         prop_assert_ne!(a.hash64(&item), c.hash64(&item));
-    }
+    });
 }

@@ -4,15 +4,19 @@
 //! (Theorem 2) and that every cardinality estimator must satisfy
 //! structurally: *duplicate-insensitivity* — recording a multiset
 //! leaves exactly the state of recording its support set, in order.
+//!
+//! Runs on the in-tree `smb_devtools::prop` harness. A failing case
+//! prints its seed; re-run with `SMB_PROP_SEED=<seed> cargo test` to
+//! reproduce it deterministically.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
+use smb_devtools::prop::gens;
+use smb_devtools::{forall, prop_assert, prop_assert_eq};
 
 use smb::baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
 use smb::core::{Bitmap, CardinalityEstimator, Smb};
 use smb::hash::HashScheme;
 
-/// Build one of each estimator under test, at small sizes so proptest
+/// Build one of each estimator under test, at small sizes so property
 /// cases stay fast.
 fn estimators(seed: u64) -> Vec<Box<dyn CardinalityEstimator>> {
     let scheme = HashScheme::with_seed(seed);
@@ -32,13 +36,12 @@ fn estimators(seed: u64) -> Vec<Box<dyn CardinalityEstimator>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Recording any stream with duplicates produces the same estimate
-    /// as recording each distinct item once, in first-appearance order.
-    #[test]
-    fn duplicate_insensitivity(items in vec(0u32..500, 1..300), seed in 0u64..32) {
+/// Recording any stream with duplicates produces the same estimate
+/// as recording each distinct item once, in first-appearance order.
+#[test]
+fn duplicate_insensitivity() {
+    forall!(cases = 64, (items in gens::vecs(gens::u32s(0..500), 1..300),
+                         seed in gens::u64s(0..32)) => {
         // Deduplicate preserving first-appearance order.
         let mut seen = std::collections::HashSet::new();
         let dedup: Vec<u32> = items.iter().copied().filter(|i| seen.insert(*i)).collect();
@@ -58,11 +61,13 @@ proptest! {
         for (a, b) in with_dups.iter().zip(&without) {
             prop_assert_eq!(a.estimate(), b.estimate(), "{} differs", a.name());
         }
-    }
+    });
+}
 
-    /// Estimates never decrease as more (distinct) items arrive.
-    #[test]
-    fn estimates_monotone_in_distinct_items(n in 1u32..2000, seed in 0u64..16) {
+/// Estimates never decrease as more (distinct) items arrive.
+#[test]
+fn estimates_monotone_in_distinct_items() {
+    forall!(cases = 48, (n in gens::u32s(1..2000), seed in gens::u64s(0..16)) => {
         let mut ests = estimators(seed);
         let mut last: Vec<f64> = ests.iter().map(|e| e.estimate()).collect();
         for i in 0..n {
@@ -82,11 +87,14 @@ proptest! {
                 }
             }
         }
-    }
+    });
+}
 
-    /// clear() restores the empty state for every estimator.
-    #[test]
-    fn clear_restores_empty(items in vec(0u32..100, 1..100), seed in 0u64..16) {
+/// clear() restores the empty state for every estimator.
+#[test]
+fn clear_restores_empty() {
+    forall!(cases = 32, (items in gens::vecs(gens::u32s(0..100), 1..100),
+                         seed in gens::u64s(0..16)) => {
         let mut ests = estimators(seed);
         for est in &mut ests {
             for &i in &items {
@@ -98,11 +106,14 @@ proptest! {
             est.record(b"post-clear");
             prop_assert!(est.estimate() > 0.0, "{} dead after clear", est.name());
         }
-    }
+    });
+}
 
-    /// SMB's structural invariants hold along any stream prefix.
-    #[test]
-    fn smb_structural_invariants(items in vec(any::<u32>(), 1..2000), t_idx in 0usize..3) {
+/// SMB's structural invariants hold along any stream prefix.
+#[test]
+fn smb_structural_invariants() {
+    forall!(cases = 48, (items in gens::vecs(gens::any_u32(), 1..2000),
+                         t_idx in gens::usizes(0..3)) => {
         let t = [32usize, 64, 128][t_idx];
         let mut smb = Smb::with_scheme(1024, t, HashScheme::with_seed(5)).unwrap();
         for (k, i) in items.iter().enumerate() {
@@ -119,16 +130,16 @@ proptest! {
                 prop_assert!(smb.estimate() >= 0.0);
             }
         }
-    }
+    });
+}
 
-    /// Merging two estimators equals recording the union stream, for
-    /// every mergeable type.
-    #[test]
-    fn merge_equals_union(
-        xs in vec(0u32..1000, 1..200),
-        ys in vec(0u32..1000, 1..200),
-        seed in 0u64..16,
-    ) {
+/// Merging two estimators equals recording the union stream, for
+/// every mergeable type.
+#[test]
+fn merge_equals_union() {
+    forall!(cases = 48, (xs in gens::vecs(gens::u32s(0..1000), 1..200),
+                         ys in gens::vecs(gens::u32s(0..1000), 1..200),
+                         seed in gens::u64s(0..16)) => {
         use smb::core::MergeableEstimator;
         let scheme = HashScheme::with_seed(seed);
 
@@ -151,12 +162,15 @@ proptest! {
         check!(LogLog::with_scheme(32, scheme).unwrap());
         check!(SuperLogLog::with_scheme(32, scheme).unwrap());
         check!(Kmv::with_scheme(16, scheme).unwrap());
-    }
+    });
+}
 
-    /// Estimators built from the same scheme see identical item hashes:
-    /// record() and record_hash(scheme.item_hash(..)) are equivalent.
-    #[test]
-    fn record_and_record_hash_agree(items in vec(any::<u64>(), 1..100), seed in 0u64..16) {
+/// Estimators built from the same scheme see identical item hashes:
+/// record() and record_hash(scheme.item_hash(..)) are equivalent.
+#[test]
+fn record_and_record_hash_agree() {
+    forall!(cases = 64, (items in gens::vecs(gens::any_u64(), 1..100),
+                         seed in gens::u64s(0..16)) => {
         let scheme = HashScheme::with_seed(seed);
         let mut by_item = Smb::with_scheme(512, 64, scheme).unwrap();
         let mut by_hash = Smb::with_scheme(512, 64, scheme).unwrap();
@@ -166,5 +180,5 @@ proptest! {
         }
         prop_assert_eq!(by_item.estimate(), by_hash.estimate());
         prop_assert_eq!(by_item.snapshot(), by_hash.snapshot());
-    }
+    });
 }
