@@ -1,0 +1,107 @@
+//! Ingest-throughput bench: single-threaded `FlowTable` versus the
+//! sharded engine at 1/2/4/8 shards, replaying the synthetic
+//! CAIDA-like trace (the paper's §V-F deployment shape: one estimator
+//! per flow).
+//!
+//! Each iteration replays the whole pre-materialised trace —
+//! construction, ingest, flush, teardown — so `median_ns` is the cost
+//! of the full run and `packets / (median_ns / 1e9)` is items/sec. The
+//! packet count is embedded in every label so the JSON output
+//! (`SMB_BENCH_JSON=path`) carries everything needed to compute
+//! throughput and the shards-N versus shards-1 speedup; the bench also
+//! prints that table to stderr.
+//!
+//! Shard scaling needs cores: on an N-core host the expected speedup
+//! at 4 shards is ~min(4, N−1)× for estimator-bound workloads (one
+//! core feeds, the rest record). The bench prints the detected
+//! parallelism so single-core CI numbers aren't misread as a scaling
+//! regression.
+//!
+//! Run with `cargo bench -p smb-bench --bench ingest`; pass
+//! `-- --smoke` (or set `SMB_BENCH_SMOKE=1`) for a fast sanity pass.
+
+use smb_bench::{Algo, AlgoSpec};
+use smb_devtools::{black_box, Bench};
+use smb_engine::{EngineConfig, ShardedFlowEngine};
+use smb_sketch::FlowTable;
+use smb_stream::TraceConfig;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn spec() -> AlgoSpec {
+    AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(0xCA1DA)
+}
+
+/// Pre-materialise the trace so iterations measure ingest, not
+/// generation.
+fn materialise(flows: usize) -> Vec<(u64, [u8; 8])> {
+    TraceConfig {
+        flows,
+        seed: 0xCA1DA,
+        ..TraceConfig::default()
+    }
+    .build()
+    .packets()
+    .map(|p| (p.flow as u64, p.item_bytes()))
+    .collect()
+}
+
+fn main() {
+    let mut bench = Bench::new("ingest");
+    let packets = if bench.is_smoke() {
+        materialise(1_000)
+    } else {
+        materialise(20_000)
+    };
+    let n = packets.len();
+    eprintln!(
+        "ingest bench: {n} packets, {} core(s) available",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+
+    bench.bench(format!("ingest/flowtable-singlethread/packets={n}"), || {
+        let sp = spec();
+        let mut table = FlowTable::new(move |_| sp.build().unwrap());
+        for (flow, item) in &packets {
+            table.record(*flow, item);
+        }
+        black_box(table.len());
+    });
+
+    for shards in SHARD_COUNTS {
+        bench.bench(format!("ingest/engine/shards={shards}/packets={n}"), || {
+            let mut engine = ShardedFlowEngine::new(
+                EngineConfig::new(spec())
+                    .with_shards(shards)
+                    .with_batch(1024)
+                    .with_queue_batches(8),
+            )
+            .expect("valid engine config");
+            for (flow, item) in &packets {
+                engine.ingest(*flow, item);
+            }
+            black_box(engine.finish().total_recorded());
+        });
+    }
+
+    // Throughput summary: items/sec per configuration and the speedup
+    // of every engine configuration over the 1-shard engine.
+    let results = bench.results();
+    let throughput: Vec<(String, f64)> = results
+        .iter()
+        .map(|r| (r.label.clone(), n as f64 / (r.median_ns / 1e9)))
+        .collect();
+    let base = throughput
+        .iter()
+        .find(|(label, _)| label.contains("shards=1/"))
+        .map(|&(_, ips)| ips);
+    eprintln!("\n== ingest throughput ==");
+    for (label, ips) in &throughput {
+        let speedup = match (base, label.contains("/engine/")) {
+            (Some(b), true) => format!("  ({:.2}x vs 1 shard)", ips / b),
+            _ => String::new(),
+        };
+        eprintln!("  {label:<56} {:>12.0} items/s{speedup}", ips);
+    }
+    bench.finish();
+}

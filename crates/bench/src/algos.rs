@@ -1,101 +1,33 @@
-//! Estimator construction with the paper's parameterisation rules.
+//! Estimator construction for the experiment harness.
+//!
+//! The actual construction rules live in `smb-factory` ([`AlgoSpec`]) —
+//! one match-on-algorithm for the whole workspace. This module keeps
+//! the harness-facing conveniences: the paper's head-to-head algorithm
+//! list and the positional [`build_estimator`] the experiment modules
+//! call in their inner loops.
 
-use smb_baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
-use smb_core::{Bitmap, CardinalityEstimator, Smb};
-use smb_hash::HashScheme;
+pub use smb_factory::{build_estimator as build_from_spec, Algo, AlgoSpec, ALL_ALGOS};
+
+use smb_core::CardinalityEstimator;
 
 /// The algorithms the paper's evaluation compares head-to-head
 /// (Tables IV–X, Figs. 6–9).
 pub const COMPARED_ALGOS: [Algo; 5] = [Algo::Mrb, Algo::Fm, Algo::HllPlusPlus, Algo::TailCut, Algo::Smb];
 
-/// Every estimator the workspace implements.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Algo {
-    /// Self-Morphing Bitmap (this paper).
-    Smb,
-    /// Multi-Resolution Bitmap.
-    Mrb,
-    /// FM / PCSA.
-    Fm,
-    /// HyperLogLog++.
-    HllPlusPlus,
-    /// HLL-TailCut.
-    TailCut,
-    /// Plain HyperLogLog.
-    Hll,
-    /// LogLog.
-    LogLog,
-    /// SuperLogLog.
-    SuperLogLog,
-    /// k-minimum values.
-    Kmv,
-    /// BJKST buffer-sampling algorithm.
-    Bjkst,
-    /// MinCount.
-    MinCount,
-    /// Plain bitmap / linear counting.
-    Bitmap,
-}
-
-impl Algo {
-    /// Display name matching the paper's tables.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Algo::Smb => "SMB",
-            Algo::Mrb => "MRB",
-            Algo::Fm => "FM",
-            Algo::HllPlusPlus => "HLL++",
-            Algo::TailCut => "HLL-TailC",
-            Algo::Hll => "HLL",
-            Algo::LogLog => "LogLog",
-            Algo::SuperLogLog => "SuperLogLog",
-            Algo::Kmv => "KMV",
-            Algo::Bjkst => "BJKST",
-            Algo::MinCount => "MinCount",
-            Algo::Bitmap => "Bitmap",
-        }
-    }
-}
-
 /// Build an estimator with `m` bits of memory, parameterised for
-/// streams up to `n_max`, hashing with `seed`. The per-algorithm rules
-/// follow the paper's §V-A:
+/// streams up to `n_max`, hashing with `seed` — positional shorthand
+/// for [`AlgoSpec`] used throughout the experiment modules, which
+/// construct thousands of estimators across seeds.
 ///
-/// * SMB: `T` from the theory crate's β-maximising search (Table II);
-/// * MRB: recommended `k` (Table III rule);
-/// * FM: `t = m/32`; HLL/HLL++/LogLog family: `t = m/5`;
-///   HLL-TailCut: `t = m/4`; KMV/MinCount: `m/64` 64-bit slots.
+/// # Panics
+/// On an invalid memory budget; experiments run with vetted
+/// parameters, so an error here is a harness bug.
 pub fn build_estimator(algo: Algo, m: usize, n_max: f64, seed: u64) -> Box<dyn CardinalityEstimator> {
-    let scheme = HashScheme::with_seed(seed);
-    match algo {
-        Algo::Smb => {
-            let t = smb_theory::optimal_threshold(m, n_max).t;
-            Box::new(Smb::with_scheme(m, t, scheme).expect("valid SMB params"))
-        }
-        Algo::Mrb => {
-            Box::new(Mrb::for_expected_cardinality(m, n_max, scheme).expect("valid MRB params"))
-        }
-        Algo::Fm => Box::new(Fm::with_memory_bits_scheme(m, scheme).expect("valid FM params")),
-        Algo::HllPlusPlus => {
-            Box::new(HllPlusPlus::with_memory_bits(m, scheme).expect("valid HLL++ params"))
-        }
-        Algo::TailCut => {
-            Box::new(HllTailCut::with_memory_bits(m, scheme).expect("valid TailCut params"))
-        }
-        Algo::Hll => Box::new(Hll::with_memory_bits(m, scheme).expect("valid HLL params")),
-        Algo::LogLog => Box::new(LogLog::with_memory_bits(m, scheme).expect("valid LogLog params")),
-        Algo::SuperLogLog => {
-            Box::new(SuperLogLog::with_memory_bits(m, scheme).expect("valid SLL params"))
-        }
-        Algo::Kmv => Box::new(Kmv::with_memory_bits(m, scheme).expect("valid KMV params")),
-        Algo::Bjkst => Box::new(
-            smb_baselines::Bjkst::with_memory_bits(m, scheme).expect("valid BJKST params"),
-        ),
-        Algo::MinCount => {
-            Box::new(MinCount::with_memory_bits(m, scheme).expect("valid MinCount params"))
-        }
-        Algo::Bitmap => Box::new(Bitmap::with_scheme(m, scheme).expect("valid bitmap params")),
-    }
+    AlgoSpec::new(algo, m)
+        .with_n_max(n_max)
+        .with_seed(seed)
+        .build()
+        .expect("valid experiment parameters")
 }
 
 #[cfg(test)]
@@ -103,32 +35,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_algos_build_and_record() {
-        let algos = [
-            Algo::Smb,
-            Algo::Mrb,
-            Algo::Fm,
-            Algo::HllPlusPlus,
-            Algo::TailCut,
-            Algo::Hll,
-            Algo::LogLog,
-            Algo::SuperLogLog,
-            Algo::Kmv,
-            Algo::Bjkst,
-            Algo::MinCount,
-            Algo::Bitmap,
-        ];
-        for algo in algos {
-            let mut est = build_estimator(algo, 5000, 1e6, 1);
-            for i in 0..1000u32 {
-                est.record(&i.to_le_bytes());
-            }
-            let e = est.estimate();
-            assert!(
-                (e - 1000.0).abs() / 1000.0 < 0.5,
-                "{}: estimate {e} for n=1000",
-                algo.name()
-            );
+    fn positional_shorthand_matches_spec_construction() {
+        for algo in ALL_ALGOS {
+            let a = build_estimator(algo, 5000, 1e6, 1);
+            let b = AlgoSpec::new(algo, 5000)
+                .with_n_max(1e6)
+                .with_seed(1)
+                .build()
+                .unwrap();
+            assert_eq!(a.name(), b.name());
+            assert_eq!(a.memory_bits(), b.memory_bits());
+            assert_eq!(a.scheme(), b.scheme());
         }
     }
 

@@ -20,4 +20,4 @@ pub mod experiments;
 pub mod render;
 pub mod runner;
 
-pub use algos::{build_estimator, Algo, COMPARED_ALGOS};
+pub use algos::{build_estimator, Algo, AlgoSpec, ALL_ALGOS, COMPARED_ALGOS};

@@ -1,6 +1,9 @@
 //! Library backing the `smbcount` binary — argument parsing and the
 //! subcommand implementations, factored out so they are unit-testable
 //! without spawning processes.
+//!
+//! Estimator construction goes through [`smb_factory::AlgoSpec`] — the
+//! CLI owns no per-algorithm `match` of its own.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -8,109 +11,17 @@
 use std::io::Write;
 
 use smb_core::{CardinalityEstimator, Smb};
+use smb_engine::{BackpressurePolicy, EngineConfig, ShardedFlowEngine};
+use smb_factory::{Algo, AlgoSpec};
 use smb_hash::HashScheme;
 use smb_sketch::FlowTable;
 use smb_stream::{ExactCounter, TraceConfig};
-
-/// Which estimator a `count` run uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AlgoChoice {
-    /// Self-morphing bitmap (default).
-    Smb,
-    /// Multi-resolution bitmap.
-    Mrb,
-    /// FM / PCSA.
-    Fm,
-    /// HyperLogLog.
-    Hll,
-    /// HyperLogLog++.
-    Hllpp,
-    /// HLL-TailCut.
-    Tailcut,
-    /// LogLog.
-    LogLog,
-    /// SuperLogLog.
-    SuperLogLog,
-    /// k-minimum values.
-    Kmv,
-    /// MinCount.
-    MinCount,
-    /// BJKST.
-    Bjkst,
-    /// Plain bitmap.
-    Bitmap,
-}
-
-impl AlgoChoice {
-    fn parse(s: &str) -> Result<Self, String> {
-        Ok(match s {
-            "smb" => AlgoChoice::Smb,
-            "mrb" => AlgoChoice::Mrb,
-            "fm" => AlgoChoice::Fm,
-            "hll" => AlgoChoice::Hll,
-            "hllpp" | "hll++" => AlgoChoice::Hllpp,
-            "tailcut" | "hll-tailcut" => AlgoChoice::Tailcut,
-            "loglog" => AlgoChoice::LogLog,
-            "superloglog" | "sll" => AlgoChoice::SuperLogLog,
-            "kmv" => AlgoChoice::Kmv,
-            "mincount" => AlgoChoice::MinCount,
-            "bjkst" => AlgoChoice::Bjkst,
-            "bitmap" => AlgoChoice::Bitmap,
-            other => return Err(format!("unknown algorithm `{other}`")),
-        })
-    }
-
-    /// Build the chosen estimator at `m` bits.
-    pub fn build(self, m: usize, seed: u64) -> Result<Box<dyn CardinalityEstimator>, String> {
-        let scheme = HashScheme::with_seed(seed);
-        let err = |e: smb_core::Error| e.to_string();
-        Ok(match self {
-            AlgoChoice::Smb => {
-                let t = smb_theory::optimal_threshold(m, 1e7).t;
-                Box::new(Smb::with_scheme(m, t, scheme).map_err(err)?)
-            }
-            AlgoChoice::Mrb => {
-                Box::new(smb_baselines::Mrb::for_expected_cardinality(m, 1e7, scheme).map_err(err)?)
-            }
-            AlgoChoice::Fm => {
-                Box::new(smb_baselines::Fm::with_memory_bits_scheme(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::Hll => {
-                Box::new(smb_baselines::Hll::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::Hllpp => {
-                Box::new(smb_baselines::HllPlusPlus::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::Tailcut => {
-                Box::new(smb_baselines::HllTailCut::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::LogLog => {
-                Box::new(smb_baselines::LogLog::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::SuperLogLog => {
-                Box::new(smb_baselines::SuperLogLog::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::Kmv => {
-                Box::new(smb_baselines::Kmv::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::MinCount => {
-                Box::new(smb_baselines::MinCount::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::Bjkst => {
-                Box::new(smb_baselines::Bjkst::with_memory_bits(m, scheme).map_err(err)?)
-            }
-            AlgoChoice::Bitmap => {
-                Box::new(smb_core::Bitmap::with_scheme(m, scheme).map_err(err)?)
-            }
-        })
-    }
-}
 
 /// `count` subcommand configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CountConfig {
     /// Estimator choice.
-    pub algo: AlgoChoice,
+    pub algo: Algo,
     /// Memory budget in bits.
     pub memory_bits: usize,
     /// Also track the exact count and report the error.
@@ -122,6 +33,27 @@ pub struct CountConfig {
 pub struct FlowsConfig {
     /// Per-flow memory budget in bits.
     pub memory_bits: usize,
+    /// Only report flows with estimates at least this large.
+    pub threshold: f64,
+    /// Report at most this many flows (largest first).
+    pub top: usize,
+}
+
+/// `serve` subcommand configuration — the parallel flows mode.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Per-flow estimator choice.
+    pub algo: Algo,
+    /// Per-flow memory budget in bits.
+    pub memory_bits: usize,
+    /// Worker shard count (0 = one per core).
+    pub shards: usize,
+    /// Items per dispatch batch.
+    pub batch: usize,
+    /// Per-shard queue capacity in batches.
+    pub queue_batches: usize,
+    /// Full-queue behaviour.
+    pub policy: BackpressurePolicy,
     /// Only report flows with estimates at least this large.
     pub threshold: f64,
     /// Report at most this many flows (largest first).
@@ -146,6 +78,8 @@ pub enum Command {
     Count(CountConfig),
     /// Per-flow estimates of `flow<TAB>item` lines.
     Flows(FlowsConfig),
+    /// Sharded parallel per-flow estimation of `flow<TAB>item` lines.
+    Serve(ServeConfig),
     /// Generate a synthetic trace.
     Trace(TraceCliConfig),
 }
@@ -157,6 +91,15 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a s
         .ok_or_else(|| format!("{flag} needs a value"))
 }
 
+fn parse_num<T: std::str::FromStr>(args: &[String], i: &mut usize, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    take_value(args, i, flag)?
+        .parse()
+        .map_err(|e| format!("{flag}: {e}"))
+}
+
 /// Parse the argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let Some(sub) = args.first() else {
@@ -166,19 +109,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "--help" | "-h" | "help" => Ok(Command::Help),
         "count" => {
             let mut cfg = CountConfig {
-                algo: AlgoChoice::Smb,
+                algo: Algo::Smb,
                 memory_bits: 8192,
                 exact: false,
             };
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--algo" => cfg.algo = AlgoChoice::parse(take_value(args, &mut i, "--algo")?)?,
-                    "--memory-bits" => {
-                        cfg.memory_bits = take_value(args, &mut i, "--memory-bits")?
-                            .parse()
-                            .map_err(|e| format!("--memory-bits: {e}"))?
-                    }
+                    "--algo" => cfg.algo = Algo::from_name(take_value(args, &mut i, "--algo")?)?,
+                    "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
                     "--exact" => cfg.exact = true,
                     other => return Err(format!("unknown option `{other}` for count")),
                 }
@@ -195,26 +134,45 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--memory-bits" => {
-                        cfg.memory_bits = take_value(args, &mut i, "--memory-bits")?
-                            .parse()
-                            .map_err(|e| format!("--memory-bits: {e}"))?
-                    }
-                    "--threshold" => {
-                        cfg.threshold = take_value(args, &mut i, "--threshold")?
-                            .parse()
-                            .map_err(|e| format!("--threshold: {e}"))?
-                    }
-                    "--top" => {
-                        cfg.top = take_value(args, &mut i, "--top")?
-                            .parse()
-                            .map_err(|e| format!("--top: {e}"))?
-                    }
+                    "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
+                    "--threshold" => cfg.threshold = parse_num(args, &mut i, "--threshold")?,
+                    "--top" => cfg.top = parse_num(args, &mut i, "--top")?,
                     other => return Err(format!("unknown option `{other}` for flows")),
                 }
                 i += 1;
             }
             Ok(Command::Flows(cfg))
+        }
+        "serve" => {
+            let mut cfg = ServeConfig {
+                algo: Algo::Smb,
+                memory_bits: 2048,
+                shards: 0,
+                batch: 256,
+                queue_batches: 8,
+                policy: BackpressurePolicy::Block,
+                threshold: 0.0,
+                top: 20,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--algo" => cfg.algo = Algo::from_name(take_value(args, &mut i, "--algo")?)?,
+                    "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
+                    "--shards" => cfg.shards = parse_num(args, &mut i, "--shards")?,
+                    "--batch" => cfg.batch = parse_num(args, &mut i, "--batch")?,
+                    "--queue" => cfg.queue_batches = parse_num(args, &mut i, "--queue")?,
+                    "--policy" => {
+                        cfg.policy =
+                            BackpressurePolicy::from_name(take_value(args, &mut i, "--policy")?)?
+                    }
+                    "--threshold" => cfg.threshold = parse_num(args, &mut i, "--threshold")?,
+                    "--top" => cfg.top = parse_num(args, &mut i, "--top")?,
+                    other => return Err(format!("unknown option `{other}` for serve")),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve(cfg))
         }
         "trace" => {
             let mut cfg = TraceCliConfig {
@@ -224,16 +182,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--flows" => {
-                        cfg.flows = take_value(args, &mut i, "--flows")?
-                            .parse()
-                            .map_err(|e| format!("--flows: {e}"))?
-                    }
-                    "--seed" => {
-                        cfg.seed = take_value(args, &mut i, "--seed")?
-                            .parse()
-                            .map_err(|e| format!("--seed: {e}"))?
-                    }
+                    "--flows" => cfg.flows = parse_num(args, &mut i, "--flows")?,
+                    "--seed" => cfg.seed = parse_num(args, &mut i, "--seed")?,
                     other => return Err(format!("unknown option `{other}` for trace")),
                 }
                 i += 1;
@@ -250,7 +200,9 @@ pub fn run_count(
     lines: &mut dyn Iterator<Item = String>,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let mut est = cfg.algo.build(cfg.memory_bits, 0)?;
+    let mut est = AlgoSpec::new(cfg.algo, cfg.memory_bits)
+        .build()
+        .map_err(|e| e.to_string())?;
     let mut exact = cfg.exact.then(ExactCounter::new);
     let mut total_lines = 0u64;
     for line in lines {
@@ -277,6 +229,18 @@ pub fn run_count(
     Ok(())
 }
 
+/// Split a `flow<TAB>item` line (whitespace also accepted) into the
+/// hashed flow key and the item bytes.
+fn parse_flow_line(line: &str) -> Option<(u64, &str)> {
+    let mut parts = line.splitn(2, ['\t', ' ']);
+    match (parts.next(), parts.next()) {
+        (Some(flow), Some(item)) if !flow.is_empty() && !item.is_empty() => {
+            Some((smb_hash::fnv::fnv1a64(flow.as_bytes()), item))
+        }
+        _ => None,
+    }
+}
+
 /// Run `flows` over `flow<TAB>item` lines (whitespace also accepted).
 pub fn run_flows(
     cfg: FlowsConfig,
@@ -294,19 +258,69 @@ pub fn run_flows(
 
     let mut skipped = 0u64;
     for line in lines {
-        let mut parts = line.splitn(2, ['\t', ' ']);
-        match (parts.next(), parts.next()) {
-            (Some(flow), Some(item)) if !flow.is_empty() && !item.is_empty() => {
-                let key = smb_hash::fnv::fnv1a64(flow.as_bytes());
-                table.record(key, item.as_bytes());
-            }
-            _ => skipped += 1,
+        match parse_flow_line(&line) {
+            Some((key, item)) => table.record(key, item.as_bytes()),
+            None => skipped += 1,
         }
     }
     let mut report = table.flows_over(cfg.threshold);
     report.truncate(cfg.top);
     writeln!(out, "flows tracked: {}  (skipped {} malformed lines)", table.len(), skipped)
         .map_err(|e| e.to_string())?;
+    for (flow, estimate) in report {
+        writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// Run `serve`: the sharded parallel version of `flows`. Lines stream
+/// through a [`ShardedFlowEngine`]; the report adds the engine's
+/// per-shard statistics.
+pub fn run_serve(
+    cfg: ServeConfig,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let spec = AlgoSpec::new(cfg.algo, cfg.memory_bits).with_n_max(1e6);
+    let mut config = EngineConfig::new(spec)
+        .with_batch(cfg.batch)
+        .with_queue_batches(cfg.queue_batches)
+        .with_policy(cfg.policy);
+    if cfg.shards > 0 {
+        config = config.with_shards(cfg.shards);
+    }
+    let mut engine = ShardedFlowEngine::new(config).map_err(|e| e.to_string())?;
+
+    let mut skipped = 0u64;
+    for line in lines {
+        match parse_flow_line(&line) {
+            Some((key, item)) => engine.ingest(key, item.as_bytes()),
+            None => skipped += 1,
+        }
+    }
+    engine.flush();
+
+    let mut report = engine.snapshot_top_k(cfg.top);
+    report.retain(|&(_, est)| est >= cfg.threshold);
+    let stats = engine.stats();
+    writeln!(
+        out,
+        "flows tracked: {}  (skipped {} malformed lines, dropped {} items)",
+        stats.total_flows(),
+        skipped,
+        stats.total_dropped(),
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "engine       : {} shard(s), batch {}, queue {} batch(es), {:?}",
+        engine.config().shards,
+        engine.config().batch,
+        engine.config().queue_batches,
+        engine.config().policy,
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(out, "{stats}").map_err(|e| e.to_string())?;
     for (flow, estimate) in report {
         writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
     }
@@ -344,9 +358,28 @@ mod tests {
         else {
             panic!("expected count")
         };
-        assert_eq!(c.algo, AlgoChoice::Hllpp);
+        assert_eq!(c.algo, Algo::HllPlusPlus);
         assert_eq!(c.memory_bits, 4096);
         assert!(c.exact);
+    }
+
+    #[test]
+    fn parse_serve_flags() {
+        let Ok(Command::Serve(c)) = parse_args(&s(&[
+            "serve", "--algo", "hll", "--shards", "4", "--batch", "128", "--queue", "2",
+            "--policy", "drop", "--memory-bits", "4096", "--top", "3",
+        ])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.algo, Algo::Hll);
+        assert_eq!(c.shards, 4);
+        assert_eq!(c.batch, 128);
+        assert_eq!(c.queue_batches, 2);
+        assert_eq!(c.policy, BackpressurePolicy::DropNewest);
+        assert_eq!(c.memory_bits, 4096);
+        assert_eq!(c.top, 3);
+        assert!(parse_args(&s(&["serve", "--policy", "explode"])).is_err());
+        assert!(parse_args(&s(&["serve", "--wat"])).is_err());
     }
 
     #[test]
@@ -360,7 +393,7 @@ mod tests {
     #[test]
     fn count_estimates_distinct_lines() {
         let cfg = CountConfig {
-            algo: AlgoChoice::Smb,
+            algo: Algo::Smb,
             memory_bits: 8192,
             exact: true,
         };
@@ -384,12 +417,9 @@ mod tests {
 
     #[test]
     fn count_works_for_every_algo() {
-        for algo in [
-            "smb", "mrb", "fm", "hll", "hllpp", "tailcut", "loglog", "superloglog", "kmv",
-            "mincount", "bjkst", "bitmap",
-        ] {
+        for algo in smb_factory::ALL_ALGOS {
             let cfg = CountConfig {
-                algo: AlgoChoice::parse(algo).unwrap(),
+                algo,
                 memory_bits: 8192,
                 exact: false,
             };
@@ -405,7 +435,8 @@ mod tests {
                 .expect("estimate line");
             assert!(
                 (est - 5000.0).abs() / 5000.0 < 0.4,
-                "{algo}: estimate {est}"
+                "{}: estimate {est}",
+                algo.name()
             );
         }
     }
@@ -445,6 +476,61 @@ mod tests {
         run_flows(cfg, &mut lines, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("skipped 2"), "{text}");
+    }
+
+    #[test]
+    fn serve_reports_flows_and_stats() {
+        let cfg = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 2,
+            batch: 64,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            threshold: 100.0,
+            top: 5,
+        };
+        let mut lines = Vec::new();
+        for i in 0..3000u32 {
+            lines.push(format!("heavy\t{i}"));
+        }
+        for i in 0..50u32 {
+            lines.push(format!("light\t{i}"));
+        }
+        lines.push("malformed".into());
+        let mut out = Vec::new();
+        run_serve(cfg, &mut lines.into_iter(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("flows tracked: 2"), "{text}");
+        assert!(text.contains("skipped 1"), "{text}");
+        assert!(text.contains("2 shard(s)"), "{text}");
+        assert!(text.contains("enqueued"), "{text}");
+        // Only the heavy flow clears the threshold; its estimate is
+        // the last line.
+        let last = text.lines().last().unwrap();
+        let est: f64 = last.split('\t').nth(1).unwrap().parse().unwrap();
+        assert!((est - 3000.0).abs() / 3000.0 < 0.3, "{est}");
+    }
+
+    #[test]
+    fn serve_and_flows_report_same_flow_count() {
+        let mut trace_out = Vec::new();
+        run_trace(TraceCliConfig { flows: 150, seed: 4 }, &mut trace_out).unwrap();
+        let text = String::from_utf8(trace_out).unwrap();
+        let serve_cfg = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 3,
+            batch: 32,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            threshold: 0.0,
+            top: 5,
+        };
+        let mut out = Vec::new();
+        run_serve(serve_cfg, &mut text.lines().map(|l| l.to_string()), &mut out).unwrap();
+        let report = String::from_utf8(out).unwrap();
+        assert!(report.contains("flows tracked: 150"), "{report}");
     }
 
     #[test]

@@ -5,13 +5,16 @@
 //!     read items from stdin, one per line; print the estimate
 //! smbcount flows [--memory-bits 2048] [--threshold N] [--top K]
 //!     read "flow<TAB>item" lines; print per-flow estimates
+//! smbcount serve [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]
+//!                [--memory-bits M] [--threshold N] [--top K]
+//!     sharded parallel flows mode: per-flow estimates + engine stats
 //! smbcount trace [--flows N] [--seed S]
 //!     emit a synthetic CAIDA-like trace as "flow<TAB>item" lines
 //! ```
 
 use std::io::{BufRead, BufWriter, Write};
 
-use smb_cli::{parse_args, run_count, run_flows, run_trace, Command};
+use smb_cli::{parse_args, run_count, run_flows, run_serve, run_trace, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,7 +22,7 @@ fn main() {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: smbcount <count|flows|trace> [options]   (see --help)");
+            eprintln!("usage: smbcount <count|flows|serve|trace> [options]   (see --help)");
             std::process::exit(2);
         }
     };
@@ -35,6 +38,8 @@ fn main() {
                  subcommands:\n\
                  \x20 count  [--algo A] [--memory-bits M] [--exact]   estimate |distinct(stdin lines)|\n\
                  \x20 flows  [--memory-bits M] [--threshold N] [--top K]   per-flow estimates of 'flow<TAB>item' lines\n\
+                 \x20 serve  [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]\n\
+                 \x20        [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
                  \x20 trace  [--flows N] [--seed S]   generate a synthetic trace\n\n\
                  algorithms: smb mrb fm hll hllpp tailcut loglog superloglog kmv mincount bjkst bitmap"
             );
@@ -42,6 +47,7 @@ fn main() {
         }
         Command::Count(cfg) => run_count(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Flows(cfg) => run_flows(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
+        Command::Serve(cfg) => run_serve(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Trace(cfg) => run_trace(cfg, &mut out),
     };
     if let Err(e) = result {

@@ -227,6 +227,26 @@ impl CardinalityEstimator for Smb {
         }
     }
 
+    /// Batched override: skim items that fail the current round's
+    /// sampling test without paying the full `record_hash` entry cost.
+    /// In late rounds (`pᵣ = 2⁻ʳ` small) almost every item fails, so
+    /// the hot loop is a pure read of the batch against a cached `r`;
+    /// `r` only ever grows, so it is reloaded after each survivor.
+    fn record_hashes(&mut self, hashes: &[ItemHash]) {
+        let mut i = 0;
+        while i < hashes.len() {
+            let r = self.r;
+            while i < hashes.len() && hashes[i].geometric() < r {
+                i += 1;
+            }
+            if i == hashes.len() {
+                break;
+            }
+            self.record_hash(hashes[i]);
+            i += 1;
+        }
+    }
+
     fn estimate(&self) -> f64 {
         self.estimate_at(self.r, self.v)
     }
@@ -380,6 +400,28 @@ mod tests {
         for i in lo..hi {
             smb.record(&i.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn record_hashes_matches_sequential_record_hash() {
+        // Run deep into the sampling rounds so the batched fast path's
+        // skim loop actually rejects items; state must stay identical
+        // to the one-at-a-time path, batch boundaries included.
+        let scheme = HashScheme::with_seed(11);
+        let hashes: Vec<ItemHash> = (0..60_000u64)
+            .map(|i| scheme.item_hash(&i.to_le_bytes()))
+            .collect();
+        let mut batched = Smb::with_scheme(2048, 128, scheme).unwrap();
+        let mut sequential = batched.clone();
+        for chunk in hashes.chunks(977) {
+            batched.record_hashes(chunk);
+        }
+        for &h in &hashes {
+            sequential.record_hash(h);
+        }
+        assert_eq!(batched.snapshot(), sequential.snapshot());
+        assert_eq!(batched.estimate(), sequential.estimate());
+        assert!(batched.round() > 0, "test must exercise sampling rounds");
     }
 
     #[test]

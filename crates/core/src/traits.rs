@@ -31,6 +31,21 @@ pub trait CardinalityEstimator {
     /// [`CardinalityEstimator::scheme`].
     fn record_hash(&mut self, hash: ItemHash);
 
+    /// Record a batch of pre-computed hashes.
+    ///
+    /// Semantically identical to calling
+    /// [`CardinalityEstimator::record_hash`] on each element in order.
+    /// The default implementation is exactly that loop; estimators for
+    /// which batching saves per-call work (e.g. [`crate::Smb`], whose
+    /// geometric sampling filter rejects most items in late rounds)
+    /// override it. Batch producers — the sharded engine, the benches —
+    /// should prefer this entry point.
+    fn record_hashes(&mut self, hashes: &[ItemHash]) {
+        for &h in hashes {
+            self.record_hash(h);
+        }
+    }
+
     /// Estimate the number of distinct items recorded so far.
     ///
     /// Pure: never mutates state, so it can be called per-item for
@@ -59,6 +74,43 @@ pub trait CardinalityEstimator {
     /// cardinalities.
     fn is_saturated(&self) -> bool {
         self.estimate() >= self.max_estimate()
+    }
+}
+
+/// Boxed estimators (including trait objects such as
+/// `Box<dyn CardinalityEstimator + Send>`) are estimators themselves,
+/// so generic containers like `FlowTable<E>` can hold heterogeneous
+/// estimators chosen at runtime through `smb-factory`.
+impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
+    fn record(&mut self, item: &[u8]) {
+        (**self).record(item);
+    }
+    fn record_hash(&mut self, hash: ItemHash) {
+        (**self).record_hash(hash);
+    }
+    fn record_hashes(&mut self, hashes: &[ItemHash]) {
+        (**self).record_hashes(hashes);
+    }
+    fn estimate(&self) -> f64 {
+        (**self).estimate()
+    }
+    fn scheme(&self) -> HashScheme {
+        (**self).scheme()
+    }
+    fn memory_bits(&self) -> usize {
+        (**self).memory_bits()
+    }
+    fn clear(&mut self) {
+        (**self).clear();
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn max_estimate(&self) -> f64 {
+        (**self).max_estimate()
+    }
+    fn is_saturated(&self) -> bool {
+        (**self).is_saturated()
     }
 }
 
@@ -124,6 +176,43 @@ mod tests {
         e.record(b"b");
         assert_eq!(e.estimate(), 2.0);
         assert!(!e.is_saturated());
+    }
+
+    #[test]
+    fn record_hashes_default_matches_loop() {
+        let scheme = HashScheme::with_seed(3);
+        let hashes: Vec<ItemHash> = (0..500u32)
+            .map(|i| scheme.item_hash(&i.to_le_bytes()))
+            .collect();
+        let mut batched = Exact {
+            scheme,
+            seen: Default::default(),
+        };
+        let mut looped = Exact {
+            scheme,
+            seen: Default::default(),
+        };
+        batched.record_hashes(&hashes);
+        for &h in &hashes {
+            looped.record_hash(h);
+        }
+        assert_eq!(batched.estimate(), looped.estimate());
+    }
+
+    #[test]
+    fn boxed_estimator_forwards_everything() {
+        let mut e: Box<Box<dyn CardinalityEstimator>> = Box::new(Box::new(Exact {
+            scheme: HashScheme::with_seed(1),
+            seen: Default::default(),
+        }));
+        let scheme = e.scheme();
+        e.record(b"x");
+        e.record_hashes(&[scheme.item_hash(b"y"), scheme.item_hash(b"x")]);
+        assert_eq!(e.estimate(), 2.0);
+        assert_eq!(e.name(), "Exact");
+        assert!(!e.is_saturated());
+        e.clear();
+        assert_eq!(e.estimate(), 0.0);
     }
 
     #[test]

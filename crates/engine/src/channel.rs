@@ -1,0 +1,187 @@
+//! A bounded blocking channel, the engine's shard queue.
+//!
+//! One producer (the ingest front-end) and one consumer (the shard
+//! worker) per channel — SPSC in usage, though the implementation is
+//! safe under any number of handles. The queue is bounded in *batches*;
+//! combined with the engine's fixed batch size this caps the number of
+//! in-flight items per shard, which is what gives the engine explicit
+//! backpressure instead of unbounded buffering.
+//!
+//! Built on `Mutex` + `Condvar` from `std` only (offline-dependency
+//! policy: no crossbeam). The producer touches the lock once per
+//! *batch*, not per item, so the synchronisation cost is amortised over
+//! the batch size.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+struct Inner<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Why a [`Sender::try_send`] did not enqueue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the value is handed back.
+    Full(T),
+    /// The receiver side is gone; the value is handed back.
+    Closed(T),
+}
+
+/// Producer handle of a bounded channel.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer handle of a bounded channel.
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Create a bounded channel holding at most `capacity` values.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "channel capacity must be at least 1");
+    let inner = Arc::new(Inner {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(capacity),
+            closed: false,
+        }),
+        capacity,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `value`, blocking while the queue is full. Returns the
+    /// value back if the channel is closed.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        loop {
+            if state.closed {
+                return Err(value);
+            }
+            if state.buf.len() < self.inner.capacity {
+                state.buf.push_back(value);
+                self.inner.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.inner.not_full.wait(state).expect("channel lock");
+        }
+    }
+
+    /// Enqueue `value` without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        if state.closed {
+            return Err(TrySendError::Closed(value));
+        }
+        if state.buf.len() >= self.inner.capacity {
+            return Err(TrySendError::Full(value));
+        }
+        state.buf.push_back(value);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Close the channel: the receiver drains what is buffered, then
+    /// observes end-of-stream. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        state.closed = true;
+        self.inner.not_empty.notify_all();
+        self.inner.not_full.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeue the next value, blocking while the queue is empty.
+    /// `None` once the channel is closed **and** drained.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self.inner.state.lock().expect("channel lock");
+        loop {
+            if let Some(v) = state.buf.pop_front() {
+                self.inner.not_full.notify_one();
+                return Some(v);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.inner.not_empty.wait(state).expect("channel lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_within_capacity() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_send_reports_full_deterministically() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Some(1));
+        assert!(tx.try_send(3).is_ok());
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let (tx, rx) = bounded(4);
+        tx.send("a").unwrap();
+        tx.close();
+        assert_eq!(tx.try_send("b"), Err(TrySendError::Closed("b")));
+        assert_eq!(rx.recv(), Some("a"));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn blocking_send_resumes_after_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let producer = std::thread::spawn(move || {
+            tx.send(1).unwrap(); // blocks until the consumer drains
+            tx.close();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let (tx, rx) = bounded(1);
+        let consumer = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        tx.send(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(42));
+    }
+}

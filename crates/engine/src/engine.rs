@@ -1,0 +1,586 @@
+//! The sharded flow-estimation engine.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!             ingest(flow, item)             worker 0 ── FlowTable 0
+//!  caller ──► hash once ──► shard = f(flow) ─┤  ...          ...
+//!             batch per shard ──► bounded ───┘ worker N ── FlowTable N
+//!                                 queues
+//! ```
+//!
+//! * **Hash once.** The producer computes the 64-bit [`ItemHash`] under
+//!   the engine's single [`HashScheme`]; workers never touch item
+//!   bytes.
+//! * **Partition by flow.** A flow's packets always land on the same
+//!   shard, so per-flow estimates are **bit-identical for any shard
+//!   count** (each estimator sees the same items in the same order) and
+//!   workers need no cross-shard coordination.
+//! * **Batch.** Items travel in fixed-size batches over bounded
+//!   queues; the producer touches a queue lock once per batch and each
+//!   worker locks its table once per batch, so the per-item hot path on
+//!   both sides is lock-free.
+//! * **Backpressure.** When a shard queue is full the engine either
+//!   blocks the producer ([`BackpressurePolicy::Block`], losslessly
+//!   pacing ingest to the workers) or counts the batch into
+//!   `dropped_items` and moves on ([`BackpressurePolicy::DropNewest`],
+//!   bounding producer latency as a router would under overload).
+//!   Either way `queue_full_events` records every time a full queue
+//!   was observed.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use smb_factory::{AlgoSpec, DynEstimator};
+use smb_hash::{mix, HashScheme, ItemHash};
+use smb_sketch::FlowTable;
+
+use crate::channel::{bounded, Sender, TrySendError};
+use crate::stats::{EngineStats, ShardCounters};
+
+/// Factory shared by all shards; must be callable from worker threads.
+pub type EstimatorFactory = dyn Fn(u64) -> DynEstimator + Send + Sync;
+
+/// The concrete table type a shard worker owns. This is where the
+/// `Send` requirement on flow-table factories lives — single-threaded
+/// [`FlowTable`] users are free of it.
+pub type ShardTable = FlowTable<DynEstimator, Box<dyn Fn(u64) -> DynEstimator + Send>>;
+
+/// One (flow key, pre-computed hash) pair in flight.
+type Entry = (u64, ItemHash);
+type Batch = Vec<Entry>;
+
+/// What to do when a shard's queue is full at dispatch time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the producer until the worker frees queue space. Lossless;
+    /// ingest throughput degrades to worker throughput.
+    #[default]
+    Block,
+    /// Drop the just-completed batch and count it in `dropped_items`.
+    /// Bounded producer latency; estimates undercount under overload.
+    DropNewest,
+}
+
+impl BackpressurePolicy {
+    /// Parse a CLI name (`block` / `drop`).
+    pub fn from_name(s: &str) -> Result<Self, String> {
+        match s {
+            "block" => Ok(BackpressurePolicy::Block),
+            "drop" => Ok(BackpressurePolicy::DropNewest),
+            other => Err(format!("unknown backpressure policy `{other}` (block|drop)")),
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// What estimator each flow gets (also fixes the hash scheme).
+    pub spec: AlgoSpec,
+    /// Number of worker shards (≥ 1).
+    pub shards: usize,
+    /// Items per batch (≥ 1).
+    pub batch: usize,
+    /// Per-shard queue capacity, in batches (≥ 1).
+    pub queue_batches: usize,
+    /// Full-queue behaviour.
+    pub policy: BackpressurePolicy,
+}
+
+impl EngineConfig {
+    /// Defaults sized for the host: one shard per available core,
+    /// 256-item batches, 8 batches of queue per shard, blocking
+    /// backpressure.
+    pub fn new(spec: AlgoSpec) -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        EngineConfig {
+            spec,
+            shards: cores,
+            batch: 256,
+            queue_batches: 8,
+            policy: BackpressurePolicy::Block,
+        }
+    }
+
+    /// Set the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Set the batch size.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Set the per-shard queue capacity in batches.
+    pub fn with_queue_batches(mut self, queue_batches: usize) -> Self {
+        self.queue_batches = queue_batches;
+        self
+    }
+
+    /// Set the backpressure policy.
+    pub fn with_policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    fn validate(&self) -> smb_core::Result<()> {
+        if self.shards == 0 {
+            return Err(smb_core::Error::invalid("shards", "must be at least 1"));
+        }
+        if self.batch == 0 {
+            return Err(smb_core::Error::invalid("batch", "must be at least 1"));
+        }
+        if self.queue_batches == 0 {
+            return Err(smb_core::Error::invalid(
+                "queue_batches",
+                "must be at least 1",
+            ));
+        }
+        Ok(())
+    }
+}
+
+struct Shard {
+    tx: Sender<Batch>,
+    table: Arc<Mutex<ShardTable>>,
+    counters: Arc<ShardCounters>,
+    worker: Option<JoinHandle<()>>,
+}
+
+/// A multi-core, sharded per-flow cardinality-estimation pipeline.
+///
+/// ```
+/// use smb_engine::{EngineConfig, ShardedFlowEngine};
+/// use smb_factory::{Algo, AlgoSpec};
+///
+/// let spec = AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(7);
+/// let mut engine = ShardedFlowEngine::new(EngineConfig::new(spec).with_shards(2)).unwrap();
+/// for i in 0..10_000u32 {
+///     engine.ingest(i as u64 % 4, &i.to_le_bytes());
+/// }
+/// engine.flush();
+/// assert_eq!(engine.stats().total_flows(), 4);
+/// assert!(engine.query(0).unwrap() > 1000.0);
+/// ```
+pub struct ShardedFlowEngine {
+    config: EngineConfig,
+    scheme: HashScheme,
+    shards: Vec<Shard>,
+    /// Producer-side accumulation, one partial batch per shard.
+    pending: Vec<Batch>,
+}
+
+/// Salt decorrelating shard selection from the estimators' item hashing
+/// (both see the flow key; the item hash additionally sees the bytes).
+const SHARD_SALT: u64 = 0x5348_4152_445F_534D;
+
+impl ShardedFlowEngine {
+    /// Spawn an engine whose per-flow estimators come from
+    /// `config.spec`. Fails fast if the spec's parameters are invalid
+    /// (workers never build a broken estimator mid-stream).
+    pub fn new(config: EngineConfig) -> smb_core::Result<Self> {
+        // Probe the spec once so errors surface here, not in a worker.
+        config.spec.build()?;
+        let spec = config.spec;
+        let factory: Arc<EstimatorFactory> =
+            Arc::new(move |_flow| spec.build().expect("spec validated at engine construction"));
+        Self::with_factory(config, spec.scheme(), factory)
+    }
+
+    /// Spawn an engine with a custom estimator factory. `scheme` must
+    /// be the hash scheme the factory's estimators record under — the
+    /// producer hashes items exactly once, through this scheme.
+    pub fn with_factory(
+        config: EngineConfig,
+        scheme: HashScheme,
+        factory: Arc<EstimatorFactory>,
+    ) -> smb_core::Result<Self> {
+        config.validate()?;
+        let mut shards = Vec::with_capacity(config.shards);
+        for _ in 0..config.shards {
+            let (tx, rx) = bounded::<Batch>(config.queue_batches);
+            let counters = Arc::new(ShardCounters::default());
+            let shard_factory = Arc::clone(&factory);
+            let table: Arc<Mutex<ShardTable>> = Arc::new(Mutex::new(FlowTable::with_factory(
+                Box::new(move |flow| (shard_factory)(flow)),
+            )));
+            let worker_table = Arc::clone(&table);
+            let worker_counters = Arc::clone(&counters);
+            let worker = std::thread::Builder::new()
+                .name("smb-engine-shard".into())
+                .spawn(move || {
+                    let mut run: Vec<ItemHash> = Vec::new();
+                    while let Some(batch) = rx.recv() {
+                        let mut table = worker_table.lock().expect("shard table lock");
+                        // Record consecutive same-flow runs through the
+                        // batched estimator path; per-flow order is
+                        // preserved, so estimates are unaffected.
+                        let mut i = 0;
+                        while i < batch.len() {
+                            let flow = batch[i].0;
+                            let mut j = i + 1;
+                            while j < batch.len() && batch[j].0 == flow {
+                                j += 1;
+                            }
+                            if j - i == 1 {
+                                table.record_hash(flow, batch[i].1);
+                            } else {
+                                run.clear();
+                                run.extend(batch[i..j].iter().map(|&(_, h)| h));
+                                table.record_hashes(flow, &run);
+                            }
+                            i = j;
+                        }
+                        drop(table);
+                        worker_counters
+                            .items_recorded
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        worker_counters
+                            .batches_processed
+                            .fetch_add(1, Ordering::Release);
+                    }
+                })
+                .expect("spawn shard worker");
+            shards.push(Shard {
+                tx,
+                table,
+                counters,
+                worker: Some(worker),
+            });
+        }
+        Ok(ShardedFlowEngine {
+            pending: vec![Vec::with_capacity(config.batch); config.shards],
+            config,
+            scheme,
+            shards,
+        })
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The scheme the producer hashes items under. Pre-hashed ingest
+    /// ([`ShardedFlowEngine::ingest_hash`]) must use exactly this.
+    pub fn scheme(&self) -> HashScheme {
+        self.scheme
+    }
+
+    /// Which shard owns `flow`. Deterministic in the flow key alone.
+    #[inline]
+    pub fn shard_of(&self, flow: u64) -> usize {
+        (mix::moremur(flow ^ SHARD_SALT) % self.shards.len() as u64) as usize
+    }
+
+    /// Ingest one item for `flow`: hash once, stage into the owning
+    /// shard's batch, dispatch when the batch fills. No locks unless a
+    /// batch is dispatched.
+    #[inline]
+    pub fn ingest(&mut self, flow: u64, item: &[u8]) {
+        self.ingest_hash(flow, self.scheme.item_hash(item));
+    }
+
+    /// Ingest an item already hashed under [`ShardedFlowEngine::scheme`].
+    #[inline]
+    pub fn ingest_hash(&mut self, flow: u64, hash: ItemHash) {
+        let shard = self.shard_of(flow);
+        self.pending[shard].push((flow, hash));
+        if self.pending[shard].len() >= self.config.batch {
+            self.dispatch(shard);
+        }
+    }
+
+    /// Ingest a sequence of `(flow, item)` pairs.
+    pub fn ingest_batch<'a>(&mut self, items: impl IntoIterator<Item = (u64, &'a [u8])>) {
+        for (flow, item) in items {
+            self.ingest(flow, item);
+        }
+    }
+
+    /// Hand shard `shard`'s pending batch to its queue, applying the
+    /// backpressure policy.
+    fn dispatch(&mut self, shard: usize) {
+        let batch = std::mem::replace(
+            &mut self.pending[shard],
+            Vec::with_capacity(self.config.batch),
+        );
+        if batch.is_empty() {
+            return;
+        }
+        let s = &self.shards[shard];
+        let n = batch.len() as u64;
+        s.counters.batched_items.fetch_add(n, Ordering::Relaxed);
+        // Optimistically count the batch as sent; the drop path undoes
+        // this. Single producer, so flush (same thread) never observes
+        // the intermediate state.
+        s.counters.batches_sent.fetch_add(1, Ordering::Release);
+        s.counters.items_enqueued.fetch_add(n, Ordering::Relaxed);
+        match s.tx.try_send(batch) {
+            Ok(()) => {}
+            Err(TrySendError::Full(batch)) => {
+                s.counters.queue_full_events.fetch_add(1, Ordering::Relaxed);
+                match self.config.policy {
+                    BackpressurePolicy::Block => {
+                        if s.tx.send(batch).is_err() {
+                            unreachable!("engine closes queues only on drop");
+                        }
+                    }
+                    BackpressurePolicy::DropNewest => {
+                        s.counters.batches_sent.fetch_sub(1, Ordering::Relaxed);
+                        s.counters.items_enqueued.fetch_sub(n, Ordering::Relaxed);
+                        s.counters.dropped_items.fetch_add(n, Ordering::Relaxed);
+                    }
+                }
+            }
+            Err(TrySendError::Closed(_)) => {
+                unreachable!("engine closes queues only on drop")
+            }
+        }
+    }
+
+    /// Deliver all partial batches and wait until every shard has
+    /// processed everything enqueued so far. After `flush`, queries
+    /// and stats reflect every ingested (non-dropped) item.
+    ///
+    /// Partial batches are delivered with blocking sends under either
+    /// policy: flush is a delivery point, not a load-shedding one.
+    ///
+    /// # Panics
+    /// If a shard worker died (estimator panic), since its queue can
+    /// then never drain.
+    pub fn flush(&mut self) {
+        for shard in 0..self.shards.len() {
+            if self.pending[shard].is_empty() {
+                continue;
+            }
+            let batch = std::mem::replace(
+                &mut self.pending[shard],
+                Vec::with_capacity(self.config.batch),
+            );
+            let s = &self.shards[shard];
+            let n = batch.len() as u64;
+            s.counters.batched_items.fetch_add(n, Ordering::Relaxed);
+            s.counters.batches_sent.fetch_add(1, Ordering::Release);
+            s.counters.items_enqueued.fetch_add(n, Ordering::Relaxed);
+            if s.tx.send(batch).is_err() {
+                unreachable!("engine closes queues only on drop");
+            }
+        }
+        for s in &self.shards {
+            loop {
+                let sent = s.counters.batches_sent.load(Ordering::Acquire);
+                let done = s.counters.batches_processed.load(Ordering::Acquire);
+                if done >= sent {
+                    break;
+                }
+                if s.worker.as_ref().is_some_and(|w| w.is_finished()) {
+                    panic!("shard worker died with {} batches unprocessed", sent - done);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Estimate the cardinality of `flow`; `None` if never seen.
+    /// Reflects data already processed by the owning worker — call
+    /// [`ShardedFlowEngine::flush`] first for an up-to-date answer.
+    pub fn query(&self, flow: u64) -> Option<f64> {
+        let shard = self.shard_of(flow);
+        self.shards[shard]
+            .table
+            .lock()
+            .expect("shard table lock")
+            .estimate(flow)
+    }
+
+    /// The `k` flows with the largest estimates, descending — the
+    /// engine-wide version of [`FlowTable::flows_over`].
+    pub fn snapshot_top_k(&self, k: usize) -> Vec<(u64, f64)> {
+        let mut all: Vec<(u64, f64)> = Vec::new();
+        for s in &self.shards {
+            all.extend(s.table.lock().expect("shard table lock").estimates());
+        }
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+        all.truncate(k);
+        all
+    }
+
+    /// Every `(flow, estimate)` pair across all shards, in unspecified
+    /// order.
+    pub fn all_estimates(&self) -> Vec<(u64, f64)> {
+        let mut all = Vec::new();
+        for s in &self.shards {
+            all.extend(s.table.lock().expect("shard table lock").estimates());
+        }
+        all
+    }
+
+    /// Per-shard counters plus flow counts — the engine's
+    /// observability surface.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let flows = s.table.lock().expect("shard table lock").len() as u64;
+                    s.counters.snapshot(i, flows)
+                })
+                .collect(),
+        }
+    }
+
+    /// Total memory held by per-flow estimators across all shards, in
+    /// bits.
+    pub fn total_memory_bits(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.table
+                    .lock()
+                    .expect("shard table lock")
+                    .total_memory_bits()
+            })
+            .sum()
+    }
+
+    /// Flush, stop the workers, and return the final statistics.
+    pub fn finish(mut self) -> EngineStats {
+        self.flush();
+        let stats = self.stats();
+        self.close_and_join();
+        stats
+    }
+
+    fn close_and_join(&mut self) {
+        for s in &mut self.shards {
+            s.tx.close();
+        }
+        for s in &mut self.shards {
+            if let Some(worker) = s.worker.take() {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+impl Drop for ShardedFlowEngine {
+    /// Stops the workers. Pending (undispatched) partial batches are
+    /// discarded — call [`ShardedFlowEngine::flush`] or
+    /// [`ShardedFlowEngine::finish`] first if you need them counted.
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+impl std::fmt::Debug for ShardedFlowEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedFlowEngine")
+            .field("shards", &self.shards.len())
+            .field("batch", &self.config.batch)
+            .field("queue_batches", &self.config.queue_batches)
+            .field("policy", &self.config.policy)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smb_factory::Algo;
+
+    fn spec() -> AlgoSpec {
+        AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(3)
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(ShardedFlowEngine::new(EngineConfig::new(spec()).with_shards(0)).is_err());
+        assert!(ShardedFlowEngine::new(EngineConfig::new(spec()).with_batch(0)).is_err());
+        assert!(ShardedFlowEngine::new(EngineConfig::new(spec()).with_queue_batches(0)).is_err());
+        let bad = AlgoSpec::new(Algo::Smb, 0);
+        assert!(ShardedFlowEngine::new(EngineConfig::new(bad)).is_err());
+    }
+
+    #[test]
+    fn flows_partition_stably() {
+        let engine = ShardedFlowEngine::new(EngineConfig::new(spec()).with_shards(4)).unwrap();
+        for flow in 0..100u64 {
+            assert_eq!(engine.shard_of(flow), engine.shard_of(flow));
+            assert!(engine.shard_of(flow) < 4);
+        }
+    }
+
+    #[test]
+    fn ingest_flush_query_roundtrip() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(3).with_batch(64),
+        )
+        .unwrap();
+        for i in 0..5000u32 {
+            engine.ingest(7, &i.to_le_bytes());
+            engine.ingest(8, &(i % 50).to_le_bytes());
+        }
+        engine.flush();
+        let e7 = engine.query(7).expect("flow 7 exists");
+        let e8 = engine.query(8).expect("flow 8 exists");
+        assert!((e7 - 5000.0).abs() / 5000.0 < 0.3, "{e7}");
+        assert!((e8 - 50.0).abs() / 50.0 < 0.5, "{e8}");
+        assert_eq!(engine.query(9), None);
+        let top = engine.snapshot_top_k(1);
+        assert_eq!(top[0].0, 7);
+        let stats = engine.stats();
+        assert_eq!(stats.total_enqueued(), 10_000);
+        assert_eq!(stats.total_recorded(), 10_000);
+        assert_eq!(stats.total_dropped(), 0);
+        assert_eq!(stats.total_flows(), 2);
+    }
+
+    #[test]
+    fn finish_returns_complete_stats() {
+        let mut engine =
+            ShardedFlowEngine::new(EngineConfig::new(spec()).with_shards(2).with_batch(16))
+                .unwrap();
+        for i in 0..1000u32 {
+            engine.ingest(i as u64 % 10, &i.to_le_bytes());
+        }
+        let stats = engine.finish();
+        assert_eq!(stats.total_recorded(), 1000);
+        assert_eq!(stats.total_flows(), 10);
+        // 1000 items over 10 flows × 2 shards: occupancy is meaningful.
+        for s in &stats.shards {
+            if s.batches_sent > 0 {
+                assert!(s.mean_batch_occupancy > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_unsharded_flow_table() {
+        let sp = spec();
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(sp).with_shards(3).with_batch(32),
+        )
+        .unwrap();
+        let mut reference = FlowTable::new(move |_| sp.build().unwrap());
+        for i in 0..3000u32 {
+            let flow = (i % 17) as u64;
+            let item = i.to_le_bytes();
+            engine.ingest(flow, &item);
+            reference.record(flow, &item);
+        }
+        engine.flush();
+        for flow in 0..17u64 {
+            assert_eq!(engine.query(flow), reference.estimate(flow), "flow {flow}");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Engine observability: per-shard counters and their aggregation.
+//!
+//! This is the workspace's first operational-metrics surface. Counters
+//! are plain relaxed atomics — they are monotonic event counts, never
+//! used for synchronisation (the flush protocol in `engine.rs` is the
+//! only place ordering matters, and it uses acquire/release pairs on
+//! the batch counters).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared mutable counters of one shard, written by the producer side
+/// (enqueue/drop accounting) and the shard worker (processing
+/// accounting).
+#[derive(Debug, Default)]
+pub(crate) struct ShardCounters {
+    /// Items handed to the shard's queue (inside batches).
+    pub items_enqueued: AtomicU64,
+    /// Items the worker has recorded into its flow table.
+    pub items_recorded: AtomicU64,
+    /// Batches successfully enqueued.
+    pub batches_sent: AtomicU64,
+    /// Batches the worker has fully processed.
+    pub batches_processed: AtomicU64,
+    /// Items discarded by the drop backpressure policy.
+    pub dropped_items: AtomicU64,
+    /// Times the shard queue was observed full on dispatch.
+    pub queue_full_events: AtomicU64,
+    /// Sum of dispatched batch lengths (occupancy numerator; divide by
+    /// `batches_sent + drops/batch` for mean fill).
+    pub batched_items: AtomicU64,
+}
+
+/// A point-in-time snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Items handed to this shard's queue.
+    pub items_enqueued: u64,
+    /// Items recorded into the shard's flow table.
+    pub items_recorded: u64,
+    /// Batches enqueued.
+    pub batches_sent: u64,
+    /// Batches fully processed by the worker.
+    pub batches_processed: u64,
+    /// Items discarded under the drop policy.
+    pub dropped_items: u64,
+    /// Dispatch attempts that found the queue full.
+    pub queue_full_events: u64,
+    /// Flows resident in the shard's table.
+    pub flows: u64,
+    /// Mean number of items per dispatched batch — how full batches
+    /// run. Low occupancy with a large configured batch size means the
+    /// producer flushes partials (bursty input); `NaN` before any
+    /// batch is dispatched.
+    pub mean_batch_occupancy: f64,
+}
+
+impl ShardCounters {
+    pub(crate) fn snapshot(&self, shard: usize, flows: u64) -> ShardStats {
+        let batches_sent = self.batches_sent.load(Ordering::Acquire);
+        let batched_items = self.batched_items.load(Ordering::Relaxed);
+        ShardStats {
+            shard,
+            items_enqueued: self.items_enqueued.load(Ordering::Relaxed),
+            items_recorded: self.items_recorded.load(Ordering::Relaxed),
+            batches_sent,
+            batches_processed: self.batches_processed.load(Ordering::Acquire),
+            dropped_items: self.dropped_items.load(Ordering::Relaxed),
+            queue_full_events: self.queue_full_events.load(Ordering::Relaxed),
+            flows,
+            mean_batch_occupancy: batched_items as f64 / batches_sent as f64,
+        }
+    }
+}
+
+/// Aggregated engine statistics: one entry per shard plus totals.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl EngineStats {
+    /// Total items handed to shard queues.
+    pub fn total_enqueued(&self) -> u64 {
+        self.shards.iter().map(|s| s.items_enqueued).sum()
+    }
+
+    /// Total items recorded into flow tables.
+    pub fn total_recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.items_recorded).sum()
+    }
+
+    /// Total items discarded by the drop policy.
+    pub fn total_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped_items).sum()
+    }
+
+    /// Total queue-full events observed on dispatch.
+    pub fn total_queue_full_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_full_events).sum()
+    }
+
+    /// Total flows across all shards (shards partition flows, so this
+    /// is an exact count, not an estimate).
+    pub fn total_flows(&self) -> u64 {
+        self.shards.iter().map(|s| s.flows).sum()
+    }
+
+    /// Largest relative imbalance across shards: `max/mean − 1` of
+    /// per-shard enqueued items. 0 means perfectly even.
+    pub fn shard_imbalance(&self) -> f64 {
+        let n = self.shards.len() as f64;
+        let total = self.total_enqueued() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mean = total / n;
+        let max = self
+            .shards
+            .iter()
+            .map(|s| s.items_enqueued as f64)
+            .fold(0.0, f64::max);
+        max / mean - 1.0
+    }
+}
+
+impl std::fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>5}  {:>12}  {:>12}  {:>10}  {:>8}  {:>10}  {:>8}  {:>9}",
+            "shard", "enqueued", "recorded", "dropped", "qfull", "batches", "flows", "occupancy"
+        )?;
+        for s in &self.shards {
+            writeln!(
+                f,
+                "{:>5}  {:>12}  {:>12}  {:>10}  {:>8}  {:>10}  {:>8}  {:>9.1}",
+                s.shard,
+                s.items_enqueued,
+                s.items_recorded,
+                s.dropped_items,
+                s.queue_full_events,
+                s.batches_sent,
+                s.flows,
+                s.mean_batch_occupancy,
+            )?;
+        }
+        write!(
+            f,
+            "total  enqueued {}  recorded {}  dropped {}  flows {}  imbalance {:.2}",
+            self.total_enqueued(),
+            self.total_recorded(),
+            self.total_dropped(),
+            self.total_flows(),
+            self.shard_imbalance(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(enqueued: &[u64]) -> EngineStats {
+        EngineStats {
+            shards: enqueued
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| ShardStats {
+                    shard: i,
+                    items_enqueued: e,
+                    items_recorded: e,
+                    batches_sent: 1,
+                    batches_processed: 1,
+                    dropped_items: 0,
+                    queue_full_events: 0,
+                    flows: 1,
+                    mean_batch_occupancy: e as f64,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn totals_sum_across_shards() {
+        let s = stats(&[10, 20, 30]);
+        assert_eq!(s.total_enqueued(), 60);
+        assert_eq!(s.total_recorded(), 60);
+        assert_eq!(s.total_flows(), 3);
+    }
+
+    #[test]
+    fn imbalance_zero_when_even() {
+        assert!(stats(&[10, 10]).shard_imbalance().abs() < 1e-12);
+        assert!((stats(&[30, 10]).shard_imbalance() - 0.5).abs() < 1e-12);
+        assert_eq!(stats(&[0, 0]).shard_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn display_renders_every_shard() {
+        let text = stats(&[5, 7]).to_string();
+        assert!(text.contains("enqueued"));
+        assert!(text.lines().count() >= 4, "{text}");
+    }
+}

@@ -36,7 +36,7 @@ pub struct ThresholdDetector<E: CardinalityEstimator> {
 
 impl<E: CardinalityEstimator> ThresholdDetector<E> {
     /// Detector alarming when a flow's estimate reaches `threshold`.
-    pub fn new(threshold: f64, factory: impl Fn(u64) -> E + Send + 'static) -> Self {
+    pub fn new(threshold: f64, factory: impl Fn(u64) -> E + 'static) -> Self {
         assert!(threshold > 0.0);
         ThresholdDetector {
             table: FlowTable::new(factory),

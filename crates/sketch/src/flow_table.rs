@@ -6,24 +6,50 @@
 //! factory closure on first packet of a flow; all estimators share a
 //! hash scheme derived from the table seed so experiments are
 //! reproducible.
+//!
+//! The table is generic over its factory type `F` (defaulting to a
+//! boxed closure). Notably the factory carries **no `Send` bound**: a
+//! table used on one thread may capture non-`Send` state. A table only
+//! crosses threads when both `E` and `F` are `Send` — the sharded
+//! engine (`smb-engine`) pins that requirement on its own shard type
+//! rather than imposing it on every single-threaded caller.
 
 use std::collections::HashMap;
 
 use smb_core::CardinalityEstimator;
+use smb_hash::ItemHash;
+
+/// The default factory representation: a boxed, thread-local closure.
+pub type BoxedFactory<E> = Box<dyn Fn(u64) -> E>;
 
 /// A map from flow key to its own estimator instance.
-pub struct FlowTable<E: CardinalityEstimator> {
+pub struct FlowTable<E: CardinalityEstimator, F = BoxedFactory<E>> {
     flows: HashMap<u64, E>,
-    factory: Box<dyn Fn(u64) -> E + Send>,
+    factory: F,
 }
 
 impl<E: CardinalityEstimator> FlowTable<E> {
     /// Create a table whose estimators are built by `factory`
-    /// (receiving the flow key, e.g. to derive per-flow seeds).
-    pub fn new(factory: impl Fn(u64) -> E + Send + 'static) -> Self {
+    /// (receiving the flow key, e.g. to derive per-flow seeds). The
+    /// closure is boxed; use [`FlowTable::with_factory`] to keep a
+    /// concrete factory type (required for a `Send` table).
+    pub fn new(factory: impl Fn(u64) -> E + 'static) -> Self {
         FlowTable {
             flows: HashMap::new(),
             factory: Box::new(factory),
+        }
+    }
+}
+
+impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
+    /// Create a table with a concrete factory type. The table is
+    /// `Send` exactly when `E` and `F` are, so multi-threaded owners
+    /// (the engine's shards) get the bound they need without it
+    /// leaking into single-threaded use.
+    pub fn with_factory(factory: F) -> Self {
+        FlowTable {
+            flows: HashMap::new(),
+            factory,
         }
     }
 
@@ -35,6 +61,29 @@ impl<E: CardinalityEstimator> FlowTable<E> {
             .entry(flow)
             .or_insert_with(|| (self.factory)(flow))
             .record(item);
+    }
+
+    /// Record a pre-computed hash under `flow`. The hash **must** come
+    /// from the scheme of the estimator the factory builds for `flow`
+    /// (the engine guarantees this by sharing one spec-derived scheme
+    /// across all flows).
+    #[inline]
+    pub fn record_hash(&mut self, flow: u64, hash: ItemHash) {
+        self.flows
+            .entry(flow)
+            .or_insert_with(|| (self.factory)(flow))
+            .record_hash(hash);
+    }
+
+    /// Record a batch of pre-computed hashes under `flow` through the
+    /// estimator's batched path — one table lookup for the whole
+    /// batch instead of one per item.
+    #[inline]
+    pub fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]) {
+        self.flows
+            .entry(flow)
+            .or_insert_with(|| (self.factory)(flow))
+            .record_hashes(hashes);
     }
 
     /// Estimate the cardinality of `flow`; `None` if never seen.
@@ -55,6 +104,19 @@ impl<E: CardinalityEstimator> FlowTable<E> {
     /// True when no flows have been recorded.
     pub fn is_empty(&self) -> bool {
         self.flows.is_empty()
+    }
+
+    /// Iterate `(flow, estimator)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
+        self.flows.iter().map(|(&k, e)| (k, e))
+    }
+
+    /// Drain the table: remove and yield every `(flow, estimator)`
+    /// pair, leaving the table empty (the factory is retained). The
+    /// engine uses this to hand shard results back to the caller
+    /// without cloning estimators.
+    pub fn drain(&mut self) -> impl Iterator<Item = (u64, E)> + '_ {
+        self.flows.drain()
     }
 
     /// Iterate `(flow, estimate)` pairs.
@@ -84,7 +146,7 @@ impl<E: CardinalityEstimator> FlowTable<E> {
     }
 }
 
-impl<E: CardinalityEstimator> std::fmt::Debug for FlowTable<E> {
+impl<E: CardinalityEstimator, F> std::fmt::Debug for FlowTable<E, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlowTable")
             .field("flows", &self.flows.len())
@@ -150,5 +212,77 @@ mod tests {
         t.clear();
         assert!(t.is_empty());
         assert_eq!(t.estimate(1), None);
+    }
+
+    #[test]
+    fn record_hash_equals_record() {
+        // One shared scheme across flows, as the engine configures it.
+        let scheme = HashScheme::with_seed(5);
+        let mut by_item: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        let mut by_hash: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        let mut hashes = Vec::new();
+        for i in 0..2000u32 {
+            let flow = (i % 3) as u64;
+            let item = i.to_le_bytes();
+            by_item.record(flow, &item);
+            hashes.push((flow, scheme.item_hash(&item)));
+        }
+        for (flow, h) in &hashes {
+            by_hash.record_hash(*flow, *h);
+        }
+        for flow in 0..3u64 {
+            assert_eq!(by_item.estimate(flow), by_hash.estimate(flow), "flow {flow}");
+        }
+        // Batched per-flow path agrees too.
+        let mut batched: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        for flow in 0..3u64 {
+            let of_flow: Vec<_> = hashes
+                .iter()
+                .filter(|(f, _)| *f == flow)
+                .map(|&(_, h)| h)
+                .collect();
+            batched.record_hashes(flow, &of_flow);
+            assert_eq!(batched.estimate(flow), by_item.estimate(flow), "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn non_send_factory_is_accepted() {
+        // The factory captures an Rc, which is !Send — fine for a
+        // thread-local table.
+        let shared = std::rc::Rc::new(2048usize);
+        let mut t = FlowTable::new(move |flow| {
+            Smb::with_scheme(*shared, 128, HashScheme::with_seed(flow)).unwrap()
+        });
+        t.record(1, b"a");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn concrete_factory_table_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let t = FlowTable::with_factory(|flow: u64| {
+            Smb::with_scheme(2048, 128, HashScheme::with_seed(flow)).unwrap()
+        });
+        assert_send(&t);
+    }
+
+    #[test]
+    fn iter_and_drain() {
+        let mut t = table();
+        t.record(7, b"a");
+        t.record(8, b"b");
+        let mut seen: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![7, 8]);
+        let drained: Vec<(u64, Smb)> = t.drain().collect();
+        assert_eq!(drained.len(), 2);
+        assert!(t.is_empty());
+        // The factory survives a drain: the table is still usable.
+        t.record(9, b"c");
+        assert_eq!(t.len(), 1);
     }
 }

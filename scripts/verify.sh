@@ -17,7 +17,7 @@ fi
 echo "ok: only path-local workspace crates in Cargo.lock"
 
 step "release build (offline)"
-cargo build --release --offline
+cargo build --release --workspace --offline
 
 step "examples build (offline)"
 cargo build --examples --offline
@@ -28,6 +28,9 @@ cargo test --workspace -q --offline
 step "snapshot feature tests (offline)"
 cargo test -q --offline --features snapshot
 
+step "engine tests (offline): shard invariance + backpressure"
+cargo test -q --offline -p smb-engine
+
 step "smoke benchmarks (offline, in-tree harness)"
 bench_json="$(mktemp)"
 trap 'rm -f "$bench_json"' EXIT
@@ -37,5 +40,15 @@ if ! grep -q '"label"' "$bench_json"; then
     exit 1
 fi
 echo "ok: bench JSON written ($(wc -c <"$bench_json") bytes)"
+
+step "smoke ingest bench (offline): sharded engine throughput JSON"
+ingest_json="$(mktemp)"
+trap 'rm -f "$bench_json" "$ingest_json"' EXIT
+SMB_BENCH_SMOKE=1 SMB_BENCH_JSON="$ingest_json" cargo bench -p smb-bench --bench ingest --offline
+if ! grep -q 'engine/shards=4' "$ingest_json"; then
+    echo "FAIL: ingest bench JSON is missing the sharded engine results" >&2
+    exit 1
+fi
+echo "ok: ingest bench JSON written ($(wc -c <"$ingest_json") bytes)"
 
 step "all checks passed"

@@ -15,6 +15,12 @@
 //!   CAIDA-like packet trace;
 //! * [`sketch`] — multi-stream frameworks (per-flow tables, estimator
 //!   arrays) showing SMB as a plug-in estimator;
+//! * [`factory`] — the [`factory::AlgoSpec`] unified
+//!   estimator-construction API: one `(algorithm, memory bits, n_max,
+//!   seed)` spec builds any estimator in the workspace;
+//! * [`engine`] — the [`engine::ShardedFlowEngine`] multi-core
+//!   per-flow ingest pipeline (hash once, partition by flow, batched
+//!   lock-free shard workers with explicit backpressure);
 //! * [`hash`] — the first-party hashing substrate.
 //!
 //! ## Quickstart
@@ -34,6 +40,8 @@
 
 pub use smb_baselines as baselines;
 pub use smb_core as core;
+pub use smb_engine as engine;
+pub use smb_factory as factory;
 pub use smb_hash as hash;
 pub use smb_sketch as sketch;
 pub use smb_stream as stream;
