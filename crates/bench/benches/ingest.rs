@@ -21,10 +21,11 @@
 //! `-- --smoke` (or set `SMB_BENCH_SMOKE=1`) for a fast sanity pass.
 
 use smb_bench::{Algo, AlgoSpec};
-use smb_devtools::{black_box, Bench};
+use smb_devtools::{black_box, Bench, Json};
 use smb_engine::{EngineConfig, ShardedFlowEngine};
 use smb_sketch::FlowTable;
 use smb_stream::TraceConfig;
+use smb_telemetry::{MetricsObserver, Registry};
 
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -83,6 +84,48 @@ fn main() {
             black_box(engine.finish().total_recorded());
         });
     }
+
+    // Telemetry overhead: the same single-estimator ingest with and
+    // without a registry-backed observer attached. The target (DESIGN.md
+    // §9) is <5% on the observed path; the delta lands in the JSON
+    // `extra` block so perf-diff tooling can track it across runs.
+    bench.bench(format!("telemetry/smb-bare/packets={n}"), || {
+        let mut est = spec().build().unwrap();
+        for (_, item) in &packets {
+            est.record(item);
+        }
+        black_box(est.estimate());
+    });
+    let registry = Registry::new("smb_bench");
+    // Resolve the metric series once: the bench measures the per-item
+    // cost of the attached observer, not registry setup.
+    let observer = MetricsObserver::register(&registry, &[]).into_handle();
+    bench.bench(format!("telemetry/smb-observed/packets={n}"), || {
+        let mut est = spec().build_observed(Some(observer.clone())).unwrap();
+        for (_, item) in &packets {
+            est.record(item);
+        }
+        black_box(est.estimate());
+    });
+    let (bare_ns, observed_ns) = {
+        let rs = bench.results();
+        let median = |needle: &str| {
+            rs.iter()
+                .find(|r| r.label.contains(needle))
+                .map(|r| r.median_ns)
+                .unwrap_or(f64::NAN)
+        };
+        (median("/smb-bare/"), median("/smb-observed/"))
+    };
+    let overhead_pct = (observed_ns - bare_ns) / bare_ns * 100.0;
+    eprintln!(
+        "\ntelemetry overhead: bare {bare_ns:.0}ns vs observed {observed_ns:.0}ns \
+         per replay => {overhead_pct:+.2}% (target < 5%)"
+    );
+    bench.extra("telemetry_bare_median_ns", Json::Float(bare_ns));
+    bench.extra("telemetry_observed_median_ns", Json::Float(observed_ns));
+    bench.extra("telemetry_overhead_pct", Json::Float(overhead_pct));
+    bench.extra("telemetry_overhead_target_pct", Json::Float(5.0));
 
     // Throughput summary: items/sec per configuration and the speedup
     // of every engine configuration over the 1-shard engine.

@@ -9,13 +9,16 @@
 #![warn(missing_docs)]
 
 use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
 
-use smb_core::{CardinalityEstimator, Smb};
+use smb_core::{CardinalityEstimator, MorphCollector, ObserverHandle, Smb};
 use smb_engine::{BackpressurePolicy, EngineConfig, ShardedFlowEngine};
 use smb_factory::{Algo, AlgoSpec};
 use smb_hash::HashScheme;
 use smb_sketch::FlowTable;
 use smb_stream::{ExactCounter, TraceConfig};
+use smb_telemetry::{morph_event_to_json, ExportFormat, Reporter};
 
 /// `count` subcommand configuration.
 #[derive(Debug, Clone, Copy)]
@@ -40,7 +43,7 @@ pub struct FlowsConfig {
 }
 
 /// `serve` subcommand configuration — the parallel flows mode.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Per-flow estimator choice.
     pub algo: Algo,
@@ -58,6 +61,13 @@ pub struct ServeConfig {
     pub threshold: f64,
     /// Report at most this many flows (largest first).
     pub top: usize,
+    /// Emit an engine-metrics snapshot after the run in this format.
+    pub metrics: Option<ExportFormat>,
+    /// Write metrics to this file instead of the report stream.
+    pub metrics_out: Option<PathBuf>,
+    /// Also re-export metrics every this many seconds while ingesting
+    /// (requires `metrics_out`; the file is rewritten in place).
+    pub metrics_interval: Option<u64>,
 }
 
 /// `trace` subcommand configuration.
@@ -69,8 +79,17 @@ pub struct TraceCliConfig {
     pub seed: u64,
 }
 
-/// A parsed command line.
+/// `morphlog` subcommand configuration.
 #[derive(Debug, Clone, Copy)]
+pub struct MorphlogConfig {
+    /// SMB memory budget in bits.
+    pub memory_bits: usize,
+    /// Expected maximum cardinality (tunes the morph threshold `T`).
+    pub n_max: f64,
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone)]
 pub enum Command {
     /// Print usage.
     Help,
@@ -82,6 +101,8 @@ pub enum Command {
     Serve(ServeConfig),
     /// Generate a synthetic trace.
     Trace(TraceCliConfig),
+    /// Stream SMB morph events over stdin lines as JSON lines.
+    Morphlog(MorphlogConfig),
 }
 
 fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
@@ -153,6 +174,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 policy: BackpressurePolicy::Block,
                 threshold: 0.0,
                 top: 20,
+                metrics: None,
+                metrics_out: None,
+                metrics_interval: None,
             };
             let mut i = 1;
             while i < args.len() {
@@ -168,11 +192,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--threshold" => cfg.threshold = parse_num(args, &mut i, "--threshold")?,
                     "--top" => cfg.top = parse_num(args, &mut i, "--top")?,
+                    "--metrics" => {
+                        let name = take_value(args, &mut i, "--metrics")?;
+                        cfg.metrics = Some(ExportFormat::from_name(name).ok_or_else(|| {
+                            format!("unknown metrics format `{name}` (json|prom)")
+                        })?);
+                    }
+                    "--metrics-out" => {
+                        cfg.metrics_out =
+                            Some(PathBuf::from(take_value(args, &mut i, "--metrics-out")?));
+                    }
+                    "--metrics-interval" => {
+                        cfg.metrics_interval =
+                            Some(parse_num(args, &mut i, "--metrics-interval")?);
+                    }
                     other => return Err(format!("unknown option `{other}` for serve")),
                 }
                 i += 1;
             }
+            if cfg.metrics_interval.is_some() && cfg.metrics_out.is_none() {
+                return Err("--metrics-interval needs --metrics-out (periodic snapshots rewrite a file)".into());
+            }
+            if (cfg.metrics_out.is_some() || cfg.metrics_interval.is_some()) && cfg.metrics.is_none()
+            {
+                return Err("--metrics-out/--metrics-interval need --metrics <json|prom>".into());
+            }
             Ok(Command::Serve(cfg))
+        }
+        "morphlog" => {
+            let mut cfg = MorphlogConfig {
+                memory_bits: 8192,
+                n_max: 1e6,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
+                    "--n-max" => cfg.n_max = parse_num(args, &mut i, "--n-max")?,
+                    other => return Err(format!("unknown option `{other}` for morphlog")),
+                }
+                i += 1;
+            }
+            Ok(Command::Morphlog(cfg))
         }
         "trace" => {
             let mut cfg = TraceCliConfig {
@@ -275,7 +336,10 @@ pub fn run_flows(
 
 /// Run `serve`: the sharded parallel version of `flows`. Lines stream
 /// through a [`ShardedFlowEngine`]; the report adds the engine's
-/// per-shard statistics.
+/// per-shard statistics. With `--metrics`, the engine registry
+/// (per-shard queue/drop/batch series plus SMB morph counters) is
+/// exported as JSON or Prometheus text after the run — and, with
+/// `--metrics-interval`, periodically during it.
 pub fn run_serve(
     cfg: ServeConfig,
     lines: &mut dyn Iterator<Item = String>,
@@ -291,6 +355,23 @@ pub fn run_serve(
     }
     let mut engine = ShardedFlowEngine::new(config).map_err(|e| e.to_string())?;
 
+    let reporter = match (cfg.metrics, &cfg.metrics_out, cfg.metrics_interval) {
+        (Some(format), Some(path), Some(secs)) => {
+            let path = path.clone();
+            Some(Reporter::spawn(
+                Arc::clone(engine.registry()),
+                format,
+                std::time::Duration::from_secs(secs.max(1)),
+                move |text| {
+                    // Rewrite in place each tick; scrapers read a file
+                    // that is always a complete document.
+                    let _ = std::fs::write(&path, text);
+                },
+            ))
+        }
+        _ => None,
+    };
+
     let mut skipped = 0u64;
     for line in lines {
         match parse_flow_line(&line) {
@@ -299,6 +380,9 @@ pub fn run_serve(
         }
     }
     engine.flush();
+    if let Some(reporter) = reporter {
+        reporter.stop();
+    }
 
     let mut report = engine.snapshot_top_k(cfg.top);
     report.retain(|&(_, est)| est >= cfg.threshold);
@@ -324,6 +408,64 @@ pub fn run_serve(
     for (flow, estimate) in report {
         writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
     }
+
+    if let Some(format) = cfg.metrics {
+        let rendered = format.render(&engine.metrics_snapshot());
+        match &cfg.metrics_out {
+            Some(path) => std::fs::write(path, rendered)
+                .map_err(|e| format!("write {}: {e}", path.display()))?,
+            None => {
+                writeln!(out, "{rendered}").map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run `morphlog`: record stdin lines into one SMB and stream every
+/// morph event as a JSON line the moment its round closes, ending
+/// with a `"event":"final"` summary line. The output is JSON-lines —
+/// one object per line, nothing else — so it pipes cleanly into
+/// `jq`-style tooling.
+pub fn run_morphlog(
+    cfg: MorphlogConfig,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let collector = MorphCollector::shared();
+    let mut est = AlgoSpec::new(Algo::Smb, cfg.memory_bits)
+        .with_n_max(cfg.n_max)
+        .build_observed(Some(ObserverHandle::new(collector.clone())))
+        .map_err(|e| e.to_string())?;
+    let mut items = 0u64;
+    for line in lines {
+        est.record(line.as_bytes());
+        items += 1;
+        // Drain per item so events stream out as they happen rather
+        // than all at end-of-input.
+        for event in collector.drain() {
+            let mut obj = vec![
+                ("event".to_string(), smb_devtools::Json::str("morph")),
+                ("items_total".to_string(), smb_devtools::Json::Int(items as i128)),
+            ];
+            if let smb_devtools::Json::Obj(fields) = morph_event_to_json(&event) {
+                obj.extend(fields);
+            }
+            writeln!(out, "{}", smb_devtools::Json::Obj(obj).to_string())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    let summary = smb_devtools::Json::Obj(vec![
+        ("event".to_string(), smb_devtools::Json::str("final")),
+        ("items_total".to_string(), smb_devtools::Json::Int(items as i128)),
+        ("estimate".to_string(), smb_devtools::Json::Float(est.estimate())),
+        ("saturated".to_string(), smb_devtools::Json::Bool(est.is_saturated())),
+        (
+            "memory_bits".to_string(),
+            smb_devtools::Json::Int(est.memory_bits() as i128),
+        ),
+    ]);
+    writeln!(out, "{}", summary.to_string()).map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -388,6 +530,144 @@ mod tests {
         assert!(parse_args(&s(&["count", "--memory-bits"])).is_err());
         assert!(parse_args(&s(&["frobnicate"])).is_err());
         assert!(parse_args(&s(&["flows", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn parse_metrics_flags() {
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve", "--metrics", "prom"])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.metrics, Some(ExportFormat::Prometheus));
+        assert_eq!(c.metrics_out, None);
+        let Ok(Command::Serve(c)) = parse_args(&s(&[
+            "serve", "--metrics", "json", "--metrics-out", "/tmp/m.json",
+            "--metrics-interval", "5",
+        ])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.metrics, Some(ExportFormat::Json));
+        assert_eq!(c.metrics_out.as_deref(), Some(std::path::Path::new("/tmp/m.json")));
+        assert_eq!(c.metrics_interval, Some(5));
+        // Inconsistent combinations are rejected at parse time.
+        assert!(parse_args(&s(&["serve", "--metrics", "xml"])).is_err());
+        assert!(parse_args(&s(&["serve", "--metrics-out", "/tmp/x"])).is_err());
+        assert!(parse_args(&s(&["serve", "--metrics", "prom", "--metrics-interval", "5"]))
+            .is_err());
+    }
+
+    #[test]
+    fn parse_morphlog_flags() {
+        let Ok(Command::Morphlog(c)) =
+            parse_args(&s(&["morphlog", "--memory-bits", "4096", "--n-max", "50000"]))
+        else {
+            panic!("expected morphlog")
+        };
+        assert_eq!(c.memory_bits, 4096);
+        assert_eq!(c.n_max, 50_000.0);
+        assert!(parse_args(&s(&["morphlog", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn serve_emits_prometheus_metrics() {
+        let cfg = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 2,
+            batch: 32,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            threshold: 0.0,
+            top: 5,
+            metrics: Some(ExportFormat::Prometheus),
+            metrics_out: None,
+            metrics_interval: None,
+        };
+        let mut lines = Vec::new();
+        for i in 0..20_000u32 {
+            lines.push(format!("flow-{}\t{i}", i % 4));
+        }
+        let mut out = Vec::new();
+        run_serve(cfg, &mut lines.into_iter(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# TYPE engine_items_enqueued_total counter"), "{text}");
+        assert!(text.contains("engine_items_enqueued_total{shard=\"0\"}"), "{text}");
+        assert!(text.contains("engine_batch_occupancy_bucket"), "{text}");
+        assert!(text.contains("smb_morph_events_total"), "{text}");
+    }
+
+    #[test]
+    fn serve_writes_json_metrics_file() {
+        let path = std::env::temp_dir().join(format!(
+            "smbcount-metrics-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let cfg = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 1,
+            batch: 32,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            threshold: 0.0,
+            top: 5,
+            metrics: Some(ExportFormat::Json),
+            metrics_out: Some(path.clone()),
+            metrics_interval: None,
+        };
+        let mut lines = (0..500u32).map(|i| format!("f\t{i}"));
+        let mut out = Vec::new();
+        run_serve(cfg, &mut lines, &mut out).unwrap();
+        let report = String::from_utf8(out).unwrap();
+        assert!(
+            !report.contains("\"registry\""),
+            "metrics must go to the file, not the report: {report}"
+        );
+        let written = std::fs::read_to_string(&path).expect("metrics file written");
+        let _ = std::fs::remove_file(&path);
+        let parsed = smb_devtools::Json::parse(&written).expect("valid JSON");
+        assert_eq!(
+            parsed.field("registry").unwrap().as_str().unwrap(),
+            "smb_engine"
+        );
+    }
+
+    #[test]
+    fn morphlog_streams_json_lines() {
+        let cfg = MorphlogConfig {
+            memory_bits: 2048,
+            n_max: 1e5,
+        };
+        let mut lines = (0..50_000u32).map(|i| format!("item-{i}"));
+        let mut out = Vec::new();
+        run_morphlog(cfg, &mut lines, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let mut morphs = 0u32;
+        let mut finals = 0u32;
+        let mut last_round = None::<u64>;
+        for line in text.lines() {
+            let obj = smb_devtools::Json::parse(line).expect("each line is one JSON object");
+            match obj.field("event").unwrap().as_str().unwrap() {
+                "morph" => {
+                    morphs += 1;
+                    let round = obj.field("round").unwrap().as_u64().unwrap();
+                    match last_round {
+                        Some(p) => assert_eq!(round, p + 1, "rounds close in order"),
+                        None => assert_eq!(round, 0, "first morph closes round 0"),
+                    }
+                    last_round = Some(round);
+                    assert!(obj.field("estimate_at_close").unwrap().as_f64().unwrap() > 0.0);
+                }
+                "final" => {
+                    finals += 1;
+                    assert_eq!(obj.field("items_total").unwrap().as_u64().unwrap(), 50_000);
+                }
+                other => panic!("unexpected event {other}"),
+            }
+        }
+        assert!(morphs > 0, "50k items over 2048 bits must morph: {text}");
+        assert_eq!(finals, 1);
+        assert!(text.lines().last().unwrap().contains("final"));
     }
 
     #[test]
@@ -489,6 +769,9 @@ mod tests {
             policy: BackpressurePolicy::Block,
             threshold: 100.0,
             top: 5,
+            metrics: None,
+            metrics_out: None,
+            metrics_interval: None,
         };
         let mut lines = Vec::new();
         for i in 0..3000u32 {
@@ -526,6 +809,9 @@ mod tests {
             policy: BackpressurePolicy::Block,
             threshold: 0.0,
             top: 5,
+            metrics: None,
+            metrics_out: None,
+            metrics_interval: None,
         };
         let mut out = Vec::new();
         run_serve(serve_cfg, &mut text.lines().map(|l| l.to_string()), &mut out).unwrap();

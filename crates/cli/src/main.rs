@@ -7,14 +7,18 @@
 //!     read "flow<TAB>item" lines; print per-flow estimates
 //! smbcount serve [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]
 //!                [--memory-bits M] [--threshold N] [--top K]
+//!                [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]
 //!     sharded parallel flows mode: per-flow estimates + engine stats
+//!     (+ metrics snapshot in JSON or Prometheus text exposition)
+//! smbcount morphlog [--memory-bits M] [--n-max N]
+//!     stream SMB morph events over stdin lines as JSON lines
 //! smbcount trace [--flows N] [--seed S]
 //!     emit a synthetic CAIDA-like trace as "flow<TAB>item" lines
 //! ```
 
 use std::io::{BufRead, BufWriter, Write};
 
-use smb_cli::{parse_args, run_count, run_flows, run_serve, run_trace, Command};
+use smb_cli::{parse_args, run_count, run_flows, run_morphlog, run_serve, run_trace, Command};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +44,8 @@ fn main() {
                  \x20 flows  [--memory-bits M] [--threshold N] [--top K]   per-flow estimates of 'flow<TAB>item' lines\n\
                  \x20 serve  [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]\n\
                  \x20        [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
+                 \x20        [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]   metrics export\n\
+                 \x20 morphlog  [--memory-bits M] [--n-max N]   stream SMB morph events as JSON lines\n\
                  \x20 trace  [--flows N] [--seed S]   generate a synthetic trace\n\n\
                  algorithms: smb mrb fm hll hllpp tailcut loglog superloglog kmv mincount bjkst bitmap"
             );
@@ -48,6 +54,9 @@ fn main() {
         Command::Count(cfg) => run_count(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Flows(cfg) => run_flows(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Serve(cfg) => run_serve(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
+        Command::Morphlog(cfg) => {
+            run_morphlog(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out)
+        }
         Command::Trace(cfg) => run_trace(cfg, &mut out),
     };
     if let Err(e) = result {

@@ -15,6 +15,7 @@ use smb_hash::{HashScheme, ItemHash};
 
 use crate::bits::BitVec;
 use crate::error::{Error, Result};
+use crate::observe::{EstimatorEvent, ObserverHandle};
 use crate::traits::{CardinalityEstimator, MergeableEstimator};
 
 /// Direct bitmap estimator (a.k.a. linear counting).
@@ -33,6 +34,10 @@ pub struct Bitmap {
     bits: BitVec,
     ones: usize,
     scheme: HashScheme,
+    /// Lifecycle observer (cleared/saturated events) — the baseline's
+    /// opt-in to the workspace observability hook.
+    observer: Option<ObserverHandle>,
+    saturation_emitted: bool,
 }
 
 impl Bitmap {
@@ -53,6 +58,8 @@ impl Bitmap {
             bits: BitVec::new(m),
             ones: 0,
             scheme,
+            observer: None,
+            saturation_emitted: false,
         })
     }
 
@@ -91,6 +98,15 @@ impl CardinalityEstimator for Bitmap {
         let idx = hash.index(self.bits.len());
         if self.bits.set(idx) {
             self.ones += 1;
+            if !self.saturation_emitted && self.observer.is_some() && self.is_saturated() {
+                self.saturation_emitted = true;
+                if let Some(observer) = &self.observer {
+                    observer.emit(EstimatorEvent::Saturated {
+                        name: "Bitmap",
+                        estimate: self.estimate(),
+                    });
+                }
+            }
         }
     }
 
@@ -109,6 +125,10 @@ impl CardinalityEstimator for Bitmap {
     fn clear(&mut self) {
         self.bits.clear();
         self.ones = 0;
+        self.saturation_emitted = false;
+        if let Some(observer) = &self.observer {
+            observer.emit(EstimatorEvent::Cleared { name: "Bitmap" });
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -122,6 +142,11 @@ impl CardinalityEstimator for Bitmap {
 
     fn is_saturated(&self) -> bool {
         self.ones >= self.bits.len()
+    }
+
+    fn set_observer(&mut self, observer: Option<ObserverHandle>) -> bool {
+        self.observer = observer;
+        true
     }
 }
 

@@ -14,6 +14,9 @@
 //! * [`CardinalityEstimator`] — the trait shared by every estimator in
 //!   the workspace, which lets downstream sketches treat estimators as
 //!   plug-ins (the paper's §II-C);
+//! * [`observe`] — the estimator lifecycle-observation hook: attach an
+//!   [`SmbObserver`] to receive structured [`MorphEvent`]s as rounds
+//!   close (what `smb-telemetry` builds its metrics adapters on);
 //! * [`bits::BitVec`] — the packed bit-array substrate.
 //!
 //! All estimators hash items through [`smb_hash::HashScheme`], so
@@ -26,6 +29,7 @@
 pub mod bitmap;
 pub mod bits;
 pub mod error;
+pub mod observe;
 pub mod sampled;
 pub mod smb;
 pub mod traits;
@@ -33,6 +37,7 @@ pub mod traits;
 pub use bitmap::Bitmap;
 pub use bits::BitVec;
 pub use error::{Error, Result};
+pub use observe::{EstimatorEvent, MorphCollector, MorphEvent, ObserverHandle, SmbObserver};
 pub use sampled::SampledBitmap;
 pub use smb::{Smb, SmbBuilder, SmbSnapshot};
 pub use traits::{CardinalityEstimator, MergeableEstimator};

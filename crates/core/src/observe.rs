@@ -1,0 +1,241 @@
+//! Estimator lifecycle observation — the hook the telemetry layer
+//! plugs into.
+//!
+//! SMB's defining runtime behaviour is *morphing*: every time `T`
+//! fresh bits are set the round closes, the sampling probability
+//! halves and the logical bitmap shrinks by `T` bits. Until this
+//! module existed that dynamic was invisible — only the final `(r, v)`
+//! pair could be read. An [`SmbObserver`] attached via
+//! [`CardinalityEstimator::set_observer`] receives a structured
+//! [`MorphEvent`] at the instant each round closes, plus the
+//! analogous lifecycle events ([`EstimatorEvent::Cleared`],
+//! [`EstimatorEvent::Saturated`]) that any estimator can emit.
+//!
+//! Design constraints, in order:
+//!
+//! * **Hot-path neutral.** An estimator with no observer attached pays
+//!   one predictable branch per morph (not per item). Events fire on
+//!   round closures — `⌊m/T⌋ − 1` times over an estimator's entire
+//!   life — so even a heavyweight observer cannot slow recording.
+//! * **Shareable.** Observers are held as
+//!   `Arc<dyn SmbObserver>` ([`ObserverHandle`]), so one observer
+//!   (e.g. a telemetry registry adapter) can watch every estimator in
+//!   a sharded engine; estimator types stay `Clone`.
+//! * **Immutable receiver.** [`SmbObserver::on_event`] takes `&self`;
+//!   implementations use atomics or locks internally. This is what
+//!   lets a single handle fan out across shard worker threads.
+//!
+//! The trait lives in `smb-core` (not the telemetry crate) so the
+//! estimators can emit events without depending on any metrics
+//! machinery; `smb-telemetry` provides registry-backed implementations.
+//!
+//! [`CardinalityEstimator::set_observer`]: crate::CardinalityEstimator::set_observer
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A structured record of one SMB round closure (morph).
+///
+/// Emitted at the exact moment `v` reaches `T` and the round counter
+/// advances — the event describes the round that just **closed**.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MorphEvent {
+    /// Index of the round that closed (0-based). Events from one
+    /// estimator arrive with strictly increasing `round`.
+    pub round: u32,
+    /// Fresh bits set in the closed round — always exactly `T` for
+    /// non-final rounds (the final round never closes).
+    pub fresh_bits_at_close: usize,
+    /// Size of the closed round's logical bitmap, `m − round·T`.
+    pub logical_size: usize,
+    /// Items offered to the estimator (including duplicates and
+    /// sampled-out items) since the previous morph — the stream effort
+    /// it took to fill this round's `T` bits.
+    pub items_since_last_morph: u64,
+    /// The estimate at the instant of closure: `S[round+1]` in the
+    /// paper's Eq. 9 table, i.e. the closed rounds' cumulative
+    /// contribution. Consecutive events differ by exactly
+    /// `S[r+1] − S[r]`, the closed round's own contribution.
+    pub estimate_at_close: f64,
+}
+
+/// A lifecycle event from a [`CardinalityEstimator`].
+///
+/// [`CardinalityEstimator`]: crate::CardinalityEstimator
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EstimatorEvent<'a> {
+    /// An SMB round closed. Only estimators with round dynamics (SMB)
+    /// emit this.
+    Morph(&'a MorphEvent),
+    /// The estimator was reset to its empty state.
+    Cleared {
+        /// The estimator's [`name`](crate::CardinalityEstimator::name).
+        name: &'static str,
+    },
+    /// The estimator crossed into saturation: it can no longer
+    /// distinguish larger cardinalities. Emitted once per saturation
+    /// (re-armed by `clear`).
+    Saturated {
+        /// The estimator's [`name`](crate::CardinalityEstimator::name).
+        name: &'static str,
+        /// The (clamped) estimate at the moment saturation was
+        /// detected.
+        estimate: f64,
+    },
+}
+
+/// Receives estimator lifecycle events.
+///
+/// `on_event` takes `&self` so one observer instance can be shared —
+/// via [`ObserverHandle`] — across every estimator of a sharded
+/// engine; implementations synchronise internally (atomics in the
+/// telemetry crate's registry adapter, a mutex in test collectors).
+pub trait SmbObserver: Send + Sync {
+    /// Called synchronously from the recording thread at each
+    /// lifecycle event. Keep it cheap: it runs inside `record_hash`.
+    fn on_event(&self, event: EstimatorEvent<'_>);
+}
+
+/// A cloneable, debuggable handle to a shared observer — what
+/// estimators actually store.
+#[derive(Clone)]
+pub struct ObserverHandle(Arc<dyn SmbObserver>);
+
+impl ObserverHandle {
+    /// Wrap a shared observer.
+    pub fn new(observer: Arc<dyn SmbObserver>) -> Self {
+        ObserverHandle(observer)
+    }
+
+    /// Build a handle directly from an observer value.
+    pub fn from_observer(observer: impl SmbObserver + 'static) -> Self {
+        ObserverHandle(Arc::new(observer))
+    }
+
+    /// Deliver an event to the observer.
+    #[inline]
+    pub fn emit(&self, event: EstimatorEvent<'_>) {
+        self.0.on_event(event);
+    }
+}
+
+impl fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ObserverHandle(..)")
+    }
+}
+
+impl<F: Fn(EstimatorEvent<'_>) + Send + Sync> SmbObserver for F {
+    fn on_event(&self, event: EstimatorEvent<'_>) {
+        self(event);
+    }
+}
+
+/// A simple collecting observer: stores every [`MorphEvent`] it sees,
+/// in arrival order. Counts (but does not store) the other lifecycle
+/// events. Intended for tests and the CLI's `morphlog` mode.
+#[derive(Debug, Default)]
+pub struct MorphCollector {
+    events: std::sync::Mutex<Vec<MorphEvent>>,
+    cleared: std::sync::atomic::AtomicU64,
+    saturated: std::sync::atomic::AtomicU64,
+}
+
+impl MorphCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty collector already wrapped for attachment.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// All morph events observed so far, in order.
+    pub fn events(&self) -> Vec<MorphEvent> {
+        self.events.lock().expect("collector lock").clone()
+    }
+
+    /// Remove and return the events collected since the last drain.
+    pub fn drain(&self) -> Vec<MorphEvent> {
+        std::mem::take(&mut *self.events.lock().expect("collector lock"))
+    }
+
+    /// Number of `Cleared` events seen.
+    pub fn cleared_count(&self) -> u64 {
+        self.cleared.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of `Saturated` events seen.
+    pub fn saturated_count(&self) -> u64 {
+        self.saturated.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl SmbObserver for MorphCollector {
+    fn on_event(&self, event: EstimatorEvent<'_>) {
+        match event {
+            EstimatorEvent::Morph(e) => {
+                self.events.lock().expect("collector lock").push(*e);
+            }
+            EstimatorEvent::Cleared { .. } => {
+                self.cleared
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            EstimatorEvent::Saturated { .. } => {
+                self.saturated
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_observers_work() {
+        let count = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        let handle = ObserverHandle::from_observer(move |_e: EstimatorEvent<'_>| {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        handle.emit(EstimatorEvent::Cleared { name: "X" });
+        handle.emit(EstimatorEvent::Cleared { name: "X" });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn collector_collects_and_drains() {
+        let collector = MorphCollector::shared();
+        let handle = ObserverHandle::new(Arc::clone(&collector) as Arc<dyn SmbObserver>);
+        let e = MorphEvent {
+            round: 0,
+            fresh_bits_at_close: 4,
+            logical_size: 32,
+            items_since_last_morph: 9,
+            estimate_at_close: 4.3,
+        };
+        handle.emit(EstimatorEvent::Morph(&e));
+        handle.emit(EstimatorEvent::Saturated {
+            name: "SMB",
+            estimate: 1.0,
+        });
+        assert_eq!(collector.events().len(), 1);
+        assert_eq!(collector.events()[0], e);
+        assert_eq!(collector.saturated_count(), 1);
+        assert_eq!(collector.cleared_count(), 0);
+        assert_eq!(collector.drain().len(), 1);
+        assert!(collector.events().is_empty());
+    }
+
+    #[test]
+    fn handle_is_cloneable_and_debuggable() {
+        let handle = ObserverHandle::from_observer(|_e: EstimatorEvent<'_>| {});
+        let clone = handle.clone();
+        clone.emit(EstimatorEvent::Cleared { name: "Y" });
+        assert_eq!(format!("{handle:?}"), "ObserverHandle(..)");
+    }
+}

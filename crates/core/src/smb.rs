@@ -43,6 +43,7 @@ use smb_hash::{HashScheme, ItemHash};
 
 use crate::bits::BitVec;
 use crate::error::{Error, Result};
+use crate::observe::{EstimatorEvent, MorphEvent, ObserverHandle};
 use crate::traits::CardinalityEstimator;
 
 /// The Self-Morphing Bitmap cardinality estimator.
@@ -76,6 +77,14 @@ pub struct Smb {
     /// *closed* rounds before round `i` (Eq. 9). `S[0] = 0`.
     s_table: Vec<f64>,
     scheme: HashScheme,
+    /// Items offered (duplicates and sampled-out included) since the
+    /// last morph — reported in [`MorphEvent::items_since_last_morph`].
+    items_since_morph: u64,
+    /// Lifecycle observer, shared across clones.
+    observer: Option<ObserverHandle>,
+    /// Whether the one-shot `Saturated` event has fired (re-armed by
+    /// `clear`).
+    saturation_emitted: bool,
 }
 
 impl Smb {
@@ -115,6 +124,9 @@ impl Smb {
             max_rounds,
             s_table,
             scheme,
+            items_since_morph: 0,
+            observer: None,
+            saturation_emitted: false,
         })
     }
 
@@ -200,6 +212,15 @@ impl Smb {
         (self.r as usize) * self.t + self.v
     }
 
+    /// Items offered since the last morph (duplicates and sampled-out
+    /// items included) — the denominator of per-round fill-rate
+    /// monitoring, and what [`MorphEvent::items_since_last_morph`]
+    /// reports at the next closure.
+    #[inline]
+    pub fn items_since_last_morph(&self) -> u64 {
+        self.items_since_morph
+    }
+
     /// Borrow the physical bit array (for diagnostics/tests).
     pub fn as_bits(&self) -> &BitVec {
         &self.bits
@@ -209,6 +230,7 @@ impl Smb {
 impl CardinalityEstimator for Smb {
     #[inline]
     fn record_hash(&mut self, hash: ItemHash) {
+        self.items_since_morph += 1;
         // Step 1: geometric sampling with probability 2⁻ʳ.
         if hash.geometric() < self.r {
             return;
@@ -221,8 +243,33 @@ impl CardinalityEstimator for Smb {
             // exhausted — unless this is already the final round, where
             // the logical bitmap is allowed to fill up (saturation).
             if self.v >= self.t && self.r + 1 < self.max_rounds {
+                let closed = self.r;
                 self.r += 1;
+                let items = self.items_since_morph;
+                self.items_since_morph = 0;
+                if let Some(observer) = &self.observer {
+                    // At closure (v = T) Eq. 11 collapses to S[r+1]:
+                    // the round's own contribution folded into the
+                    // cumulative table.
+                    let event = MorphEvent {
+                        round: closed,
+                        fresh_bits_at_close: self.v,
+                        logical_size: self.m - (closed as usize) * self.t,
+                        items_since_last_morph: items,
+                        estimate_at_close: self.s_table[(closed + 1) as usize],
+                    };
+                    observer.emit(EstimatorEvent::Morph(&event));
+                }
                 self.v = 0;
+            } else if !self.saturation_emitted && self.observer.is_some() && self.is_saturated()
+            {
+                self.saturation_emitted = true;
+                if let Some(observer) = &self.observer {
+                    observer.emit(EstimatorEvent::Saturated {
+                        name: "SMB",
+                        estimate: self.estimate(),
+                    });
+                }
             }
         }
     }
@@ -232,13 +279,17 @@ impl CardinalityEstimator for Smb {
     /// In late rounds (`pᵣ = 2⁻ʳ` small) almost every item fails, so
     /// the hot loop is a pure read of the batch against a cached `r`;
     /// `r` only ever grows, so it is reloaded after each survivor.
+    /// Skimmed items still count toward `items_since_last_morph`, so
+    /// batched and sequential recording stay state-identical.
     fn record_hashes(&mut self, hashes: &[ItemHash]) {
         let mut i = 0;
         while i < hashes.len() {
             let r = self.r;
+            let run_start = i;
             while i < hashes.len() && hashes[i].geometric() < r {
                 i += 1;
             }
+            self.items_since_morph += (i - run_start) as u64;
             if i == hashes.len() {
                 break;
             }
@@ -263,6 +314,11 @@ impl CardinalityEstimator for Smb {
         self.bits.clear();
         self.r = 0;
         self.v = 0;
+        self.items_since_morph = 0;
+        self.saturation_emitted = false;
+        if let Some(observer) = &self.observer {
+            observer.emit(EstimatorEvent::Cleared { name: "SMB" });
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -281,6 +337,11 @@ impl CardinalityEstimator for Smb {
     fn is_saturated(&self) -> bool {
         let m_r = self.logical_len();
         self.r + 1 == self.max_rounds && self.v >= m_r - 1
+    }
+
+    fn set_observer(&mut self, observer: Option<ObserverHandle>) -> bool {
+        self.observer = observer;
+        true
     }
 }
 
@@ -632,6 +693,50 @@ mod tests {
         let smb = Smb::new(8, 2).unwrap();
         let expect = smb.s_value(3) + 8.0 * 8.0 * 2f64.ln();
         assert!((smb.max_estimate() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn morph_events_fire_once_per_round_closure() {
+        use crate::observe::{MorphCollector, ObserverHandle, SmbObserver};
+        use std::sync::Arc;
+
+        let collector = MorphCollector::shared();
+        let mut smb = Smb::new(1024, 128).unwrap();
+        assert!(smb.set_observer(Some(ObserverHandle::new(
+            Arc::clone(&collector) as Arc<dyn SmbObserver>
+        ))));
+        feed(&mut smb, 0, 50_000);
+        let events = collector.events();
+        assert_eq!(events.len(), smb.round() as usize, "one event per closed round");
+        let mut items_total = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.round, i as u32, "rounds strictly increasing from 0");
+            assert_eq!(e.fresh_bits_at_close, smb.threshold());
+            assert_eq!(e.logical_size, 1024 - i * 128);
+            assert!((e.estimate_at_close - smb.s_value(e.round + 1)).abs() < 1e-9);
+            items_total += e.items_since_last_morph;
+        }
+        // Every offered item is attributed to exactly one inter-morph
+        // interval (closed rounds + the still-open round).
+        assert_eq!(items_total + smb.items_since_last_morph(), 50_000);
+    }
+
+    #[test]
+    fn clear_emits_cleared_and_rearms_saturation() {
+        use crate::observe::{MorphCollector, ObserverHandle, SmbObserver};
+        use std::sync::Arc;
+
+        let collector = MorphCollector::shared();
+        let mut smb = Smb::new(256, 64).unwrap();
+        smb.set_observer(Some(ObserverHandle::new(
+            Arc::clone(&collector) as Arc<dyn SmbObserver>
+        )));
+        feed(&mut smb, 0, 2_000_000);
+        assert!(smb.is_saturated());
+        assert_eq!(collector.saturated_count(), 1, "saturation fires once");
+        smb.clear();
+        assert_eq!(collector.cleared_count(), 1);
+        assert_eq!(smb.items_since_last_morph(), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use smb_hash::{HashScheme, ItemHash};
 
 use crate::error::Result;
+use crate::observe::ObserverHandle;
 
 /// A streaming cardinality estimator.
 ///
@@ -75,6 +76,16 @@ pub trait CardinalityEstimator {
     fn is_saturated(&self) -> bool {
         self.estimate() >= self.max_estimate()
     }
+
+    /// Attach (or with `None`, detach) a lifecycle observer. Returns
+    /// `true` if this estimator emits events — [`crate::Smb`] (morph,
+    /// cleared, saturated) and [`crate::Bitmap`] (cleared, saturated)
+    /// do; the default implementation ignores the handle and returns
+    /// `false` so estimators without observable dynamics need no code.
+    fn set_observer(&mut self, observer: Option<ObserverHandle>) -> bool {
+        let _ = observer;
+        false
+    }
 }
 
 /// Boxed estimators (including trait objects such as
@@ -111,6 +122,9 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
     }
     fn is_saturated(&self) -> bool {
         (**self).is_saturated()
+    }
+    fn set_observer(&mut self, observer: Option<ObserverHandle>) -> bool {
+        (**self).set_observer(observer)
     }
 }
 

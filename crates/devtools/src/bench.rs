@@ -117,6 +117,7 @@ pub struct Bench {
     suite: String,
     config: BenchConfig,
     results: Vec<BenchResult>,
+    extra: Vec<(String, Json)>,
 }
 
 impl Bench {
@@ -133,6 +134,7 @@ impl Bench {
             suite,
             config,
             results: Vec::new(),
+            extra: Vec::new(),
         }
     }
 
@@ -198,15 +200,31 @@ impl Bench {
         &self.results
     }
 
+    /// Attach a suite-level datum (e.g. a derived overhead percentage)
+    /// to the JSON document, under the top-level `extra` object.
+    /// Re-using a key overwrites the earlier value.
+    pub fn extra(&mut self, key: impl Into<String>, value: Json) {
+        let key = key.into();
+        if let Some(slot) = self.extra.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.extra.push((key, value));
+        }
+    }
+
     /// The whole suite as a JSON document.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut doc = vec![
             ("suite".into(), Json::Str(self.suite.clone())),
             (
                 "results".into(),
                 Json::Arr(self.results.iter().map(BenchResult::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.extra.is_empty() {
+            doc.push(("extra".into(), Json::Obj(self.extra.clone())));
+        }
+        Json::Obj(doc)
     }
 
     /// Print the summary table; when `SMB_BENCH_JSON=<path>` is set,
@@ -316,6 +334,21 @@ mod tests {
             assert!(results[0].field(key).is_ok(), "missing {key}");
         }
         // The document must reparse through the in-tree layer.
+        assert!(Json::parse(&doc.to_string()).is_ok());
+        // No extras registered: the key is absent entirely.
+        assert!(doc.field("extra").is_err());
+    }
+
+    #[test]
+    fn extras_land_in_json_and_overwrite_by_key() {
+        let mut b = Bench::with_config("unit", BenchConfig::smoke());
+        b.extra("telemetry_overhead_pct", Json::Float(12.5));
+        b.extra("telemetry_overhead_pct", Json::Float(3.25));
+        b.extra("note", Json::str("observed vs bare"));
+        let doc = b.to_json();
+        let extra = doc.field("extra").unwrap();
+        assert_eq!(extra.field("telemetry_overhead_pct").unwrap().as_f64().unwrap(), 3.25);
+        assert_eq!(extra.field("note").unwrap().as_str().unwrap(), "observed vs bare");
         assert!(Json::parse(&doc.to_string()).is_ok());
     }
 

@@ -28,16 +28,17 @@
 //!   Either way `queue_full_events` records every time a full queue
 //!   was observed.
 
-use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use smb_factory::{AlgoSpec, DynEstimator};
 use smb_hash::{mix, HashScheme, ItemHash};
 use smb_sketch::FlowTable;
+use smb_telemetry::{MetricsObserver, Registry, RegistrySnapshot};
 
 use crate::channel::{bounded, Sender, TrySendError};
-use crate::stats::{EngineStats, ShardCounters};
+use crate::stats::{EngineStats, ShardMetrics};
 
 /// Factory shared by all shards; must be callable from worker threads.
 pub type EstimatorFactory = dyn Fn(u64) -> DynEstimator + Send + Sync;
@@ -150,7 +151,7 @@ impl EngineConfig {
 struct Shard {
     tx: Sender<Batch>,
     table: Arc<Mutex<ShardTable>>,
-    counters: Arc<ShardCounters>,
+    metrics: Arc<ShardMetrics>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -175,6 +176,9 @@ pub struct ShardedFlowEngine {
     shards: Vec<Shard>,
     /// Producer-side accumulation, one partial batch per shard.
     pending: Vec<Batch>,
+    /// All engine metrics (per-shard series plus SMB morph counters)
+    /// live here; export via [`ShardedFlowEngine::metrics_snapshot`].
+    registry: Arc<Registry>,
 }
 
 /// Salt decorrelating shard selection from the estimators' item hashing
@@ -185,13 +189,22 @@ impl ShardedFlowEngine {
     /// Spawn an engine whose per-flow estimators come from
     /// `config.spec`. Fails fast if the spec's parameters are invalid
     /// (workers never build a broken estimator mid-stream).
+    ///
+    /// Estimators are built with a [`MetricsObserver`] attached, so
+    /// SMB morph/clear/saturation events land in the engine registry
+    /// alongside the shard counters (engine-wide series — flows are
+    /// too numerous to label individually).
     pub fn new(config: EngineConfig) -> smb_core::Result<Self> {
         // Probe the spec once so errors surface here, not in a worker.
         config.spec.build()?;
         let spec = config.spec;
-        let factory: Arc<EstimatorFactory> =
-            Arc::new(move |_flow| spec.build().expect("spec validated at engine construction"));
-        Self::with_factory(config, spec.scheme(), factory)
+        let registry = Arc::new(Registry::new("smb_engine"));
+        let observer = MetricsObserver::register(&registry, &[]).into_handle();
+        let factory: Arc<EstimatorFactory> = Arc::new(move |_flow| {
+            spec.build_observed(Some(observer.clone()))
+                .expect("spec validated at engine construction")
+        });
+        Self::with_registry(config, spec.scheme(), factory, registry)
     }
 
     /// Spawn an engine with a custom estimator factory. `scheme` must
@@ -202,17 +215,29 @@ impl ShardedFlowEngine {
         scheme: HashScheme,
         factory: Arc<EstimatorFactory>,
     ) -> smb_core::Result<Self> {
+        Self::with_registry(config, scheme, factory, Arc::new(Registry::new("smb_engine")))
+    }
+
+    /// Spawn an engine that registers its metrics in a caller-supplied
+    /// registry — use this to aggregate several engines (or an engine
+    /// plus application metrics) into one export surface.
+    pub fn with_registry(
+        config: EngineConfig,
+        scheme: HashScheme,
+        factory: Arc<EstimatorFactory>,
+        registry: Arc<Registry>,
+    ) -> smb_core::Result<Self> {
         config.validate()?;
         let mut shards = Vec::with_capacity(config.shards);
-        for _ in 0..config.shards {
+        for shard in 0..config.shards {
             let (tx, rx) = bounded::<Batch>(config.queue_batches);
-            let counters = Arc::new(ShardCounters::default());
+            let metrics = Arc::new(ShardMetrics::register(&registry, shard));
             let shard_factory = Arc::clone(&factory);
             let table: Arc<Mutex<ShardTable>> = Arc::new(Mutex::new(FlowTable::with_factory(
                 Box::new(move |flow| (shard_factory)(flow)),
             )));
             let worker_table = Arc::clone(&table);
-            let worker_counters = Arc::clone(&counters);
+            let worker_metrics = Arc::clone(&metrics);
             let worker = std::thread::Builder::new()
                 .name("smb-engine-shard".into())
                 .spawn(move || {
@@ -238,20 +263,21 @@ impl ShardedFlowEngine {
                             }
                             i = j;
                         }
+                        let flows = table.len() as i64;
                         drop(table);
-                        worker_counters
-                            .items_recorded
-                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                        worker_counters
-                            .batches_processed
-                            .fetch_add(1, Ordering::Release);
+                        worker_metrics.flows.set(flows);
+                        worker_metrics.items_recorded.add(batch.len() as u64);
+                        worker_metrics.queue_depth.sub(1);
+                        // Release publishes the table writes above to
+                        // flush()'s acquire load.
+                        worker_metrics.batches_processed.add_release(1);
                     }
                 })
                 .expect("spawn shard worker");
             shards.push(Shard {
                 tx,
                 table,
-                counters,
+                metrics,
                 worker: Some(worker),
             });
         }
@@ -260,6 +286,7 @@ impl ShardedFlowEngine {
             config,
             scheme,
             shards,
+            registry,
         })
     }
 
@@ -317,32 +344,40 @@ impl ShardedFlowEngine {
         }
         let s = &self.shards[shard];
         let n = batch.len() as u64;
-        s.counters.batched_items.fetch_add(n, Ordering::Relaxed);
-        // Optimistically count the batch as sent; the drop path undoes
-        // this. Single producer, so flush (same thread) never observes
-        // the intermediate state.
-        s.counters.batches_sent.fetch_add(1, Ordering::Release);
-        s.counters.items_enqueued.fetch_add(n, Ordering::Relaxed);
-        match s.tx.try_send(batch) {
-            Ok(()) => {}
+        s.metrics.batch_occupancy.record(n);
+        let start = Instant::now();
+        // Count sent/enqueued only after the queue accepts the batch,
+        // so the counters are monotone (a Prometheus scrape must never
+        // see them go down). Single producer: flush runs on this same
+        // thread, so it always observes the post-dispatch counts.
+        let delivered = match s.tx.try_send(batch) {
+            Ok(()) => true,
             Err(TrySendError::Full(batch)) => {
-                s.counters.queue_full_events.fetch_add(1, Ordering::Relaxed);
+                s.metrics.queue_full_events.inc();
                 match self.config.policy {
                     BackpressurePolicy::Block => {
                         if s.tx.send(batch).is_err() {
                             unreachable!("engine closes queues only on drop");
                         }
+                        true
                     }
                     BackpressurePolicy::DropNewest => {
-                        s.counters.batches_sent.fetch_sub(1, Ordering::Relaxed);
-                        s.counters.items_enqueued.fetch_sub(n, Ordering::Relaxed);
-                        s.counters.dropped_items.fetch_add(n, Ordering::Relaxed);
+                        s.metrics.dropped_items.add(n);
+                        false
                     }
                 }
             }
             Err(TrySendError::Closed(_)) => {
                 unreachable!("engine closes queues only on drop")
             }
+        };
+        s.metrics
+            .enqueue_latency
+            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        if delivered {
+            s.metrics.queue_depth.add(1);
+            s.metrics.batches_sent.add_release(1);
+            s.metrics.items_enqueued.add(n);
         }
     }
 
@@ -357,6 +392,7 @@ impl ShardedFlowEngine {
     /// If a shard worker died (estimator panic), since its queue can
     /// then never drain.
     pub fn flush(&mut self) {
+        let _span = self.registry.timer("engine.flush");
         for shard in 0..self.shards.len() {
             if self.pending[shard].is_empty() {
                 continue;
@@ -367,17 +403,20 @@ impl ShardedFlowEngine {
             );
             let s = &self.shards[shard];
             let n = batch.len() as u64;
-            s.counters.batched_items.fetch_add(n, Ordering::Relaxed);
-            s.counters.batches_sent.fetch_add(1, Ordering::Release);
-            s.counters.items_enqueued.fetch_add(n, Ordering::Relaxed);
+            s.metrics.batch_occupancy.record(n);
             if s.tx.send(batch).is_err() {
                 unreachable!("engine closes queues only on drop");
             }
+            s.metrics.queue_depth.add(1);
+            s.metrics.batches_sent.add_release(1);
+            s.metrics.items_enqueued.add(n);
         }
         for s in &self.shards {
             loop {
-                let sent = s.counters.batches_sent.load(Ordering::Acquire);
-                let done = s.counters.batches_processed.load(Ordering::Acquire);
+                let sent = s.metrics.batches_sent.get_acquire();
+                // Acquire pairs with the worker's release increment,
+                // making its table writes visible to this thread.
+                let done = s.metrics.batches_processed.get_acquire();
                 if done >= sent {
                     break;
                 }
@@ -424,7 +463,9 @@ impl ShardedFlowEngine {
     }
 
     /// Per-shard counters plus flow counts — the engine's
-    /// observability surface.
+    /// programmatic observability surface. For the exportable view
+    /// (labels, histograms, morph counters) use
+    /// [`ShardedFlowEngine::metrics_snapshot`].
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             shards: self
@@ -433,10 +474,32 @@ impl ShardedFlowEngine {
                 .enumerate()
                 .map(|(i, s)| {
                     let flows = s.table.lock().expect("shard table lock").len() as u64;
-                    s.counters.snapshot(i, flows)
+                    // The worker only refreshes its flows gauge after a
+                    // batch; sync it to the exact count while we hold it.
+                    s.metrics.flows.set(flows as i64);
+                    s.metrics.snapshot(i, flows)
                 })
                 .collect(),
         }
+    }
+
+    /// The registry holding every engine metric: per-shard queue /
+    /// drop / batch series plus the SMB morph counters (engines built
+    /// via [`ShardedFlowEngine::new`]).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// A point-in-time copy of all engine metrics, ready for
+    /// [`smb_telemetry::ExportFormat`] rendering.
+    pub fn metrics_snapshot(&self) -> RegistrySnapshot {
+        // Refresh the flow gauges so the export matches reality even
+        // if no batch has landed since the last table change.
+        for s in &self.shards {
+            let flows = s.table.lock().expect("shard table lock").len() as i64;
+            s.metrics.flows.set(flows);
+        }
+        self.registry.snapshot()
     }
 
     /// Total memory held by per-flow estimators across all shards, in
@@ -562,6 +625,130 @@ mod tests {
                 assert!(s.mean_batch_occupancy > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_stats_and_counts_morphs() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(2).with_batch(32),
+        )
+        .unwrap();
+        for i in 0..60_000u32 {
+            engine.ingest(i as u64 % 3, &i.to_le_bytes());
+        }
+        engine.flush();
+        let stats = engine.stats();
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.registry, "smb_engine");
+        assert_eq!(
+            snap.counter_total("engine_items_enqueued_total"),
+            stats.total_enqueued()
+        );
+        assert_eq!(
+            snap.counter_total("engine_items_recorded_total"),
+            stats.total_recorded()
+        );
+        for s in &stats.shards {
+            let shard = s.shard.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            assert_eq!(
+                snap.get("engine_items_enqueued_total", labels)
+                    .unwrap()
+                    .as_counter(),
+                Some(s.items_enqueued)
+            );
+            assert_eq!(
+                snap.get("engine_flows", labels).unwrap().as_gauge(),
+                Some(s.flows as i64)
+            );
+            // Flushed: the backlog gauge must have drained to zero.
+            assert_eq!(
+                snap.get("engine_queue_depth", labels).unwrap().as_gauge(),
+                Some(0)
+            );
+            let occupancy = snap
+                .get("engine_batch_occupancy", labels)
+                .unwrap()
+                .as_histogram()
+                .unwrap();
+            assert!(occupancy.count >= s.batches_sent);
+        }
+        // 20k items per flow into a 2048-bit SMB must morph, and the
+        // engine-built estimators carry the registry observer.
+        assert!(snap.counter_total("smb_morph_events_total") > 0);
+        // Enqueue latency was sampled once per delivered or dropped batch.
+        let latency: u64 = (0..2)
+            .map(|i| {
+                let shard = i.to_string();
+                snap.get("engine_enqueue_latency_ns", &[("shard", shard.as_str())])
+                    .map_or(0, |v| v.as_histogram().unwrap().count)
+            })
+            .sum();
+        assert!(latency > 0);
+    }
+
+    #[test]
+    fn counters_stay_monotone_under_drop_policy() {
+        // A tiny queue with the drop policy forces queue-full events;
+        // dropped batches must not decrement any counter.
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec())
+                .with_shards(1)
+                .with_batch(8)
+                .with_queue_batches(1)
+                .with_policy(BackpressurePolicy::DropNewest),
+        )
+        .unwrap();
+        let mut last_enqueued = 0u64;
+        let mut last_sent = 0u64;
+        for i in 0..50_000u32 {
+            engine.ingest(i as u64 % 5, &i.to_le_bytes());
+            if i % 1000 == 0 {
+                let s = &engine.stats().shards[0];
+                assert!(s.items_enqueued >= last_enqueued, "enqueued went down");
+                assert!(s.batches_sent >= last_sent, "batches_sent went down");
+                last_enqueued = s.items_enqueued;
+                last_sent = s.batches_sent;
+            }
+        }
+        let stats = engine.finish();
+        let s = &stats.shards[0];
+        assert_eq!(s.items_recorded, s.items_enqueued);
+        assert_eq!(
+            s.items_enqueued + s.dropped_items,
+            50_000,
+            "every item is either enqueued or dropped"
+        );
+    }
+
+    #[test]
+    fn shared_registry_hosts_multiple_engines() {
+        let registry = Arc::new(smb_telemetry::Registry::new("smb_fleet"));
+        let sp = spec();
+        let factory: Arc<EstimatorFactory> = Arc::new(move |_| sp.build().unwrap());
+        let mut a = ShardedFlowEngine::with_registry(
+            EngineConfig::new(sp).with_shards(1).with_batch(16),
+            sp.scheme(),
+            Arc::clone(&factory),
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        let mut b = ShardedFlowEngine::with_registry(
+            EngineConfig::new(sp).with_shards(1).with_batch(16),
+            sp.scheme(),
+            factory,
+            Arc::clone(&registry),
+        )
+        .unwrap();
+        for i in 0..1000u32 {
+            a.ingest(1, &i.to_le_bytes());
+            b.ingest(2, &i.to_le_bytes());
+        }
+        a.flush();
+        b.flush();
+        // Both engines share shard-0 series in the common registry.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("engine_items_enqueued_total"), 2000);
     }
 
     #[test]

@@ -1,33 +1,125 @@
-//! Engine observability: per-shard counters and their aggregation.
+//! Engine observability: registry-backed per-shard metrics and their
+//! aggregation.
 //!
-//! This is the workspace's first operational-metrics surface. Counters
-//! are plain relaxed atomics — they are monotonic event counts, never
-//! used for synchronisation (the flush protocol in `engine.rs` is the
-//! only place ordering matters, and it uses acquire/release pairs on
-//! the batch counters).
+//! Each shard's accounting lives in `smb-telemetry` metric cells
+//! registered under the engine's [`Registry`] with a `shard` label —
+//! one source of truth feeding both the programmatic
+//! [`EngineStats`] view and the JSON / Prometheus exporters. The
+//! cells are lock-free atomics; the flush protocol in `engine.rs` is
+//! the only place ordering matters, and it uses the counters'
+//! acquire/release variants.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared mutable counters of one shard, written by the producer side
-/// (enqueue/drop accounting) and the shard worker (processing
-/// accounting).
-#[derive(Debug, Default)]
-pub(crate) struct ShardCounters {
-    /// Items handed to the shard's queue (inside batches).
-    pub items_enqueued: AtomicU64,
+use smb_telemetry::{Counter, Gauge, Histogram, Registry};
+
+/// One shard's metric cells, resolved from the engine registry at
+/// construction. Written by the producer side (enqueue/drop
+/// accounting) and the shard worker (processing accounting); exported
+/// via the registry under `shard="<index>"`.
+#[derive(Debug)]
+pub(crate) struct ShardMetrics {
+    /// Items successfully handed to the shard's queue (inside batches).
+    pub items_enqueued: Arc<Counter>,
     /// Items the worker has recorded into its flow table.
-    pub items_recorded: AtomicU64,
+    pub items_recorded: Arc<Counter>,
     /// Batches successfully enqueued.
-    pub batches_sent: AtomicU64,
+    pub batches_sent: Arc<Counter>,
     /// Batches the worker has fully processed.
-    pub batches_processed: AtomicU64,
+    pub batches_processed: Arc<Counter>,
     /// Items discarded by the drop backpressure policy.
-    pub dropped_items: AtomicU64,
+    pub dropped_items: Arc<Counter>,
     /// Times the shard queue was observed full on dispatch.
-    pub queue_full_events: AtomicU64,
-    /// Sum of dispatched batch lengths (occupancy numerator; divide by
-    /// `batches_sent + drops/batch` for mean fill).
-    pub batched_items: AtomicU64,
+    pub queue_full_events: Arc<Counter>,
+    /// Batches enqueued but not yet fully processed — the shard's
+    /// backlog.
+    pub queue_depth: Arc<Gauge>,
+    /// Flows resident in the shard's table (updated by the worker
+    /// after each batch).
+    pub flows: Arc<Gauge>,
+    /// Length of each dispatched batch — how full batches run.
+    pub batch_occupancy: Arc<Histogram>,
+    /// Nanoseconds each dispatch spent handing its batch to the queue
+    /// (includes blocking time under the block policy).
+    pub enqueue_latency: Arc<Histogram>,
+}
+
+impl ShardMetrics {
+    /// Register this shard's series (label `shard="<index>"`) in
+    /// `registry`.
+    pub(crate) fn register(registry: &Registry, shard: usize) -> Self {
+        let index = shard.to_string();
+        let labels: &[(&str, &str)] = &[("shard", &index)];
+        ShardMetrics {
+            items_enqueued: registry.counter_with(
+                "engine_items_enqueued_total",
+                "Items successfully handed to shard queues",
+                labels,
+            ),
+            items_recorded: registry.counter_with(
+                "engine_items_recorded_total",
+                "Items recorded into shard flow tables",
+                labels,
+            ),
+            batches_sent: registry.counter_with(
+                "engine_batches_sent_total",
+                "Batches successfully enqueued",
+                labels,
+            ),
+            batches_processed: registry.counter_with(
+                "engine_batches_processed_total",
+                "Batches fully processed by shard workers",
+                labels,
+            ),
+            dropped_items: registry.counter_with(
+                "engine_items_dropped_total",
+                "Items discarded by the drop backpressure policy",
+                labels,
+            ),
+            queue_full_events: registry.counter_with(
+                "engine_queue_full_total",
+                "Dispatch attempts that found the shard queue full",
+                labels,
+            ),
+            queue_depth: registry.gauge_with(
+                "engine_queue_depth",
+                "Batches enqueued but not yet fully processed",
+                labels,
+            ),
+            flows: registry.gauge_with(
+                "engine_flows",
+                "Flows resident in the shard's table",
+                labels,
+            ),
+            batch_occupancy: registry.histogram_with(
+                "engine_batch_occupancy",
+                "Items per dispatched batch",
+                labels,
+            ),
+            enqueue_latency: registry.histogram_with(
+                "engine_enqueue_latency_ns",
+                "Nanoseconds spent handing each batch to its shard queue",
+                labels,
+            ),
+        }
+    }
+
+    /// A point-in-time [`ShardStats`] view. `flows` is passed in from
+    /// an exact table count (the gauge lags by up to one batch).
+    pub(crate) fn snapshot(&self, shard: usize, flows: u64) -> ShardStats {
+        let batches_sent = self.batches_sent.get_acquire();
+        ShardStats {
+            shard,
+            items_enqueued: self.items_enqueued.get(),
+            items_recorded: self.items_recorded.get(),
+            batches_sent,
+            batches_processed: self.batches_processed.get_acquire(),
+            dropped_items: self.dropped_items.get(),
+            queue_full_events: self.queue_full_events.get(),
+            flows,
+            mean_batch_occupancy: self.batch_occupancy.mean(),
+        }
+    }
 }
 
 /// A point-in-time snapshot of one shard's counters.
@@ -54,24 +146,6 @@ pub struct ShardStats {
     /// producer flushes partials (bursty input); `NaN` before any
     /// batch is dispatched.
     pub mean_batch_occupancy: f64,
-}
-
-impl ShardCounters {
-    pub(crate) fn snapshot(&self, shard: usize, flows: u64) -> ShardStats {
-        let batches_sent = self.batches_sent.load(Ordering::Acquire);
-        let batched_items = self.batched_items.load(Ordering::Relaxed);
-        ShardStats {
-            shard,
-            items_enqueued: self.items_enqueued.load(Ordering::Relaxed),
-            items_recorded: self.items_recorded.load(Ordering::Relaxed),
-            batches_sent,
-            batches_processed: self.batches_processed.load(Ordering::Acquire),
-            dropped_items: self.dropped_items.load(Ordering::Relaxed),
-            queue_full_events: self.queue_full_events.load(Ordering::Relaxed),
-            flows,
-            mean_batch_occupancy: batched_items as f64 / batches_sent as f64,
-        }
-    }
 }
 
 /// Aggregated engine statistics: one entry per shard plus totals.
@@ -109,8 +183,13 @@ impl EngineStats {
     }
 
     /// Largest relative imbalance across shards: `max/mean − 1` of
-    /// per-shard enqueued items. 0 means perfectly even.
+    /// per-shard enqueued items. 0 means perfectly even. Degenerate
+    /// stat sets — no shards, a single shard, or nothing enqueued —
+    /// have no imbalance to speak of and return 0 rather than NaN.
     pub fn shard_imbalance(&self) -> f64 {
+        if self.shards.len() <= 1 {
+            return 0.0;
+        }
         let n = self.shards.len() as f64;
         let total = self.total_enqueued() as f64;
         if total == 0.0 {
@@ -196,6 +275,54 @@ mod tests {
         assert!(stats(&[10, 10]).shard_imbalance().abs() < 1e-12);
         assert!((stats(&[30, 10]).shard_imbalance() - 0.5).abs() < 1e-12);
         assert_eq!(stats(&[0, 0]).shard_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_of_degenerate_stat_sets_is_zero() {
+        // No shards: nothing to be imbalanced against.
+        let empty = EngineStats { shards: vec![] };
+        assert_eq!(empty.shard_imbalance(), 0.0);
+        assert!(empty.shard_imbalance().is_finite());
+        // One shard: max == mean by definition, loaded or not.
+        assert_eq!(stats(&[0]).shard_imbalance(), 0.0);
+        assert_eq!(stats(&[12345]).shard_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn shard_metrics_snapshot_round_trips_through_registry() {
+        let registry = Registry::new("smb_engine");
+        let m = ShardMetrics::register(&registry, 3);
+        m.items_enqueued.add(100);
+        m.items_recorded.add(90);
+        m.batches_sent.add_release(2);
+        m.batches_processed.add_release(2);
+        m.batch_occupancy.record(60);
+        m.batch_occupancy.record(40);
+        let s = m.snapshot(3, 7);
+        assert_eq!(s.shard, 3);
+        assert_eq!(s.items_enqueued, 100);
+        assert_eq!(s.items_recorded, 90);
+        assert_eq!(s.batches_sent, 2);
+        assert_eq!(s.flows, 7);
+        assert!((s.mean_batch_occupancy - 50.0).abs() < 1e-12);
+        // The same numbers are visible through the registry export path.
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.get("engine_items_enqueued_total", &[("shard", "3")])
+                .unwrap()
+                .as_counter(),
+            Some(100)
+        );
+        // Re-registering the same shard shares cells, not duplicates.
+        let again = ShardMetrics::register(&registry, 3);
+        assert_eq!(again.items_enqueued.get(), 100);
+    }
+
+    #[test]
+    fn fresh_shard_occupancy_is_nan() {
+        let registry = Registry::new("smb_engine");
+        let m = ShardMetrics::register(&registry, 0);
+        assert!(m.snapshot(0, 0).mean_batch_occupancy.is_nan());
     }
 
     #[test]

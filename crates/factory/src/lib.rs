@@ -40,7 +40,7 @@
 #![warn(missing_docs)]
 
 use smb_baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
-use smb_core::{Bitmap, CardinalityEstimator, Result, Smb};
+use smb_core::{Bitmap, CardinalityEstimator, ObserverHandle, Result, Smb};
 use smb_hash::HashScheme;
 
 /// A heap-allocated estimator that may cross thread boundaries — the
@@ -202,6 +202,12 @@ impl AlgoSpec {
     pub fn build(&self) -> Result<DynEstimator> {
         build_estimator(*self)
     }
+
+    /// Build the estimator with a lifecycle observer attached. See
+    /// [`build_estimator_observed`].
+    pub fn build_observed(&self, observer: Option<ObserverHandle>) -> Result<DynEstimator> {
+        build_estimator_observed(*self, observer)
+    }
 }
 
 /// Build the estimator described by `spec` — the one
@@ -243,6 +249,26 @@ pub fn build_estimator(spec: AlgoSpec) -> Result<DynEstimator> {
         Algo::MinCount => Box::new(MinCount::with_memory_bits(m, scheme)?),
         Algo::Bitmap => Box::new(Bitmap::with_scheme(m, scheme)?),
     })
+}
+
+/// Build the estimator described by `spec` and attach `observer` to
+/// it, so lifecycle events (SMB morphs, clears, saturation) flow out
+/// from the first recorded item. Estimators that don't implement the
+/// hook simply come back unobserved — `set_observer` is a default
+/// trait method returning `false` — which is not an error.
+///
+/// # Errors
+/// Propagates the constructor's [`smb_core::Error`] exactly as
+/// [`build_estimator`] does.
+pub fn build_estimator_observed(
+    spec: AlgoSpec,
+    observer: Option<ObserverHandle>,
+) -> Result<DynEstimator> {
+    let mut estimator = build_estimator(spec)?;
+    if let Some(observer) = observer {
+        estimator.set_observer(Some(observer));
+    }
+    Ok(estimator)
 }
 
 #[cfg(test)]
@@ -296,5 +322,36 @@ mod tests {
         let spec = AlgoSpec::new(Algo::Smb, 5000).with_seed(99);
         let est = spec.build().unwrap();
         assert_eq!(est.scheme(), spec.scheme());
+    }
+
+    #[test]
+    fn observed_smb_reports_morphs() {
+        let collector = smb_core::MorphCollector::shared();
+        let handle = ObserverHandle::new(collector.clone());
+        let mut est = AlgoSpec::new(Algo::Smb, 2048)
+            .with_n_max(1e5)
+            .build_observed(Some(handle))
+            .expect("valid spec");
+        for i in 0..60_000u64 {
+            est.record(&i.to_le_bytes());
+        }
+        assert!(
+            !collector.events().is_empty(),
+            "an observed SMB over a morph-inducing trace must report events"
+        );
+    }
+
+    #[test]
+    fn build_observed_without_observer_matches_build() {
+        for algo in ALL_ALGOS {
+            let spec = AlgoSpec::new(algo, 5000).with_n_max(1e6).with_seed(1);
+            let mut a = spec.build().expect("valid spec");
+            let mut b = spec.build_observed(None).expect("valid spec");
+            for i in 0..2000u32 {
+                a.record(&i.to_le_bytes());
+                b.record(&i.to_le_bytes());
+            }
+            assert_eq!(a.estimate(), b.estimate(), "{}", algo.name());
+        }
     }
 }

@@ -1,0 +1,215 @@
+//! The bridge from `smb-core`'s estimator events to registry metrics:
+//! attach a [`MetricsObserver`] to an estimator and every morph,
+//! clear and saturation shows up as Prometheus-ready series.
+
+use std::sync::Arc;
+
+use smb_core::{EstimatorEvent, MorphEvent, ObserverHandle, SmbObserver};
+use smb_devtools::Json;
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::registry::Registry;
+
+/// An [`SmbObserver`] that folds estimator lifecycle events into a
+/// [`Registry`].
+///
+/// Series are resolved once at construction, so event delivery is
+/// lock-free. All observers built against the same registry and
+/// labels share cells — attach one per estimator or one for a whole
+/// shard, whichever granularity the labels encode.
+///
+/// ```
+/// use smb_core::CardinalityEstimator;
+/// use smb_telemetry::{MetricsObserver, Registry};
+/// use std::sync::Arc;
+///
+/// let registry = Arc::new(Registry::new("smb_engine"));
+/// let observer = MetricsObserver::register(&registry, &[("shard", "0")]);
+/// let mut smb = smb_core::Smb::new(4096, 400).unwrap();
+/// smb.set_observer(Some(observer.into_handle()));
+/// for i in 0..200_000u64 {
+///     smb.record(&i.to_le_bytes());
+/// }
+/// let snap = registry.snapshot();
+/// assert!(snap.counter_total("smb_morph_events_total") > 0);
+/// ```
+#[derive(Debug)]
+pub struct MetricsObserver {
+    morphs: Arc<Counter>,
+    round: Arc<Gauge>,
+    logical_size: Arc<Gauge>,
+    items_between_morphs: Arc<Histogram>,
+    estimate_at_close: Arc<Gauge>,
+    cleared: Arc<Counter>,
+    saturated: Arc<Counter>,
+}
+
+impl MetricsObserver {
+    /// Register the morph-event metric families in `registry` (all
+    /// carrying `labels`) and build an observer feeding them.
+    pub fn register(registry: &Registry, labels: &[(&str, &str)]) -> Self {
+        MetricsObserver {
+            morphs: registry.counter_with(
+                "smb_morph_events_total",
+                "SMB rounds closed (morphs performed)",
+                labels,
+            ),
+            round: registry.gauge_with(
+                "smb_round",
+                "Highest SMB round reached (sampling probability is 2^-round)",
+                labels,
+            ),
+            logical_size: registry.gauge_with(
+                "smb_logical_size_bits",
+                "Logical bitmap size m - r*T at the latest morph",
+                labels,
+            ),
+            items_between_morphs: registry.histogram_with(
+                "smb_items_between_morphs",
+                "Items recorded between consecutive morphs",
+                labels,
+            ),
+            estimate_at_close: registry.gauge_with(
+                "smb_estimate_at_close",
+                "Cardinality estimate at the latest round closure (rounded)",
+                labels,
+            ),
+            cleared: registry.counter_with(
+                "smb_cleared_total",
+                "Estimator clear() calls observed",
+                labels,
+            ),
+            saturated: registry.counter_with(
+                "smb_saturated_total",
+                "Estimators that reached saturation",
+                labels,
+            ),
+        }
+    }
+
+    /// Wrap into the handle `CardinalityEstimator::set_observer`
+    /// accepts.
+    pub fn into_handle(self) -> ObserverHandle {
+        ObserverHandle::from_observer(self)
+    }
+}
+
+impl SmbObserver for MetricsObserver {
+    fn on_event(&self, event: EstimatorEvent<'_>) {
+        match event {
+            EstimatorEvent::Morph(m) => {
+                self.morphs.inc();
+                self.round.set_max(m.round as i64 + 1);
+                self.logical_size.set(m.logical_size as i64);
+                self.items_between_morphs.record(m.items_since_last_morph);
+                self.estimate_at_close
+                    .set(m.estimate_at_close.round() as i64);
+            }
+            EstimatorEvent::Cleared { .. } => self.cleared.inc(),
+            EstimatorEvent::Saturated { .. } => self.saturated.inc(),
+        }
+    }
+}
+
+/// A [`MorphEvent`] as one JSON object — the `smbcount morphlog`
+/// line format.
+pub fn morph_event_to_json(event: &MorphEvent) -> Json {
+    Json::Obj(vec![
+        ("round".into(), Json::Int(event.round as i128)),
+        (
+            "fresh_bits_at_close".into(),
+            Json::Int(event.fresh_bits_at_close as i128),
+        ),
+        (
+            "logical_size".into(),
+            Json::Int(event.logical_size as i128),
+        ),
+        (
+            "items_since_last_morph".into(),
+            Json::Int(event.items_since_last_morph as i128),
+        ),
+        (
+            "estimate_at_close".into(),
+            Json::Float(event.estimate_at_close),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smb_core::{CardinalityEstimator, Smb};
+
+    #[test]
+    fn morph_events_feed_the_registry() {
+        let registry = Registry::new("t");
+        let observer = MetricsObserver::register(&registry, &[("shard", "0")]);
+        let mut smb = Smb::new(2048, 256).unwrap();
+        smb.set_observer(Some(observer.into_handle()));
+        for i in 0..100_000u64 {
+            smb.record(&i.to_le_bytes());
+        }
+        let morphs = smb.round() as u64;
+        assert!(morphs > 0, "trace must morph for the test to bite");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("smb_morph_events_total"), morphs);
+        assert_eq!(
+            snap.get("smb_round", &[("shard", "0")]).unwrap().as_gauge(),
+            Some(morphs as i64)
+        );
+        let h = snap
+            .get("smb_items_between_morphs", &[("shard", "0")])
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert_eq!(h.count, morphs);
+        let logical = snap
+            .get("smb_logical_size_bits", &[("shard", "0")])
+            .unwrap()
+            .as_gauge()
+            .unwrap();
+        assert_eq!(logical, 2048 - 256 * (morphs as i64 - 1));
+    }
+
+    #[test]
+    fn cleared_and_saturated_counted() {
+        let registry = Registry::new("t");
+        let observer = MetricsObserver::register(&registry, &[]);
+        let mut smb = Smb::new(64, 8).unwrap();
+        smb.set_observer(Some(observer.into_handle()));
+        for i in 0..2_000_000u64 {
+            smb.record(&i.to_le_bytes());
+        }
+        smb.clear();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter_total("smb_cleared_total"), 1);
+        assert_eq!(snap.counter_total("smb_saturated_total"), 1);
+    }
+
+    #[test]
+    fn morph_event_json_shape() {
+        let event = MorphEvent {
+            round: 2,
+            fresh_bits_at_close: 400,
+            logical_size: 3296,
+            items_since_last_morph: 12345,
+            estimate_at_close: 67890.5,
+        };
+        let json = morph_event_to_json(&event);
+        let text = json.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.field("round").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(
+            parsed
+                .field("items_since_last_morph")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            12345
+        );
+        assert!(
+            (parsed.field("estimate_at_close").unwrap().as_f64().unwrap() - 67890.5).abs()
+                < 1e-9
+        );
+    }
+}

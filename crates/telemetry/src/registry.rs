@@ -1,0 +1,443 @@
+//! The [`Registry`]: a named collection of metric families with
+//! Prometheus-style labels.
+//!
+//! A *family* is one metric name + help text + kind; each distinct
+//! label set under the family is a *series* with its own atomic cell.
+//! Registration is idempotent — asking for `("engine_queue_depth",
+//! shard=3)` twice hands back the same `Arc` — so call sites never
+//! coordinate. Registration takes a lock; the returned `Arc<Counter>`
+//! (etc.) is then updated lock-free, so hot paths register once at
+//! startup and only touch atomics afterwards.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// What kind of metric a family holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Level that can move both ways.
+    Gauge,
+    /// Distribution of `u64` samples.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One label pair, e.g. `("shard", "3")`.
+pub type Label = (String, String);
+
+enum Cell {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Series {
+    labels: Vec<Label>,
+    cell: Cell,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    series: Vec<Series>,
+}
+
+/// A named collection of metric families.
+///
+/// ```
+/// use smb_telemetry::Registry;
+/// let registry = Registry::new("smb_engine");
+/// let drops = registry.counter_with(
+///     "engine_items_dropped_total",
+///     "Items dropped by backpressure",
+///     &[("shard", "0")],
+/// );
+/// drops.add(3);
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.metrics.len(), 1);
+/// ```
+pub struct Registry {
+    name: String,
+    families: Mutex<Vec<Family>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let families = self.families.lock().unwrap();
+        f.debug_struct("Registry")
+            .field("name", &self.name)
+            .field("families", &families.len())
+            .finish()
+    }
+}
+
+/// `true` iff `s` is a legal Prometheus metric name
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn is_valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// `true` iff `s` is a legal Prometheus label name
+/// (`[a-zA-Z_][a-zA-Z0-9_]*`, no leading `__`).
+pub fn is_valid_label_name(s: &str) -> bool {
+    if s.starts_with("__") {
+        return false;
+    }
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Registry {
+    /// An empty registry. `name` labels snapshots/exports (it is not a
+    /// metric-name prefix) and must itself be a legal metric name.
+    pub fn new(name: &str) -> Self {
+        assert!(
+            is_valid_metric_name(name),
+            "invalid registry name {name:?}"
+        );
+        Registry {
+            name: name.to_string(),
+            families: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The registry's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Register (or fetch) an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a counter under the given labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(name, help, MetricKind::Counter, labels) {
+            Cell::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge under the given labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(name, help, MetricKind::Gauge, labels) {
+            Cell::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Register (or fetch) an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a histogram under the given labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        match self.series(name, help, MetricKind::Histogram, labels) {
+            Cell::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    fn series(&self, name: &str, help: &str, kind: MetricKind, labels: &[(&str, &str)]) -> Cell {
+        assert!(is_valid_metric_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(is_valid_label_name(k), "invalid label name {k:?}");
+        }
+        let mut families = self.families.lock().unwrap();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => {
+                assert!(
+                    f.kind == kind,
+                    "metric {name:?} already registered as {:?}, requested {kind:?}",
+                    f.kind
+                );
+                f
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(s) = family.series.iter().find(|s| {
+            s.labels.len() == labels.len()
+                && s.labels
+                    .iter()
+                    .zip(labels)
+                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+        }) {
+            return clone_cell(&s.cell);
+        }
+        let cell = match kind {
+            MetricKind::Counter => Cell::Counter(Arc::new(Counter::new())),
+            MetricKind::Gauge => Cell::Gauge(Arc::new(Gauge::new())),
+            MetricKind::Histogram => Cell::Histogram(Arc::new(Histogram::new())),
+        };
+        family.series.push(Series {
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            cell: clone_cell(&cell),
+        });
+        cell
+    }
+
+    /// A point-in-time copy of every family and series, in
+    /// registration order.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let families = self.families.lock().unwrap();
+        RegistrySnapshot {
+            registry: self.name.clone(),
+            metrics: families
+                .iter()
+                .map(|f| MetricSnapshot {
+                    name: f.name.clone(),
+                    help: f.help.clone(),
+                    kind: f.kind,
+                    series: f
+                        .series
+                        .iter()
+                        .map(|s| SeriesSnapshot {
+                            labels: s.labels.clone(),
+                            value: match &s.cell {
+                                Cell::Counter(c) => MetricValue::Counter(c.get()),
+                                Cell::Gauge(g) => MetricValue::Gauge(g.get()),
+                                Cell::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+fn clone_cell(cell: &Cell) -> Cell {
+    match cell {
+        Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+        Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+        Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+    }
+}
+
+/// A point-in-time copy of a whole [`Registry`].
+#[derive(Debug, Clone)]
+pub struct RegistrySnapshot {
+    /// The registry's name.
+    pub registry: String,
+    /// One entry per family, in registration order.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The series value for `name` with exactly the given labels, if
+    /// registered.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)?
+            .series
+            .iter()
+            .find(|s| {
+                s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|s| &s.value)
+    }
+
+    /// Sum of a counter family across all its series (e.g. total
+    /// drops over every shard).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .flat_map(|m| &m.series)
+            .map(|s| match &s.value {
+                MetricValue::Counter(v) => *v,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+/// One family inside a [`RegistrySnapshot`].
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Help text.
+    pub help: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// One entry per label set, in registration order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+/// One series inside a [`MetricSnapshot`].
+#[derive(Debug, Clone)]
+pub struct SeriesSnapshot {
+    /// The series' label pairs, in registration order.
+    pub labels: Vec<Label>,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// A snapshotted metric value.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// The counter reading, if this is a counter.
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge reading, if this is a gauge.
+    pub fn as_gauge(&self) -> Option<i64> {
+        match self {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram summary, if this is a histogram.
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent() {
+        let r = Registry::new("test");
+        let a = r.counter("events_total", "events");
+        let b = r.counter("events_total", "events");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2, "same underlying cell");
+        assert_eq!(r.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    fn labels_split_series_within_one_family() {
+        let r = Registry::new("test");
+        let s0 = r.counter_with("drops_total", "drops", &[("shard", "0")]);
+        let s1 = r.counter_with("drops_total", "drops", &[("shard", "1")]);
+        s0.add(5);
+        s1.add(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 1);
+        assert_eq!(snap.metrics[0].series.len(), 2);
+        assert_eq!(
+            snap.get("drops_total", &[("shard", "0")])
+                .unwrap()
+                .as_counter(),
+            Some(5)
+        );
+        assert_eq!(snap.counter_total("drops_total"), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let r = Registry::new("test");
+        r.counter("x_total", "x");
+        r.gauge("x_total", "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_metric_name_panics() {
+        let r = Registry::new("test");
+        r.counter("1bad-name", "x");
+    }
+
+    #[test]
+    fn name_validation() {
+        assert!(is_valid_metric_name("engine_queue_depth"));
+        assert!(is_valid_metric_name("ns:sub_total"));
+        assert!(is_valid_metric_name("_private"));
+        assert!(!is_valid_metric_name(""));
+        assert!(!is_valid_metric_name("9lives"));
+        assert!(!is_valid_metric_name("has-dash"));
+        assert!(is_valid_label_name("shard"));
+        assert!(!is_valid_label_name("__reserved"));
+        assert!(!is_valid_label_name("le gal"));
+        assert!(!is_valid_label_name(""));
+    }
+
+    #[test]
+    fn snapshot_reflects_all_kinds() {
+        let r = Registry::new("test");
+        r.counter("c_total", "c").add(1);
+        r.gauge("g", "g").set(-4);
+        r.histogram("h", "h").record(100);
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 3);
+        assert_eq!(snap.get("c_total", &[]).unwrap().as_counter(), Some(1));
+        assert_eq!(snap.get("g", &[]).unwrap().as_gauge(), Some(-4));
+        let h = snap.get("h", &[]).unwrap().as_histogram().unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100);
+    }
+}

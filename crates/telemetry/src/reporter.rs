@@ -1,0 +1,136 @@
+//! A background thread that periodically renders a registry snapshot
+//! and hands the text to a sink (stderr, a file, a collector...).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export::ExportFormat;
+use crate::registry::Registry;
+
+struct Shared {
+    stopped: Mutex<bool>,
+    wake: Condvar,
+}
+
+/// A periodic metrics reporter. Stops (promptly — the sleep is
+/// interruptible) and joins its thread on [`Reporter::stop`] or drop.
+#[derive(Debug)]
+pub struct Reporter {
+    shared: Arc<Shared>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl Reporter {
+    /// Spawn a thread that renders `registry` in `format` every
+    /// `interval` and passes the text to `sink`.
+    pub fn spawn(
+        registry: Arc<Registry>,
+        format: ExportFormat,
+        interval: Duration,
+        mut sink: impl FnMut(String) + Send + 'static,
+    ) -> Reporter {
+        let shared = Arc::new(Shared {
+            stopped: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("smb-metrics-reporter".into())
+            .spawn(move || {
+                let mut stopped = thread_shared.stopped.lock().expect("reporter lock");
+                loop {
+                    let (guard, timeout) = thread_shared
+                        .wake
+                        .wait_timeout(stopped, interval)
+                        .expect("reporter lock");
+                    stopped = guard;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        // Render without holding the lock so a slow
+                        // sink cannot delay stop() acknowledgement...
+                        // except it would; the lock only guards the
+                        // flag, and we re-take it on the next loop.
+                        drop(stopped);
+                        sink(format.render(&registry.snapshot()));
+                        stopped = thread_shared.stopped.lock().expect("reporter lock");
+                    }
+                }
+            })
+            .expect("spawn metrics reporter");
+        Reporter {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread to exit and wait for it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            *self.shared.stopped.lock().expect("reporter lock") = true;
+            self.shared.wake.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smb_devtools::Json;
+
+    #[test]
+    fn reporter_emits_parseable_snapshots_and_stops() {
+        let registry = Arc::new(Registry::new("t"));
+        registry.counter("ticks_total", "ticks").add(7);
+        let reports: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_reports = Arc::clone(&reports);
+        let reporter = Reporter::spawn(
+            Arc::clone(&registry),
+            ExportFormat::Json,
+            Duration::from_millis(5),
+            move |text| sink_reports.lock().unwrap().push(text),
+        );
+        // Wait until at least one report lands (bounded, not sleep-based).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while reports.lock().unwrap().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "no report within 5s");
+            std::thread::yield_now();
+        }
+        reporter.stop();
+        let reports = reports.lock().unwrap();
+        let parsed = Json::parse(&reports[0]).expect("valid JSON report");
+        assert_eq!(parsed.field("registry").unwrap().as_str().unwrap(), "t");
+    }
+
+    #[test]
+    fn drop_joins_without_hanging() {
+        let registry = Arc::new(Registry::new("t"));
+        let reporter = Reporter::spawn(
+            registry,
+            ExportFormat::Prometheus,
+            Duration::from_secs(3600),
+            |_| {},
+        );
+        // A one-hour interval must not block drop.
+        drop(reporter);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property tests for the SMB morph-event stream: events fire exactly
+//! when the fresh-bit counter `v` reaches the threshold `T`, rounds
+//! close strictly in order, and `estimate_at_close` matches the
+//! S-table reconstruction `S[r+1] = S[r] − 2ʳ·m_r·ln(1 − T/m_r)`.
+
+use smb_core::{CardinalityEstimator, MorphCollector, ObserverHandle, Smb};
+use smb_devtools::prop::gens;
+use smb_devtools::{forall, prop_assert, prop_assert_eq};
+use smb_hash::HashScheme;
+
+/// The 15 (m, T) SMB configurations under test — every estimator
+/// configuration in this workspace that exposes the observer hook.
+/// Spans shallow (T = m/2, two rounds) to deep (T = m/16) morphing.
+const CONFIGS: [(usize, usize); 15] = [
+    (256, 32),
+    (256, 64),
+    (256, 128),
+    (512, 64),
+    (512, 128),
+    (512, 256),
+    (1024, 64),
+    (1024, 128),
+    (1024, 512),
+    (2048, 128),
+    (2048, 256),
+    (2048, 1024),
+    (4096, 256),
+    (4096, 512),
+    (4096, 2048),
+];
+
+/// Drive `items` distinct items through an observed SMB of shape
+/// `(m, t)` and check every morph-event invariant along the way.
+/// Returns the number of morphs so callers can assert coverage.
+fn check_config(m: usize, t: usize, seed: u64, items: u64) -> Result<u32, String> {
+    let collector = MorphCollector::shared();
+    let mut smb = Smb::with_scheme(m, t, HashScheme::with_seed(seed))
+        .map_err(|e| format!("config ({m},{t}): {e}"))?;
+    smb.set_observer(Some(ObserverHandle::new(collector.clone())));
+
+    let mut last_round_seen = smb.round();
+    for i in 0..items {
+        smb.record(&i.to_le_bytes());
+        // The event fires exactly at the morph: at every point the
+        // number of emitted events equals the number of closed rounds.
+        let events = collector.events();
+        if events.len() != smb.round() as usize {
+            return Err(format!(
+                "config ({m},{t}) item {i}: {} events but round is {}",
+                events.len(),
+                smb.round()
+            ));
+        }
+        if smb.round() > last_round_seen {
+            // A round just closed: v must have been reset below T.
+            if smb.fresh_ones() >= t {
+                return Err(format!(
+                    "config ({m},{t}): v={} not reset after morph",
+                    smb.fresh_ones()
+                ));
+            }
+            last_round_seen = smb.round();
+        } else if smb.round() + 1 < smb.max_rounds() && smb.fresh_ones() >= t {
+            // Outside the final round (where the bitmap is allowed to
+            // fill up), v reaching T must have produced an event.
+            return Err(format!(
+                "config ({m},{t}): v reached T={t} without an event"
+            ));
+        }
+    }
+
+    let events = collector.events();
+    let mut items_accounted = 0u64;
+    for (k, event) in events.iter().enumerate() {
+        // Rounds close strictly in order, starting at 0.
+        if event.round != k as u32 {
+            return Err(format!(
+                "config ({m},{t}): event {k} closed round {}",
+                event.round
+            ));
+        }
+        // A round closes exactly when v reaches T.
+        if event.fresh_bits_at_close != t {
+            return Err(format!(
+                "config ({m},{t}): round {} closed at v={}, want T={t}",
+                event.round, event.fresh_bits_at_close
+            ));
+        }
+        let m_r = m - (event.round as usize) * t;
+        if event.logical_size != m_r {
+            return Err(format!(
+                "config ({m},{t}): round {} logical size {} want {m_r}",
+                event.round, event.logical_size
+            ));
+        }
+        // estimate_at_close reconstructs as S[r] + (S[r+1] − S[r])
+        // with the paper's per-round increment (Eq. 9): the round's
+        // linear-counting term over the logical size m_r, scaled by
+        // the physical m and the sampling factor 2ʳ.
+        let delta =
+            -(2f64.powi(event.round as i32)) * (m as f64) * (1.0 - t as f64 / m_r as f64).ln();
+        let reconstructed = smb.s_value(event.round) + delta;
+        let err = (event.estimate_at_close - reconstructed).abs()
+            / reconstructed.abs().max(f64::EPSILON);
+        if err > 1e-9 {
+            return Err(format!(
+                "config ({m},{t}): round {} estimate {} vs reconstruction {reconstructed}",
+                event.round, event.estimate_at_close
+            ));
+        }
+        // ... and equals the S-table's own next entry.
+        if (event.estimate_at_close - smb.s_value(event.round + 1)).abs()
+            > 1e-9 * smb.s_value(event.round + 1).abs().max(1.0)
+        {
+            return Err(format!(
+                "config ({m},{t}): round {} estimate disagrees with S[{}]",
+                event.round,
+                event.round + 1
+            ));
+        }
+        items_accounted += event.items_since_last_morph;
+    }
+    // Every recorded item lands in exactly one inter-morph interval.
+    items_accounted += smb.items_since_last_morph();
+    if items_accounted != items {
+        return Err(format!(
+            "config ({m},{t}): {items_accounted} items accounted, {items} recorded"
+        ));
+    }
+    Ok(events.len() as u32)
+}
+
+#[test]
+fn all_fifteen_configs_fire_in_order_and_reconstruct() {
+    let mut total_morphs = 0;
+    for &(m, t) in &CONFIGS {
+        // Enough distinct items to close several rounds in each shape.
+        let items = (4 * m) as u64;
+        total_morphs += check_config(m, t, 0xC0FFEE ^ (m as u64) ^ (t as u64), items)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+    assert!(
+        total_morphs >= 2 * CONFIGS.len() as u32,
+        "the traces must actually morph for the test to bite ({total_morphs} morphs)"
+    );
+}
+
+#[test]
+fn morph_invariants_hold_for_random_seeds_and_loads() {
+    forall!(cases = 24, (idx in gens::usizes(0..CONFIGS.len()),
+                         seed in gens::u64s(0..u64::MAX),
+                         load in gens::usizes(1..6)) => {
+        let (m, t) = CONFIGS[idx];
+        let items = (load * m) as u64;
+        match check_config(m, t, seed, items) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(false, "{e}"),
+        }
+    });
+}
+
+#[test]
+fn cleared_estimator_restarts_its_event_stream() {
+    forall!(cases = 12, (seed in gens::u64s(0..u64::MAX)) => {
+        let collector = MorphCollector::shared();
+        let mut smb = Smb::with_scheme(1024, 128, HashScheme::with_seed(seed)).unwrap();
+        smb.set_observer(Some(ObserverHandle::new(collector.clone())));
+        for i in 0..4096u64 {
+            smb.record(&i.to_le_bytes());
+        }
+        let before = collector.events().len();
+        smb.clear();
+        prop_assert_eq!(collector.cleared_count(), 1);
+        prop_assert_eq!(smb.round(), 0);
+        for i in 0..4096u64 {
+            smb.record(&i.to_le_bytes());
+        }
+        let after = collector.events();
+        // The same trace after clear() replays the same morph schedule,
+        // starting again from round 0.
+        prop_assert_eq!(after.len(), 2 * before);
+        if before > 0 {
+            prop_assert_eq!(after[before].round, 0);
+            prop_assert_eq!(after[before].round, after[0].round);
+            prop_assert_eq!(after[before].fresh_bits_at_close, after[0].fresh_bits_at_close);
+        }
+    });
+}

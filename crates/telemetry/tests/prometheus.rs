@@ -1,0 +1,306 @@
+//! Round-trip the Prometheus text exposition through a small
+//! hand-written parser: every rendered document must have exactly one
+//! `# HELP`/`# TYPE` pair per family, legal metric and label names,
+//! correctly escaped label values, and cumulative histogram buckets
+//! that terminate in a `+Inf` bucket equal to `_count`.
+
+use std::collections::HashMap;
+
+use smb_telemetry::{
+    is_valid_label_name, is_valid_metric_name, snapshot_to_prometheus, Registry,
+};
+
+/// One parsed sample line: `name{labels} value`.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// A parsed exposition document.
+#[derive(Debug, Default)]
+struct Exposition {
+    helps: HashMap<String, String>,
+    types: HashMap<String, String>,
+    samples: Vec<Sample>,
+}
+
+impl Exposition {
+    fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    fn sample_value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+}
+
+/// Unescape a Prometheus label value (`\\`, `\"`, `\n`). Rejects any
+/// other escape or a dangling backslash.
+fn unescape_label_value(raw: &str) -> Result<String, String> {
+    let mut out = String::new();
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some('n') => out.push('\n'),
+            Some(other) => return Err(format!("illegal escape \\{other} in {raw:?}")),
+            None => return Err(format!("dangling backslash in {raw:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parse a label block `k="v",k2="v2"` (without the surrounding
+/// braces), honouring escapes inside quoted values.
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = block;
+    while !rest.is_empty() {
+        let eq = rest
+            .find("=\"")
+            .ok_or_else(|| format!("label without =\" in {block:?}"))?;
+        let key = rest[..eq].to_string();
+        rest = &rest[eq + 2..];
+        // Find the closing quote, skipping escaped characters.
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {block:?}"))?;
+        labels.push((key, unescape_label_value(&rest[..end])?));
+        rest = &rest[end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+/// Parse a full exposition document, enforcing the structural rules of
+/// the text format along the way.
+fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut doc = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: HELP without text"))?;
+            if doc.helps.insert(name.to_string(), help.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate HELP for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {lineno}: unknown TYPE {kind}"));
+            }
+            if doc.types.insert(name.to_string(), kind.to_string()).is_some() {
+                return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample line: name[{labels}] value
+        let (head, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: sample without value"))?;
+        let value = if value == "+Inf" {
+            f64::INFINITY
+        } else {
+            value
+                .parse::<f64>()
+                .map_err(|_| format!("line {lineno}: bad value {value:?}"))?
+        };
+        let (name, labels) = match head.split_once('{') {
+            Some((name, rest)) => {
+                let block = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unterminated label block"))?;
+                (name.to_string(), parse_labels(block)?)
+            }
+            None => (head.to_string(), Vec::new()),
+        };
+        if !is_valid_metric_name(&name) {
+            return Err(format!("line {lineno}: illegal metric name {name:?}"));
+        }
+        for (k, _) in &labels {
+            if *k != "le" && !is_valid_label_name(k) {
+                return Err(format!("line {lineno}: illegal label name {k:?}"));
+            }
+        }
+        doc.samples.push(Sample { name, labels, value });
+    }
+    Ok(doc)
+}
+
+/// Strip the exposition suffix (`_bucket`, `_sum`, `_count`) to find
+/// the histogram family a sample belongs to.
+fn histogram_family<'a>(doc: &'a Exposition, sample_name: &str) -> Option<&'a str> {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if doc.types.get(base).map(String::as_str) == Some("histogram") {
+                return Some(doc.types.get_key_value(base).unwrap().0);
+            }
+        }
+    }
+    None
+}
+
+/// Build a registry exercising every metric kind, multiple labelled
+/// series, an empty histogram, and hostile label values.
+fn hostile_registry() -> Registry {
+    let r = Registry::new("smb_roundtrip");
+    for shard in 0..3 {
+        r.counter_with("engine_items_total", "Items", &[("shard", &shard.to_string())])
+            .add(100 + shard);
+    }
+    r.gauge_with("engine_queue_depth", "Depth", &[("shard", "0")]).set(-2);
+    let h = r.histogram_with("enqueue_latency_ns", "Latency", &[("shard", "0")]);
+    for v in [1u64, 2, 3, 700, 900, 65_000, u64::MAX] {
+        h.record(v);
+    }
+    r.histogram("empty_hist", "Never recorded");
+    r.counter_with(
+        "weird_total",
+        "Help with a \\ backslash\nand newline",
+        &[("path", "a\\b\"c\nd"), ("plain", "ok")],
+    )
+    .inc();
+    r
+}
+
+#[test]
+fn exposition_parses_with_one_help_and_type_per_family() {
+    let text = snapshot_to_prometheus(&hostile_registry().snapshot());
+    let doc = parse_exposition(&text).expect("exposition must parse");
+    // Every family has exactly one HELP and one TYPE (the parser
+    // rejects duplicates), and every sample's family is declared.
+    for sample in &doc.samples {
+        let family = histogram_family(&doc, &sample.name)
+            .map(str::to_string)
+            .unwrap_or_else(|| sample.name.clone());
+        assert!(doc.types.contains_key(&family), "undeclared family {family}");
+        assert!(doc.helps.contains_key(&family), "family {family} missing HELP");
+        assert!(is_valid_metric_name(&family));
+    }
+    assert_eq!(doc.types.get("engine_items_total").unwrap(), "counter");
+    assert_eq!(doc.types.get("engine_queue_depth").unwrap(), "gauge");
+    assert_eq!(doc.types.get("enqueue_latency_ns").unwrap(), "histogram");
+}
+
+#[test]
+fn label_values_round_trip_through_escaping() {
+    let text = snapshot_to_prometheus(&hostile_registry().snapshot());
+    let doc = parse_exposition(&text).expect("exposition must parse");
+    // The hostile value (backslash, quote, newline) must come back
+    // byte-identical after escape + unescape.
+    let value = doc
+        .sample_value("weird_total", &[("path", "a\\b\"c\nd"), ("plain", "ok")])
+        .expect("hostile series present");
+    assert_eq!(value, 1.0);
+    // Raw newlines must never leak into the wire format unescaped:
+    // every physical line is a comment or a sample the parser accepted.
+    assert!(!text.contains("c\nd\""), "unescaped newline leaked");
+    // Per-shard counters keep their values and labels.
+    for shard in 0..3u64 {
+        let v = doc
+            .sample_value("engine_items_total", &[("shard", &shard.to_string())])
+            .expect("shard series present");
+        assert_eq!(v, (100 + shard) as f64);
+    }
+    assert_eq!(doc.sample_value("engine_queue_depth", &[("shard", "0")]), Some(-2.0));
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_end_at_count() {
+    let text = snapshot_to_prometheus(&hostile_registry().snapshot());
+    let doc = parse_exposition(&text).expect("exposition must parse");
+    for family in ["enqueue_latency_ns", "empty_hist"] {
+        let buckets = doc.samples_named(&format!("{family}_bucket"));
+        assert!(!buckets.is_empty(), "{family} has no buckets");
+        // `le` bounds strictly increase and cumulative counts never
+        // decrease.
+        let mut last_le = f64::NEG_INFINITY;
+        let mut last_cum = 0.0;
+        for b in &buckets {
+            let le = b
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| if v == "+Inf" { f64::INFINITY } else { v.parse().unwrap() })
+                .expect("bucket without le");
+            assert!(le > last_le, "{family}: le not increasing");
+            assert!(b.value >= last_cum, "{family}: cumulative count decreased");
+            last_le = le;
+            last_cum = b.value;
+        }
+        // The final bucket is +Inf and equals _count.
+        assert_eq!(last_le, f64::INFINITY, "{family}: missing +Inf bucket");
+        let count = doc
+            .sample_value(&format!("{family}_count"), &[])
+            .or_else(|| doc.sample_value(&format!("{family}_count"), &[("shard", "0")]))
+            .expect("histogram _count present");
+        assert_eq!(last_cum, count, "{family}: +Inf bucket != _count");
+        let sum = doc
+            .sample_value(&format!("{family}_sum"), &[])
+            .or_else(|| doc.sample_value(&format!("{family}_sum"), &[("shard", "0")]))
+            .expect("histogram _sum present");
+        assert!(sum >= 0.0);
+    }
+    // The seven recorded samples all land somewhere.
+    assert_eq!(
+        doc.sample_value("enqueue_latency_ns_count", &[("shard", "0")]),
+        Some(7.0)
+    );
+    assert_eq!(doc.sample_value("empty_hist_count", &[]), Some(0.0));
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    // The parser itself must have teeth, or the round-trip proves
+    // nothing.
+    assert!(parse_exposition("# HELP a b\n# HELP a b\n").is_err(), "dup HELP");
+    assert!(parse_exposition("# TYPE a counter\n# TYPE a counter\n").is_err(), "dup TYPE");
+    assert!(parse_exposition("# TYPE a wibble\n").is_err(), "bad kind");
+    assert!(parse_exposition("1bad_name 3\n").is_err(), "bad metric name");
+    assert!(parse_exposition("a{__reserved=\"x\"} 3\n").is_err(), "bad label name");
+    assert!(parse_exposition("a{k=\"x} 3\n").is_err(), "unterminated value");
+    assert!(parse_exposition("a{k=\"\\q\"} 3\n").is_err(), "illegal escape");
+    assert!(parse_exposition("a nope\n").is_err(), "bad value");
+    assert!(unescape_label_value("x\\").is_err(), "dangling backslash");
+}

@@ -16,11 +16,11 @@ if grep -q "crates-io\|registry+" Cargo.lock; then
 fi
 echo "ok: only path-local workspace crates in Cargo.lock"
 
-step "release build (offline)"
-cargo build --release --workspace --offline
+step "release build (offline, warnings are errors)"
+RUSTFLAGS="-Dwarnings" cargo build --release --workspace --offline
 
-step "examples build (offline)"
-cargo build --examples --offline
+step "examples build (offline, warnings are errors)"
+RUSTFLAGS="-Dwarnings" cargo build --examples --offline
 
 step "workspace tests (offline)"
 cargo test --workspace -q --offline
@@ -30,6 +30,25 @@ cargo test -q --offline --features snapshot
 
 step "engine tests (offline): shard invariance + backpressure"
 cargo test -q --offline -p smb-engine
+
+step "telemetry tests (offline): metrics, morph events, exposition round-trip"
+cargo test -q --offline -p smb-telemetry
+cargo test -q --offline -p smb-telemetry --features telemetry-off
+
+step "prometheus smoke (offline): serve --metrics prom over a tiny trace"
+prom_out="$(
+    cargo run -q --offline -p smb-cli --bin smbcount -- trace --flows 50 |
+    cargo run -q --offline -p smb-cli --bin smbcount -- serve --shards 2 --metrics prom
+)"
+for needle in "# TYPE engine_items_enqueued_total counter" \
+              'shard="1"' \
+              "smb_morph_events_total"; do
+    if ! grep -qF "$needle" <<<"$prom_out"; then
+        echo "FAIL: serve --metrics prom output is missing: $needle" >&2
+        exit 1
+    fi
+done
+echo "ok: Prometheus exposition carries per-shard engine and SMB morph metrics"
 
 step "smoke benchmarks (offline, in-tree harness)"
 bench_json="$(mktemp)"

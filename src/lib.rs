@@ -21,6 +21,10 @@
 //! * [`engine`] — the [`engine::ShardedFlowEngine`] multi-core
 //!   per-flow ingest pipeline (hash once, partition by flow, batched
 //!   lock-free shard workers with explicit backpressure);
+//! * [`telemetry`] — the in-tree observability layer: lock-free
+//!   [`telemetry::Registry`] metrics (counters, gauges, power-of-two
+//!   histograms), SMB morph-event tracing via
+//!   [`telemetry::MetricsObserver`], and JSON / Prometheus exporters;
 //! * [`hash`] — the first-party hashing substrate.
 //!
 //! ## Quickstart
@@ -45,4 +49,5 @@ pub use smb_factory as factory;
 pub use smb_hash as hash;
 pub use smb_sketch as sketch;
 pub use smb_stream as stream;
+pub use smb_telemetry as telemetry;
 pub use smb_theory as theory;
