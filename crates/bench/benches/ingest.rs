@@ -20,9 +20,14 @@
 //! Run with `cargo bench -p smb-bench --bench ingest`; pass
 //! `-- --smoke` (or set `SMB_BENCH_SMOKE=1`) for a fast sanity pass.
 
+use std::collections::HashMap;
+
 use smb_bench::{Algo, AlgoSpec};
+use smb_core::CardinalityEstimator;
 use smb_devtools::{black_box, Bench, Json};
-use smb_engine::{EngineConfig, ShardedFlowEngine};
+use smb_engine::{record_batch_grouped, EngineConfig, GroupScratch, ShardedFlowEngine};
+use smb_factory::DynEstimator;
+use smb_hash::ItemHash;
 use smb_sketch::FlowTable;
 use smb_stream::TraceConfig;
 use smb_telemetry::{MetricsObserver, Registry};
@@ -85,6 +90,156 @@ fn main() {
         });
     }
 
+    // Hot-path kernel, old versus new: the pre-rewrite recording shape
+    // (std::HashMap lookup + record_hash per item) against the
+    // open-addressed table fed through the batch-grouped kernel. Both
+    // sides consume identical pre-hashed (flow, hash) pairs, so the
+    // delta is purely table + kernel, not hashing or trace decoding.
+    // Three workload shapes: one hot flow (pure estimator + single-
+    // entry lookups), 1k flows with bursty arrival (packet trains of
+    // ~4–22 packets, the shape real traces and upstream batching
+    // produce — run slicing amortises lookups here), and 1k flows
+    // fully interleaved (no two consecutive items share a flow; the
+    // adversarial shape where grouping cannot amortise anything and
+    // only the cheaper table lookup helps).
+    // 10x the trace length so first-sight estimator construction
+    // (identical on both sides) amortises away and the numbers reflect
+    // steady-state recording, which is what the kernel optimises.
+    let scheme = spec().scheme();
+    let kernel_items = 10 * n;
+    let bursty = {
+        let mut pairs: Vec<(u64, ItemHash)> = Vec::with_capacity(kernel_items);
+        let mut state = 0x7A1Eu64;
+        let mut next_flow = 0usize;
+        let mut item = 0u64;
+        while pairs.len() < kernel_items {
+            // Flows drawn from the trace's heavy-tailed mix, each
+            // emitting a train of distinct items.
+            let flow = packets[next_flow % n].0 % 1000;
+            next_flow += 1;
+            state = smb_hash::splitmix::splitmix64_mix(state.wrapping_add(1));
+            let train = (2 + state % 21) as usize;
+            for _ in 0..train.min(kernel_items - pairs.len()) {
+                item += 1;
+                pairs.push((flow, scheme.item_hash(&item.to_le_bytes())));
+            }
+        }
+        pairs
+    };
+    let kernel_workloads: Vec<(&str, Vec<(u64, ItemHash)>)> = vec![
+        (
+            "single-flow",
+            (0..kernel_items)
+                .map(|i| (7u64, scheme.item_hash(&(i as u64).to_le_bytes())))
+                .collect(),
+        ),
+        ("1k-flows-bursty", bursty),
+        (
+            "1k-flows-uniform",
+            (0..kernel_items)
+                .map(|i| {
+                    // The trace's heavy-tailed flow mix, distinct items,
+                    // per-packet interleaving (no trains).
+                    let flow = packets[i % n].0 % 1000;
+                    (flow, scheme.item_hash(&(i as u64).to_le_bytes()))
+                })
+                .collect(),
+        ),
+    ];
+    const KERNEL_BATCH: usize = 1024;
+    // Estimators are built directly from precomputed parameters — the
+    // spec's threshold search is construction cost, identical on both
+    // sides and irrelevant to the recording kernel being measured.
+    // Boxed (`DynEstimator`) exactly as the engine's shard tables hold
+    // them, so table slots stay small and probe sequences cache-local.
+    let kernel_t = smb_theory::optimal_threshold(2048, 1e5).t;
+    let make_smb = move |_flow: u64| -> DynEstimator {
+        Box::new(smb_core::Smb::with_scheme(2048, kernel_t, scheme).expect("valid params"))
+    };
+    for (name, pairs) in &kernel_workloads {
+        bench.bench(
+            format!("kernel/old-hashmap-per-item/{name}/packets={kernel_items}"),
+            || {
+            let mut map: HashMap<u64, DynEstimator> = HashMap::new();
+            for &(flow, hash) in pairs {
+                map.entry(flow)
+                    .or_insert_with(|| make_smb(flow))
+                    .record_hash(hash);
+            }
+            black_box(map.len());
+        });
+        bench.bench(
+            format!("kernel/new-grouped-openaddr/{name}/packets={kernel_items}"),
+            || {
+            let mut table = FlowTable::new(make_smb);
+            table.reserve(1000);
+            let mut scratch = GroupScratch::default();
+            for chunk in pairs.chunks(KERNEL_BATCH) {
+                record_batch_grouped(&mut table, chunk, &mut scratch);
+            }
+            black_box(table.len());
+        });
+        // The speedup only counts if the answers are bit-identical.
+        let mut map: HashMap<u64, DynEstimator> = HashMap::new();
+        let mut table = FlowTable::new(make_smb);
+        let mut scratch = GroupScratch::default();
+        for &(flow, hash) in pairs {
+            map.entry(flow)
+                .or_insert_with(|| make_smb(flow))
+                .record_hash(hash);
+        }
+        for chunk in pairs.chunks(KERNEL_BATCH) {
+            record_batch_grouped(&mut table, chunk, &mut scratch);
+        }
+        assert_eq!(map.len(), table.len(), "{name}: flow counts diverged");
+        for (flow, est) in &map {
+            assert_eq!(
+                table.estimate(*flow).map(f64::to_bits),
+                Some(est.estimate().to_bits()),
+                "{name}: flow {flow} estimate diverged between kernels"
+            );
+        }
+    }
+    let kernel_numbers: Vec<(&str, f64, f64)> = {
+        let rs = bench.results();
+        let ips = |needle: &str| {
+            rs.iter()
+                .find(|r| r.label.contains(needle))
+                .map(|r| kernel_items as f64 / (r.median_ns / 1e9))
+                .unwrap_or(f64::NAN)
+        };
+        [
+            ("single-flow", "single_flow"),
+            ("1k-flows-bursty", "1k_flows"),
+            ("1k-flows-uniform", "1k_flows_uniform"),
+        ]
+        .iter()
+        .map(|&(name, slug)| {
+            (
+                slug,
+                ips(&format!("/old-hashmap-per-item/{name}/")),
+                ips(&format!("/new-grouped-openaddr/{name}/")),
+            )
+        })
+        .collect()
+    };
+    for &(slug, old, new) in &kernel_numbers {
+        let speedup = new / old;
+        // The 1.5x acceptance target applies to the single-flow and
+        // bursty shapes; fully interleaved input is reported for
+        // honesty (grouping cannot amortise anything there, only the
+        // cheaper table lookup helps) and gated at >= 1x.
+        let target = if slug == "1k_flows_uniform" { ">= 1x" } else { ">= 1.5x" };
+        eprintln!(
+            "kernel {slug}: old {old:.0} items/s vs new {new:.0} items/s \
+             => {speedup:.2}x (target {target})"
+        );
+        bench.extra(format!("kernel_old_items_per_sec_{slug}"), Json::Float(old));
+        bench.extra(format!("kernel_new_items_per_sec_{slug}"), Json::Float(new));
+        bench.extra(format!("kernel_speedup_{slug}"), Json::Float(speedup));
+    }
+    bench.extra("kernel_speedup_target", Json::Float(1.5));
+
     // Telemetry overhead: the same single-estimator ingest with and
     // without a registry-backed observer attached. The target (DESIGN.md
     // §9) is <5% on the observed path; the delta lands in the JSON
@@ -130,9 +285,18 @@ fn main() {
     // Throughput summary: items/sec per configuration and the speedup
     // of every engine configuration over the 1-shard engine.
     let results = bench.results();
+    // Every label embeds its own item count as `packets=N`, so the
+    // summary stays correct for workloads of different lengths.
+    let items_of = |label: &str| {
+        label
+            .rsplit("packets=")
+            .next()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(n as f64)
+    };
     let throughput: Vec<(String, f64)> = results
         .iter()
-        .map(|r| (r.label.clone(), n as f64 / (r.median_ns / 1e9)))
+        .map(|r| (r.label.clone(), items_of(&r.label) / (r.median_ns / 1e9)))
         .collect();
     let base = throughput
         .iter()

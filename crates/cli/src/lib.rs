@@ -57,6 +57,9 @@ pub struct ServeConfig {
     pub queue_batches: usize,
     /// Full-queue behaviour.
     pub policy: BackpressurePolicy,
+    /// Expected distinct-flow count; pre-sizes shard tables (0 = grow
+    /// on demand).
+    pub expected_flows: usize,
     /// Only report flows with estimates at least this large.
     pub threshold: f64,
     /// Report at most this many flows (largest first).
@@ -172,6 +175,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 batch: 256,
                 queue_batches: 8,
                 policy: BackpressurePolicy::Block,
+                expected_flows: 0,
                 threshold: 0.0,
                 top: 20,
                 metrics: None,
@@ -189,6 +193,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--policy" => {
                         cfg.policy =
                             BackpressurePolicy::from_name(take_value(args, &mut i, "--policy")?)?
+                    }
+                    "--expected-flows" => {
+                        cfg.expected_flows = parse_num(args, &mut i, "--expected-flows")?
                     }
                     "--threshold" => cfg.threshold = parse_num(args, &mut i, "--threshold")?,
                     "--top" => cfg.top = parse_num(args, &mut i, "--top")?,
@@ -349,7 +356,8 @@ pub fn run_serve(
     let mut config = EngineConfig::new(spec)
         .with_batch(cfg.batch)
         .with_queue_batches(cfg.queue_batches)
-        .with_policy(cfg.policy);
+        .with_policy(cfg.policy)
+        .with_expected_flows(cfg.expected_flows);
     if cfg.shards > 0 {
         config = config.with_shards(cfg.shards);
     }
@@ -509,7 +517,8 @@ mod tests {
     fn parse_serve_flags() {
         let Ok(Command::Serve(c)) = parse_args(&s(&[
             "serve", "--algo", "hll", "--shards", "4", "--batch", "128", "--queue", "2",
-            "--policy", "drop", "--memory-bits", "4096", "--top", "3",
+            "--policy", "drop", "--expected-flows", "5000", "--memory-bits", "4096",
+            "--top", "3",
         ])) else {
             panic!("expected serve")
         };
@@ -518,6 +527,7 @@ mod tests {
         assert_eq!(c.batch, 128);
         assert_eq!(c.queue_batches, 2);
         assert_eq!(c.policy, BackpressurePolicy::DropNewest);
+        assert_eq!(c.expected_flows, 5000);
         assert_eq!(c.memory_bits, 4096);
         assert_eq!(c.top, 3);
         assert!(parse_args(&s(&["serve", "--policy", "explode"])).is_err());
@@ -576,6 +586,7 @@ mod tests {
             batch: 32,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
+            expected_flows: 0,
             threshold: 0.0,
             top: 5,
             metrics: Some(ExportFormat::Prometheus),
@@ -609,6 +620,7 @@ mod tests {
             batch: 32,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
+            expected_flows: 0,
             threshold: 0.0,
             top: 5,
             metrics: Some(ExportFormat::Json),
@@ -767,6 +779,7 @@ mod tests {
             batch: 64,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
+            expected_flows: 0,
             threshold: 100.0,
             top: 5,
             metrics: None,
@@ -807,6 +820,7 @@ mod tests {
             batch: 32,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
+            expected_flows: 0,
             threshold: 0.0,
             top: 5,
             metrics: None,

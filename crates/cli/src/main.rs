@@ -6,7 +6,7 @@
 //! smbcount flows [--memory-bits 2048] [--threshold N] [--top K]
 //!     read "flow<TAB>item" lines; print per-flow estimates
 //! smbcount serve [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]
-//!                [--memory-bits M] [--threshold N] [--top K]
+//!                [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]
 //!                [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]
 //!     sharded parallel flows mode: per-flow estimates + engine stats
 //!     (+ metrics snapshot in JSON or Prometheus text exposition)
@@ -43,7 +43,7 @@ fn main() {
                  \x20 count  [--algo A] [--memory-bits M] [--exact]   estimate |distinct(stdin lines)|\n\
                  \x20 flows  [--memory-bits M] [--threshold N] [--top K]   per-flow estimates of 'flow<TAB>item' lines\n\
                  \x20 serve  [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]\n\
-                 \x20        [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
+                 \x20        [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
                  \x20        [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]   metrics export\n\
                  \x20 morphlog  [--memory-bits M] [--n-max N]   stream SMB morph events as JSON lines\n\
                  \x20 trace  [--flows N] [--seed S]   generate a synthetic trace\n\n\

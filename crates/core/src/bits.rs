@@ -85,6 +85,24 @@ impl BitVec {
         self.len - self.count_ones()
     }
 
+    /// Set every index yielded by `idxs`, returning how many bits were
+    /// fresh (previously zero). The batched counterpart of
+    /// [`BitVec::set`] for callers that already know no side effect
+    /// hangs off an individual fresh bit: the loop is branchless —
+    /// freshness folds into the count as an arithmetic carry instead of
+    /// a conditional — and each set is a single word OR.
+    pub fn set_all(&mut self, idxs: impl IntoIterator<Item = usize>) -> usize {
+        let mut fresh = 0usize;
+        for idx in idxs {
+            debug_assert!(idx < self.len);
+            let word = &mut self.words[idx / 64];
+            let mask = 1u64 << (idx % 64);
+            fresh += usize::from(*word & mask == 0);
+            *word |= mask;
+        }
+        fresh
+    }
+
     /// Bitwise OR with another vector of the same length (bitmap
     /// union). Returns the number of bits newly set by the union.
     ///
@@ -146,6 +164,23 @@ mod tests {
         assert!(!b.set(63), "second set of same bit is not fresh");
         assert!(b.set(64), "word-boundary neighbour is independent");
         assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn set_all_counts_fresh_like_sequential_set() {
+        let idxs = [0usize, 63, 64, 0, 65, 63, 129, 2];
+        let mut batched = BitVec::new(130);
+        let mut sequential = BitVec::new(130);
+        let fresh_batched = batched.set_all(idxs.iter().copied());
+        let fresh_sequential: usize = idxs
+            .iter()
+            .map(|&i| usize::from(sequential.set(i)))
+            .sum();
+        assert_eq!(fresh_batched, fresh_sequential);
+        assert_eq!(fresh_batched, 6, "two duplicates in the batch");
+        assert_eq!(batched, sequential);
+        // A second pass sets nothing new.
+        assert_eq!(batched.set_all(idxs.iter().copied()), 0);
     }
 
     #[test]

@@ -46,6 +46,13 @@ use crate::error::{Error, Result};
 use crate::observe::{EstimatorEvent, MorphEvent, ObserverHandle};
 use crate::traits::CardinalityEstimator;
 
+/// Slices shorter than this record through the plain per-item path:
+/// the batched prefilter's per-call setup (~a dozen ns) needs this
+/// many items to amortise. Measured on the ingest kernel bench; the
+/// exact value is not load-bearing for correctness (both paths are
+/// bit-identical).
+const BATCH_PREFILTER_MIN: usize = 32;
+
 /// The Self-Morphing Bitmap cardinality estimator.
 ///
 /// Construct with [`Smb::new`] (explicit threshold) or [`Smb::builder`]
@@ -85,6 +92,10 @@ pub struct Smb {
     /// Whether the one-shot `Saturated` event has fired (re-armed by
     /// `clear`).
     saturation_emitted: bool,
+    /// Reusable survivor buffer for the batched record path: packed
+    /// `(position-in-batch << 32) | bit-index` pairs. Never part of
+    /// the estimator's logical state (snapshots ignore it).
+    scratch: Vec<u64>,
 }
 
 impl Smb {
@@ -127,6 +138,7 @@ impl Smb {
             items_since_morph: 0,
             observer: None,
             saturation_emitted: false,
+            scratch: Vec::new(),
         })
     }
 
@@ -225,6 +237,41 @@ impl Smb {
     pub fn as_bits(&self) -> &BitVec {
         &self.bits
     }
+
+    /// Close the current round: advance `r`, attribute the inter-morph
+    /// item count, emit the morph event, reset `v`. Callers guarantee
+    /// `v == T` and that this is not the final round.
+    fn close_round(&mut self) {
+        let closed = self.r;
+        self.r += 1;
+        let items = std::mem::take(&mut self.items_since_morph);
+        if let Some(observer) = &self.observer {
+            // At closure (v = T) Eq. 11 collapses to S[r+1]: the
+            // round's own contribution folded into the cumulative
+            // table.
+            let event = MorphEvent {
+                round: closed,
+                fresh_bits_at_close: self.v,
+                logical_size: self.m - (closed as usize) * self.t,
+                items_since_last_morph: items,
+                estimate_at_close: self.s_table[(closed + 1) as usize],
+            };
+            observer.emit(EstimatorEvent::Morph(&event));
+        }
+        self.v = 0;
+    }
+
+    /// Fire the one-shot `Saturated` event if the final round just
+    /// filled up and an observer is listening.
+    fn maybe_emit_saturated(&mut self) {
+        if !self.saturation_emitted && self.observer.is_some() && self.is_saturated() {
+            self.saturation_emitted = true;
+            let estimate = self.estimate();
+            if let Some(observer) = &self.observer {
+                observer.emit(EstimatorEvent::Saturated { name: "SMB", estimate });
+            }
+        }
+    }
 }
 
 impl CardinalityEstimator for Smb {
@@ -243,59 +290,117 @@ impl CardinalityEstimator for Smb {
             // exhausted — unless this is already the final round, where
             // the logical bitmap is allowed to fill up (saturation).
             if self.v >= self.t && self.r + 1 < self.max_rounds {
-                let closed = self.r;
-                self.r += 1;
-                let items = self.items_since_morph;
-                self.items_since_morph = 0;
-                if let Some(observer) = &self.observer {
-                    // At closure (v = T) Eq. 11 collapses to S[r+1]:
-                    // the round's own contribution folded into the
-                    // cumulative table.
-                    let event = MorphEvent {
-                        round: closed,
-                        fresh_bits_at_close: self.v,
-                        logical_size: self.m - (closed as usize) * self.t,
-                        items_since_last_morph: items,
-                        estimate_at_close: self.s_table[(closed + 1) as usize],
-                    };
-                    observer.emit(EstimatorEvent::Morph(&event));
-                }
-                self.v = 0;
-            } else if !self.saturation_emitted && self.observer.is_some() && self.is_saturated()
-            {
-                self.saturation_emitted = true;
-                if let Some(observer) = &self.observer {
-                    observer.emit(EstimatorEvent::Saturated {
-                        name: "SMB",
-                        estimate: self.estimate(),
-                    });
-                }
+                self.close_round();
+            } else {
+                self.maybe_emit_saturated();
             }
         }
     }
 
-    /// Batched override: skim items that fail the current round's
-    /// sampling test without paying the full `record_hash` entry cost.
-    /// In late rounds (`pᵣ = 2⁻ʳ` small) almost every item fails, so
-    /// the hot loop is a pure read of the batch against a cached `r`;
-    /// `r` only ever grows, so it is reloaded after each survivor.
-    /// Skimmed items still count toward `items_since_last_morph`, so
-    /// batched and sequential recording stay state-identical.
+    /// Batched override — the ingest kernel's estimator stage.
+    ///
+    /// The round-`r` sampling test `G(d) ≥ r` is equivalent to "the
+    /// low `r` geometric-lane bits are all zero", so the threshold is
+    /// folded into a single mask computed **once per batch** and
+    /// re-derived only when a morph fires mid-batch. The hot loop is a
+    /// branch-predictable mask test per item; survivors' bit indices
+    /// are staged into a scratch buffer and committed with the
+    /// word-level [`BitVec::set_all`].
+    ///
+    /// Whenever the number of surviving items is below the round's
+    /// remaining fresh-bit budget `T − v`, no morph can possibly fire
+    /// and the whole batch commits in one bulk pass. Only a batch
+    /// segment that *reaches* the budget falls back to one-at-a-time
+    /// placement to locate the exact morph trigger — keeping state,
+    /// morph events, and `items_since_last_morph` bit-identical to
+    /// sequential [`Smb::record_hash`] calls.
     fn record_hashes(&mut self, hashes: &[ItemHash]) {
-        let mut i = 0;
-        while i < hashes.len() {
-            let r = self.r;
-            let run_start = i;
-            while i < hashes.len() && hashes[i].geometric() < r {
-                i += 1;
+        // The staged prefilter below costs a batch setup (mask/budget
+        // derivation, survivor staging, bulk commit) that only pays
+        // for itself on slices long enough to amortise it; short runs
+        // — the common case for grouped multi-flow ingest — are
+        // cheaper through the plain per-item path, which is also the
+        // semantic reference, so equivalence is trivial.
+        if hashes.len() < BATCH_PREFILTER_MIN {
+            for &h in hashes {
+                self.record_hash(h);
             }
-            self.items_since_morph += (i - run_start) as u64;
-            if i == hashes.len() {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut rest = hashes;
+        while !rest.is_empty() {
+            let r = self.r;
+            if r > 32 {
+                // The geometric lane caps at 32: past round 32 no item
+                // can pass the sampling test, ever.
+                self.items_since_morph += rest.len() as u64;
                 break;
             }
-            self.record_hash(hashes[i]);
-            i += 1;
+            // Reject unless the low r bits of the geometric lane are
+            // all zero — the branchless form of `G(d) < r`.
+            let reject_mask: u64 = (1u64 << r) - 1;
+            let final_round = r + 1 >= self.max_rounds;
+            let budget = if final_round {
+                usize::MAX // the final round never morphs
+            } else {
+                self.t - self.v
+            };
+            scratch.clear();
+            let mut scanned = rest.len();
+            for (pos, h) in rest.iter().enumerate() {
+                if (h.raw() >> 32) & reject_mask != 0 {
+                    continue;
+                }
+                scratch.push(((pos as u64) << 32) | h.index(self.m) as u64);
+                if scratch.len() >= budget {
+                    scanned = pos + 1;
+                    break;
+                }
+            }
+            if scratch.len() < budget {
+                // Fewer survivors than remaining budget: no morph can
+                // fire, so commit the whole prefiltered batch with one
+                // word-level bulk pass.
+                let fresh = self
+                    .bits
+                    .set_all(scratch.iter().map(|&p| (p & 0xFFFF_FFFF) as usize));
+                self.v += fresh;
+                self.items_since_morph += rest.len() as u64;
+                if final_round && fresh > 0 {
+                    self.maybe_emit_saturated();
+                }
+                break;
+            }
+            // Budget-many survivors scanned: a morph may fire among
+            // them. Place them one at a time to find the trigger; the
+            // remainder of the batch re-enters the loop under the new
+            // round's stricter mask.
+            let mut after_morph = None;
+            for &packed in scratch.iter() {
+                let pos = (packed >> 32) as usize;
+                let idx = (packed & 0xFFFF_FFFF) as usize;
+                if self.bits.set(idx) {
+                    self.v += 1;
+                    if self.v >= self.t {
+                        self.items_since_morph += (pos + 1) as u64;
+                        self.close_round();
+                        after_morph = Some(pos + 1);
+                        break;
+                    }
+                }
+            }
+            match after_morph {
+                Some(consumed) => rest = &rest[consumed..],
+                None => {
+                    // Duplicates kept v below T: the scanned prefix is
+                    // fully recorded under the unchanged round.
+                    self.items_since_morph += scanned as u64;
+                    rest = &rest[scanned..];
+                }
+            }
         }
+        self.scratch = scratch;
     }
 
     fn estimate(&self) -> f64 {
@@ -483,6 +588,90 @@ mod tests {
         assert_eq!(batched.snapshot(), sequential.snapshot());
         assert_eq!(batched.estimate(), sequential.estimate());
         assert!(batched.round() > 0, "test must exercise sampling rounds");
+    }
+
+    #[test]
+    fn batched_matches_sequential_across_morph_boundaries() {
+        // The kernel's bulk path commits whole batches only when no
+        // morph can fire; this test forces batches that straddle v==T
+        // (batch size far above T) and checks that *everything*
+        // observable — (r, v), the physical bitmap, the item
+        // attribution counter, and the emitted morph events — is
+        // bit-identical to one-at-a-time recording.
+        use crate::observe::{MorphCollector, ObserverHandle, SmbObserver};
+        use std::sync::Arc;
+
+        let scheme = HashScheme::with_seed(23);
+        let hashes: Vec<ItemHash> = (0..80_000u64)
+            .map(|i| scheme.item_hash(&i.to_le_bytes()))
+            .collect();
+        for chunk_len in [1usize, 13, 128, 129, 1024, 80_000] {
+            let collect_batched = MorphCollector::shared();
+            let collect_seq = MorphCollector::shared();
+            // T = 128 << chunk sizes above 128, so batches span morphs.
+            let mut batched = Smb::with_scheme(2048, 128, scheme).unwrap();
+            batched.set_observer(Some(ObserverHandle::new(
+                Arc::clone(&collect_batched) as Arc<dyn SmbObserver>
+            )));
+            let mut sequential = Smb::with_scheme(2048, 128, scheme).unwrap();
+            sequential.set_observer(Some(ObserverHandle::new(
+                Arc::clone(&collect_seq) as Arc<dyn SmbObserver>
+            )));
+            for chunk in hashes.chunks(chunk_len) {
+                batched.record_hashes(chunk);
+            }
+            for &h in &hashes {
+                sequential.record_hash(h);
+            }
+            assert!(sequential.round() > 0, "must cross at least one morph");
+            assert_eq!(batched.snapshot(), sequential.snapshot(), "chunk {chunk_len}");
+            assert_eq!(
+                batched.as_bits(),
+                sequential.as_bits(),
+                "physical bitmap diverged at chunk {chunk_len}"
+            );
+            assert_eq!(
+                batched.items_since_last_morph(),
+                sequential.items_since_last_morph(),
+                "item attribution diverged at chunk {chunk_len}"
+            );
+            let eb = collect_batched.events();
+            let es = collect_seq.events();
+            assert_eq!(eb.len(), es.len(), "morph count at chunk {chunk_len}");
+            for (b, s) in eb.iter().zip(es.iter()) {
+                assert_eq!(b.round, s.round);
+                assert_eq!(b.fresh_bits_at_close, s.fresh_bits_at_close);
+                assert_eq!(b.logical_size, s.logical_size);
+                assert_eq!(
+                    b.items_since_last_morph, s.items_since_last_morph,
+                    "per-event attribution at chunk {chunk_len} round {}",
+                    b.round
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_sequential_into_saturation() {
+        // Saturate a tiny SMB through the batched path: the final round
+        // takes the bulk-commit branch with an unbounded budget.
+        let scheme = HashScheme::with_seed(5);
+        let hashes: Vec<ItemHash> = (0..400_000u64)
+            .map(|i| scheme.item_hash(&i.to_le_bytes()))
+            .collect();
+        let mut batched = Smb::with_scheme(256, 64, scheme).unwrap();
+        let mut sequential = batched.clone();
+        for chunk in hashes.chunks(2048) {
+            batched.record_hashes(chunk);
+        }
+        for &h in &hashes {
+            sequential.record_hash(h);
+        }
+        assert!(sequential.is_saturated());
+        assert!(batched.is_saturated());
+        assert_eq!(batched.snapshot(), sequential.snapshot());
+        assert_eq!(batched.as_bits(), sequential.as_bits());
+        assert_eq!(batched.estimate(), sequential.estimate());
     }
 
     #[test]

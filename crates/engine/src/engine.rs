@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use smb_core::CardinalityEstimator;
 use smb_factory::{AlgoSpec, DynEstimator};
 use smb_hash::{mix, HashScheme, ItemHash};
 use smb_sketch::FlowTable;
@@ -88,6 +89,11 @@ pub struct EngineConfig {
     pub queue_batches: usize,
     /// Full-queue behaviour.
     pub policy: BackpressurePolicy,
+    /// Expected number of distinct flows across the whole run
+    /// (0 = unknown). When set, each shard's flow table is pre-sized
+    /// at construction so steady-state ingest never rehashes
+    /// mid-stream.
+    pub expected_flows: usize,
 }
 
 impl EngineConfig {
@@ -104,6 +110,7 @@ impl EngineConfig {
             batch: 256,
             queue_batches: 8,
             policy: BackpressurePolicy::Block,
+            expected_flows: 0,
         }
     }
 
@@ -131,6 +138,13 @@ impl EngineConfig {
         self
     }
 
+    /// Hint the expected number of distinct flows so shard tables are
+    /// pre-sized up front (0 = unknown, grow on demand).
+    pub fn with_expected_flows(mut self, expected_flows: usize) -> Self {
+        self.expected_flows = expected_flows;
+        self
+    }
+
     fn validate(&self) -> smb_core::Result<()> {
         if self.shards == 0 {
             return Err(smb_core::Error::invalid("shards", "must be at least 1"));
@@ -153,6 +167,147 @@ struct Shard {
     table: Arc<Mutex<ShardTable>>,
     metrics: Arc<ShardMetrics>,
     worker: Option<JoinHandle<()>>,
+}
+
+/// Scratch buffers reused across [`record_batch_grouped`] calls so the
+/// per-batch hot path allocates nothing in steady state.
+#[derive(Debug, Default)]
+pub struct GroupScratch {
+    /// `(flow, position)` pairs for the sort-based grouping path.
+    order: Vec<(u64, u32)>,
+    /// One flow's hashes, contiguous, for `record_hashes`.
+    run: Vec<ItemHash>,
+}
+
+/// Runs shorter than this record item-by-item straight off the batch
+/// slice instead of being copied into scratch for `record_hashes`: the
+/// batched prefilter's per-call setup needs roughly this many items to
+/// amortise, so for short runs the copy would buy nothing.
+const SHORT_RUN: usize = 32;
+
+/// Decide whether grouping an interleaved batch pays off: grouping
+/// buys long `record_hashes` runs when few distinct flows share the
+/// batch, but the `(flow, position)` sort is pure overhead when nearly
+/// every item belongs to a different flow (runs of one or two items).
+/// Sixteen evenly spaced samples give a coarse distinct-flow read:
+/// half or more repeated samples means runs will be long enough to
+/// amortise the sort.
+fn few_flows_dominate(batch: &[(u64, ItemHash)]) -> bool {
+    const SAMPLE: usize = 16;
+    if batch.len() < 4 * SAMPLE {
+        // Tiny batches: the sort is cheap either way; grouping wins
+        // whenever any flow repeats, so just try it.
+        return true;
+    }
+    let step = batch.len() / SAMPLE;
+    let mut seen = [0u64; SAMPLE];
+    let mut distinct = 0;
+    for i in 0..SAMPLE {
+        let flow = batch[i * step].0;
+        if !seen[..distinct].contains(&flow) {
+            seen[distinct] = flow;
+            distinct += 1;
+        }
+    }
+    distinct <= SAMPLE / 2
+}
+
+/// Record one batch of `(flow, hash)` pairs into `table`, resolving
+/// each distinct flow's estimator once per run of same-flow items
+/// instead of once per item.
+///
+/// Per-flow arrival order is preserved exactly, so the resulting
+/// estimator states are bit-identical to recording the batch one item
+/// at a time. Two regimes, picked per batch by one cheap counting
+/// scan:
+///
+/// * **run slicing** — the batch is cut into maximal same-flow runs in
+///   arrival order and each run feeds one `record_hashes` call. This
+///   covers sorted batches and bursty traffic (packet trains) without
+///   any reordering, and degrades gracefully to per-item recording
+///   (one extra compare per item) when every run is a singleton;
+/// * **sort grouping** — when runs are short *but* few distinct flows
+///   share the batch (round-robin traffic), a `(flow, position)` sort
+///   rebuilds long per-flow runs; the position component keeps each
+///   flow's items in arrival order. Skipped when most items belong to
+///   different flows — the sort could never amortise there, and run
+///   slicing already handles that shape at per-item cost.
+pub fn record_batch_grouped<E, F>(
+    table: &mut FlowTable<E, F>,
+    batch: &[(u64, ItemHash)],
+    scratch: &mut GroupScratch,
+) where
+    E: CardinalityEstimator,
+    F: Fn(u64) -> E,
+{
+    if batch.is_empty() {
+        return;
+    }
+    // Sorted batches slice perfectly with no reordering (early-exiting
+    // scan: ~2 compares on unsorted data). Unsorted batches count
+    // their maximal same-flow runs: bursty traffic still slices well,
+    // and only short-run batches dominated by few flows are worth the
+    // reordering sort.
+    let sorted = batch.windows(2).all(|w| w[0].0 <= w[1].0);
+    let sliced_runs_amortise = sorted || {
+        let runs = 1 + batch.windows(2).filter(|w| w[0].0 != w[1].0).count();
+        2 * runs <= batch.len()
+    };
+    if sliced_runs_amortise || !few_flows_dominate(batch) {
+        let mut i = 0;
+        while i < batch.len() {
+            let flow = batch[i].0;
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].0 == flow {
+                j += 1;
+            }
+            // One table lookup per run either way; short runs skip the
+            // scratch copy (the batched prefilter only pays for itself
+            // on longer slices — see `Smb::record_hashes`).
+            let est = table.estimator_mut(flow);
+            if j - i < SHORT_RUN {
+                for &(_, h) in &batch[i..j] {
+                    est.record_hash(h);
+                }
+            } else {
+                scratch.run.clear();
+                scratch.run.extend(batch[i..j].iter().map(|&(_, h)| h));
+                est.record_hashes(&scratch.run);
+            }
+            i = j;
+        }
+        return;
+    }
+    scratch.order.clear();
+    scratch
+        .order
+        .extend(batch.iter().enumerate().map(|(i, &(flow, _))| (flow, i as u32)));
+    // Unstable sort of a totally ordered key set is order-stable: the
+    // position component breaks every tie, keeping per-flow arrival
+    // order.
+    scratch.order.sort_unstable();
+    let order = &scratch.order;
+    let mut i = 0;
+    while i < order.len() {
+        let flow = order[i].0;
+        let mut j = i + 1;
+        while j < order.len() && order[j].0 == flow {
+            j += 1;
+        }
+        let est = table.estimator_mut(flow);
+        if j - i < SHORT_RUN {
+            for &(_, pos) in &order[i..j] {
+                est.record_hash(batch[pos as usize].1);
+            }
+        } else {
+            scratch.run.clear();
+            scratch
+                .run
+                .extend(order[i..j].iter().map(|&(_, pos)| batch[pos as usize].1));
+            est.record_hashes(&scratch.run);
+        }
+        i = j;
+    }
 }
 
 /// A multi-core, sharded per-flow cardinality-estimation pipeline.
@@ -233,38 +388,31 @@ impl ShardedFlowEngine {
             let (tx, rx) = bounded::<Batch>(config.queue_batches);
             let metrics = Arc::new(ShardMetrics::register(&registry, shard));
             let shard_factory = Arc::clone(&factory);
-            let table: Arc<Mutex<ShardTable>> = Arc::new(Mutex::new(FlowTable::with_factory(
-                Box::new(move |flow| (shard_factory)(flow)),
-            )));
+            let mut shard_table: ShardTable =
+                FlowTable::with_factory(Box::new(move |flow| (shard_factory)(flow)));
+            if config.expected_flows > 0 {
+                // Flows partition ~evenly across shards; the extra 1/8
+                // absorbs hash-placement skew so the common case still
+                // avoids a mid-stream rehash.
+                let share = config.expected_flows.div_ceil(config.shards);
+                shard_table.reserve(share + share / 8);
+            }
+            let table: Arc<Mutex<ShardTable>> = Arc::new(Mutex::new(shard_table));
             let worker_table = Arc::clone(&table);
             let worker_metrics = Arc::clone(&metrics);
             let worker = std::thread::Builder::new()
                 .name("smb-engine-shard".into())
                 .spawn(move || {
-                    let mut run: Vec<ItemHash> = Vec::new();
+                    let mut scratch = GroupScratch::default();
                     while let Some(batch) = rx.recv() {
+                        let start = Instant::now();
                         let mut table = worker_table.lock().expect("shard table lock");
-                        // Record consecutive same-flow runs through the
-                        // batched estimator path; per-flow order is
-                        // preserved, so estimates are unaffected.
-                        let mut i = 0;
-                        while i < batch.len() {
-                            let flow = batch[i].0;
-                            let mut j = i + 1;
-                            while j < batch.len() && batch[j].0 == flow {
-                                j += 1;
-                            }
-                            if j - i == 1 {
-                                table.record_hash(flow, batch[i].1);
-                            } else {
-                                run.clear();
-                                run.extend(batch[i..j].iter().map(|&(_, h)| h));
-                                table.record_hashes(flow, &run);
-                            }
-                            i = j;
-                        }
+                        record_batch_grouped(&mut table, &batch, &mut scratch);
                         let flows = table.len() as i64;
                         drop(table);
+                        worker_metrics.record_latency.record(
+                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
                         worker_metrics.flows.set(flows);
                         worker_metrics.items_recorded.add(batch.len() as u64);
                         worker_metrics.queue_depth.sub(1);
@@ -447,7 +595,18 @@ impl ShardedFlowEngine {
         for s in &self.shards {
             all.extend(s.table.lock().expect("shard table lock").estimates());
         }
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+        let by_estimate_desc = |a: &(u64, f64), b: &(u64, f64)| {
+            b.1.partial_cmp(&a.1)
+                .expect("estimates are finite")
+                .then(a.0.cmp(&b.0))
+        };
+        // Partition the top k to the front first, so the O(n log n)
+        // sort only ever runs over k entries, not every flow.
+        if k > 0 && k < all.len() {
+            all.select_nth_unstable_by(k - 1, by_estimate_desc);
+            all.truncate(k);
+        }
+        all.sort_unstable_by(by_estimate_desc);
         all.truncate(k);
         all
     }
@@ -749,6 +908,175 @@ mod tests {
         // Both engines share shard-0 series in the common registry.
         let snap = registry.snapshot();
         assert_eq!(snap.counter_total("engine_items_enqueued_total"), 2000);
+    }
+
+    #[test]
+    fn grouped_recording_matches_per_item_on_interleaved_batches() {
+        // Four flows deliberately interleaved so the contiguity fast
+        // path never triggers but few_flows_dominate approves the
+        // sort: the grouping must still replay every flow's items in
+        // arrival order.
+        let sp = spec();
+        let scheme = sp.scheme();
+        let mut grouped = FlowTable::new(move |_| sp.build().unwrap());
+        let mut reference = FlowTable::new(move |_| sp.build().unwrap());
+        let mut scratch = GroupScratch::default();
+        let mut state = 0x9E37_79B9_u64;
+        for round in 0..50u64 {
+            let batch: Vec<(u64, ItemHash)> = (0..257u64)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state % 4, scheme.item_hash(&(round * 1000 + i).to_le_bytes()))
+                })
+                .collect();
+            record_batch_grouped(&mut grouped, &batch, &mut scratch);
+            for &(flow, hash) in &batch {
+                reference.record_hash(flow, hash);
+            }
+        }
+        assert!(!scratch.order.is_empty(), "four-flow batches must take the sort path");
+        assert_eq!(grouped.len(), reference.len());
+        for flow in 0..4u64 {
+            assert_eq!(grouped.estimate(flow), reference.estimate(flow), "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn grouped_recording_matches_per_item_on_flow_dense_batches() {
+        // Nearly every item from a different flow: the density check
+        // must route around the sort, and results must still match.
+        let sp = spec();
+        let scheme = sp.scheme();
+        let mut grouped = FlowTable::new(move |_| sp.build().unwrap());
+        let mut reference = FlowTable::new(move |_| sp.build().unwrap());
+        let mut scratch = GroupScratch::default();
+        let batch: Vec<(u64, ItemHash)> = (0..1024u64)
+            .map(|i| {
+                // moremur-spread flows, shuffled order, ~700 distinct.
+                (mix::moremur(i) % 700, scheme.item_hash(&i.to_le_bytes()))
+            })
+            .collect();
+        record_batch_grouped(&mut grouped, &batch, &mut scratch);
+        for &(flow, hash) in &batch {
+            reference.record_hash(flow, hash);
+        }
+        assert!(scratch.order.is_empty(), "flow-dense batches must skip the sort path");
+        assert_eq!(grouped.len(), reference.len());
+        for (flow, _) in &batch {
+            assert_eq!(grouped.estimate(*flow), reference.estimate(*flow), "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn grouped_recording_matches_per_item_on_bursty_batches() {
+        // Unsorted packet trains (runs of 2..=20 items per flow, flows
+        // revisited out of order): run slicing must engage without any
+        // sort, covering both the short-run direct path and the long-run
+        // `record_hashes` path, and replay arrival order exactly.
+        let sp = spec();
+        let scheme = sp.scheme();
+        let mut grouped = FlowTable::new(move |_| sp.build().unwrap());
+        let mut reference = FlowTable::new(move |_| sp.build().unwrap());
+        let mut scratch = GroupScratch::default();
+        let mut state = 0xB0A7_u64;
+        let mut item = 0u64;
+        let mut batch: Vec<(u64, ItemHash)> = Vec::new();
+        while batch.len() < 2048 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let flow = (state >> 33) % 50;
+            let train = 2 + (state % 19) as usize + if state % 7 == 0 { 40 } else { 0 };
+            for _ in 0..train {
+                item += 1;
+                batch.push((flow, scheme.item_hash(&item.to_le_bytes())));
+            }
+        }
+        record_batch_grouped(&mut grouped, &batch, &mut scratch);
+        for &(flow, hash) in &batch {
+            reference.record_hash(flow, hash);
+        }
+        assert!(scratch.order.is_empty(), "train-shaped batches must slice runs, not sort");
+        assert_eq!(grouped.len(), reference.len());
+        for flow in 0..50u64 {
+            assert_eq!(grouped.estimate(flow), reference.estimate(flow), "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn grouped_recording_uses_fast_path_on_contiguous_batches() {
+        let sp = spec();
+        let scheme = sp.scheme();
+        let mut grouped = FlowTable::new(move |_| sp.build().unwrap());
+        let mut reference = FlowTable::new(move |_| sp.build().unwrap());
+        let mut scratch = GroupScratch::default();
+        // Sorted by flow: single flows, runs, and a trailing singleton.
+        let batch: Vec<(u64, ItemHash)> = [1u64, 2, 2, 2, 5, 5, 9]
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, scheme.item_hash(&(i as u64).to_le_bytes())))
+            .collect();
+        record_batch_grouped(&mut grouped, &batch, &mut scratch);
+        for &(flow, hash) in &batch {
+            reference.record_hash(flow, hash);
+        }
+        for flow in [1u64, 2, 5, 9] {
+            assert_eq!(grouped.estimate(flow), reference.estimate(flow), "flow {flow}");
+        }
+        assert!(scratch.order.is_empty(), "fast path must not populate the sort buffer");
+    }
+
+    #[test]
+    fn expected_flows_pre_sizing_changes_nothing_observable() {
+        let run = |expected| {
+            let mut engine = ShardedFlowEngine::new(
+                EngineConfig::new(spec())
+                    .with_shards(2)
+                    .with_batch(32)
+                    .with_expected_flows(expected),
+            )
+            .unwrap();
+            for i in 0..4000u32 {
+                engine.ingest(i as u64 % 40, &i.to_le_bytes());
+            }
+            engine.flush();
+            let mut all = engine.all_estimates();
+            all.sort_by_key(|&(flow, _)| flow);
+            all
+        };
+        let unsized_ = run(0);
+        let presized = run(40);
+        let oversized = run(100_000);
+        assert_eq!(unsized_.len(), 40);
+        assert_eq!(unsized_, presized);
+        assert_eq!(unsized_, oversized);
+    }
+
+    #[test]
+    fn snapshot_top_k_is_descending_and_complete() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(3).with_batch(16),
+        )
+        .unwrap();
+        for flow in 0..30u64 {
+            // Flow f carries f+1 distinct items: distinct ranks.
+            for i in 0..=flow {
+                engine.ingest(flow, &(flow * 1000 + i).to_le_bytes());
+            }
+        }
+        engine.flush();
+        let top = engine.snapshot_top_k(10);
+        assert_eq!(top.len(), 10);
+        for pair in top.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1
+                    || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "top-k not in pinned (estimate desc, flow asc) order: {top:?}"
+            );
+        }
+        // k beyond the flow count returns everything, still ordered.
+        let all = engine.snapshot_top_k(1000);
+        assert_eq!(all.len(), 30);
+        assert_eq!(&all[..10], &top[..]);
+        assert!(engine.snapshot_top_k(0).is_empty());
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod engine;
 mod stats;
 
 pub use engine::{
-    BackpressurePolicy, EngineConfig, EstimatorFactory, ShardTable, ShardedFlowEngine,
+    record_batch_grouped, BackpressurePolicy, EngineConfig, EstimatorFactory, GroupScratch,
+    ShardTable, ShardedFlowEngine,
 };
 pub use stats::{EngineStats, ShardStats};

@@ -42,6 +42,9 @@ pub(crate) struct ShardMetrics {
     /// Nanoseconds each dispatch spent handing its batch to the queue
     /// (includes blocking time under the block policy).
     pub enqueue_latency: Arc<Histogram>,
+    /// Nanoseconds the worker spent recording each batch into its flow
+    /// table (the ingest kernel: lock, group, record).
+    pub record_latency: Arc<Histogram>,
 }
 
 impl ShardMetrics {
@@ -99,6 +102,11 @@ impl ShardMetrics {
             enqueue_latency: registry.histogram_with(
                 "engine_enqueue_latency_ns",
                 "Nanoseconds spent handing each batch to its shard queue",
+                labels,
+            ),
+            record_latency: registry.histogram_with(
+                "engine_record_batch_ns",
+                "Nanoseconds the worker spent recording each batch",
                 labels,
             ),
         }

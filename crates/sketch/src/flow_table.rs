@@ -14,17 +14,22 @@
 //! engine (`smb-engine`) pins that requirement on its own shard type
 //! rather than imposing it on every single-threaded caller.
 
-use std::collections::HashMap;
-
 use smb_core::CardinalityEstimator;
 use smb_hash::ItemHash;
+
+use crate::open_table::OpenTable;
 
 /// The default factory representation: a boxed, thread-local closure.
 pub type BoxedFactory<E> = Box<dyn Fn(u64) -> E>;
 
 /// A map from flow key to its own estimator instance.
+///
+/// Storage is the in-tree open-addressed [`OpenTable`]: flow keys are
+/// already uniform 64-bit hashes, so the record path pays one cheap
+/// integer mix and a linear probe instead of a full SipHash pass per
+/// lookup.
 pub struct FlowTable<E: CardinalityEstimator, F = BoxedFactory<E>> {
-    flows: HashMap<u64, E>,
+    flows: OpenTable<E>,
     factory: F,
 }
 
@@ -35,7 +40,7 @@ impl<E: CardinalityEstimator> FlowTable<E> {
     /// concrete factory type (required for a `Send` table).
     pub fn new(factory: impl Fn(u64) -> E + 'static) -> Self {
         FlowTable {
-            flows: HashMap::new(),
+            flows: OpenTable::new(),
             factory: Box::new(factory),
         }
     }
@@ -48,9 +53,16 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
     /// leaking into single-threaded use.
     pub fn with_factory(factory: F) -> Self {
         FlowTable {
-            flows: HashMap::new(),
+            flows: OpenTable::new(),
             factory,
         }
+    }
+
+    /// Pre-size the table for `n` flows, so steady-state ingest never
+    /// rehashes mid-stream. The engine calls this per shard from its
+    /// `expected_flows` option.
+    pub fn reserve(&mut self, n: usize) {
+        self.flows.reserve(n);
     }
 
     /// Record `item` under `flow`, creating the flow's estimator on
@@ -58,8 +70,7 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
     #[inline]
     pub fn record(&mut self, flow: u64, item: &[u8]) {
         self.flows
-            .entry(flow)
-            .or_insert_with(|| (self.factory)(flow))
+            .get_or_insert_with(flow, &self.factory)
             .record(item);
     }
 
@@ -70,8 +81,7 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
     #[inline]
     pub fn record_hash(&mut self, flow: u64, hash: ItemHash) {
         self.flows
-            .entry(flow)
-            .or_insert_with(|| (self.factory)(flow))
+            .get_or_insert_with(flow, &self.factory)
             .record_hash(hash);
     }
 
@@ -81,19 +91,33 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
     #[inline]
     pub fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]) {
         self.flows
-            .entry(flow)
-            .or_insert_with(|| (self.factory)(flow))
+            .get_or_insert_with(flow, &self.factory)
             .record_hashes(hashes);
+    }
+
+    /// Mutably borrow `flow`'s estimator, creating it on first sight —
+    /// lets a grouped caller resolve the estimator once and record a
+    /// whole run of items against it.
+    #[inline]
+    pub fn estimator_mut(&mut self, flow: u64) -> &mut E {
+        self.flows.get_or_insert_with(flow, &self.factory)
     }
 
     /// Estimate the cardinality of `flow`; `None` if never seen.
     pub fn estimate(&self, flow: u64) -> Option<f64> {
-        self.flows.get(&flow).map(|e| e.estimate())
+        self.flows.get(flow).map(|e| e.estimate())
     }
 
     /// Borrow a flow's estimator.
     pub fn get(&self, flow: u64) -> Option<&E> {
-        self.flows.get(&flow)
+        self.flows.get(flow)
+    }
+
+    /// Remove `flow` from the table, returning its estimator (e.g. for
+    /// eviction of idle flows). Backward-shift deletion: no tombstones
+    /// are left to slow later probes.
+    pub fn remove(&mut self, flow: u64) -> Option<E> {
+        self.flows.remove(flow)
     }
 
     /// Number of flows tracked.
@@ -108,7 +132,7 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
 
     /// Iterate `(flow, estimator)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
-        self.flows.iter().map(|(&k, e)| (k, e))
+        self.flows.iter()
     }
 
     /// Drain the table: remove and yield every `(flow, estimator)`
@@ -121,23 +145,30 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
 
     /// Iterate `(flow, estimate)` pairs.
     pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.flows.iter().map(|(&k, e)| (k, e.estimate()))
+        self.flows.iter().map(|(k, e)| (k, e.estimate()))
     }
 
     /// Flows whose estimate is at least `threshold` (the scan/DDoS
-    /// report of the paper's introduction).
+    /// report of the paper's introduction), largest first. The
+    /// threshold filter runs before the sort, and the sort is an
+    /// unstable pattern-defeating quicksort — no allocation beyond the
+    /// surviving entries, no stable-merge scratch buffer.
     pub fn flows_over(&self, threshold: f64) -> Vec<(u64, f64)> {
         let mut out: Vec<(u64, f64)> = self
             .estimates()
             .filter(|&(_, est)| est >= threshold)
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("estimates are finite"));
+        out.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("estimates are finite")
+                .then(a.0.cmp(&b.0))
+        });
         out
     }
 
     /// Total memory across all per-flow estimators, in bits.
     pub fn total_memory_bits(&self) -> usize {
-        self.flows.values().map(|e| e.memory_bits()).sum()
+        self.flows.iter().map(|(_, e)| e.memory_bits()).sum()
     }
 
     /// Drop all flows.
@@ -195,6 +226,64 @@ mod tests {
         assert_eq!(over.len(), 2);
         assert_eq!(over[0].0, 10);
         assert_eq!(over[1].0, 30);
+    }
+
+    #[test]
+    fn flows_over_descending_order_is_pinned() {
+        // Many flows, including estimate ties (same item count, same
+        // per-flow scheme derivation disabled by a shared scheme):
+        // the result must be strictly sorted by (estimate desc, flow
+        // asc) — fully deterministic.
+        let scheme = HashScheme::with_seed(9);
+        let mut t: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(4096, 256, scheme).unwrap());
+        for flow in 0..40u64 {
+            let n = 100 + (flow % 7) * 400;
+            for i in 0..n {
+                t.record(flow, &(i ^ (flow << 32)).to_le_bytes());
+            }
+        }
+        let over = t.flows_over(150.0);
+        assert!(!over.is_empty());
+        for pair in over.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1 || (pair[0].1 == pair[1].1 && pair[0].0 < pair[1].0),
+                "order violated: {pair:?}"
+            );
+        }
+        // Everything reported clears the threshold; nothing below it
+        // leaks in.
+        assert!(over.iter().all(|&(_, est)| est >= 150.0));
+        let expected = t.estimates().filter(|&(_, e)| e >= 150.0).count();
+        assert_eq!(over.len(), expected);
+    }
+
+    #[test]
+    fn reserve_then_record_never_loses_flows() {
+        let mut t = table();
+        t.reserve(500);
+        for flow in 0..500u64 {
+            t.record(flow, b"x");
+        }
+        assert_eq!(t.len(), 500);
+        for flow in 0..500u64 {
+            assert!(t.estimate(flow).is_some(), "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn remove_evicts_single_flow() {
+        let mut t = table();
+        for i in 0..100u32 {
+            t.record(1, &i.to_le_bytes());
+            t.record(2, &i.to_le_bytes());
+        }
+        let evicted = t.remove(1).expect("flow 1 resident");
+        assert!(evicted.estimate() > 0.0);
+        assert_eq!(t.remove(1).map(|e| e.estimate()), None);
+        assert_eq!(t.estimate(1), None);
+        assert!(t.estimate(2).is_some(), "unrelated flow survives");
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

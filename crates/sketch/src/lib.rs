@@ -9,6 +9,9 @@
 //!
 //! * [`flow_table::FlowTable`] — one estimator per flow key, created on
 //!   demand from a factory; items are hashed once and fanned out.
+//! * [`open_table::OpenTable`] — the open-addressed (robin-hood,
+//!   backward-shift-deleting) map that backs [`flow_table::FlowTable`],
+//!   keyed by pre-hashed 64-bit flow ids.
 //! * [`array::EstimatorArray`] — a fixed pool of estimators shared by
 //!   hashing flows onto `d` cells (the compact-sketch regime where
 //!   per-flow allocation is too expensive); queries take the minimum
@@ -29,11 +32,13 @@
 pub mod array;
 pub mod detector;
 pub mod flow_table;
+pub mod open_table;
 pub mod virtual_registers;
 pub mod window;
 
 pub use array::EstimatorArray;
 pub use detector::ThresholdDetector;
 pub use flow_table::FlowTable;
+pub use open_table::OpenTable;
 pub use virtual_registers::VirtualRegisterSketch;
 pub use window::{JumpingWindow, SummingWindow};

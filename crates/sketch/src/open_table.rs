@@ -1,0 +1,592 @@
+//! Open-addressed hash table keyed by pre-hashed 64-bit flow ids.
+//!
+//! The flow keys reaching [`crate::FlowTable`] are already uniform
+//! 64-bit values (the engine's producers hash packet headers before
+//! dispatch), so paying SipHash through `std::collections::HashMap`
+//! on every record is pure overhead. This table replaces it with the
+//! layout the hot ingest path wants:
+//!
+//! * **Cheap mixing.** A key's home slot is `moremur(key) & (cap − 1)`
+//!   — one multiply-xor finalizer instead of a full keyed hash. The
+//!   finalizer gives full avalanche, so even adversarially patterned
+//!   flow ids (sequential integers, aligned addresses) spread evenly.
+//! * **Split arrays.** Probe metadata (one byte per slot: probe
+//!   distance + 1, 0 = empty), keys, and values live in three parallel
+//!   arrays. A probe touches the byte array (a few KB — effectively
+//!   always cache-resident) and the key array; values are only loaded
+//!   on a hit. Storing each resident's distance also means the
+//!   robin-hood early-exit never re-mixes resident keys mid-probe.
+//! * **Linear probing, power-of-two capacity.** Probes walk
+//!   consecutive slots, so a lookup touches one or two cache lines
+//!   instead of chasing bucket pointers.
+//! * **Robin-hood insertion.** An inserting entry steals the slot of
+//!   any resident entry closer to its own home ("richer"), bounding
+//!   the variance of probe lengths; lookups can stop as soon as they
+//!   reach an entry richer than the probe distance, so *misses* are as
+//!   cheap as hits even near the load limit.
+//! * **Tombstone-free deletion.** [`OpenTable::remove`] backward-shifts
+//!   the following cluster instead of leaving tombstones, so probe
+//!   sequences never degrade under churn.
+//! * **Amortised growth.** The table doubles when occupancy crosses
+//!   7/8 of capacity; [`OpenTable::reserve`] pre-sizes it so a
+//!   steady-state ingest never rehashes mid-stream.
+
+use smb_hash::mix::moremur;
+
+/// Occupancy limit: grow when `len` would exceed `cap − cap/8`
+/// (a 7/8 = 87.5% load factor — robin-hood keeps probe lengths short
+/// even this full).
+fn max_len_for(cap: usize) -> usize {
+    cap - cap / 8
+}
+
+/// Smallest power-of-two capacity that can hold `n` entries without
+/// crossing the load limit.
+fn capacity_for(n: usize) -> usize {
+    let mut cap = 8usize;
+    while max_len_for(cap) < n {
+        cap *= 2;
+    }
+    cap
+}
+
+/// Largest probe distance the one-byte metadata can record. With
+/// moremur-mixed keys and the 7/8 load cap, real probe sequences stay
+/// under a few dozen; hitting this bound forces a growth instead of
+/// corrupting the metadata.
+const MAX_DIST: usize = 254;
+
+/// An open-addressed map from pre-hashed `u64` keys to values.
+///
+/// Not a general-purpose map: keys are assumed to already be uniform
+/// 64-bit hashes (flow ids), there is no entry API beyond
+/// [`OpenTable::get_or_insert_with`], and iteration order is the slot
+/// order (deterministic for a given insertion/removal sequence).
+#[derive(Clone)]
+pub struct OpenTable<V> {
+    /// Per-slot probe distance + 1; 0 = empty. Capacity is zero (no
+    /// allocation) until the first insert or reserve.
+    dists: Vec<u8>,
+    keys: Vec<u64>,
+    vals: Vec<Option<V>>,
+    len: usize,
+}
+
+impl<V> Default for OpenTable<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> OpenTable<V> {
+    /// An empty table. Allocates nothing until the first insert.
+    pub fn new() -> Self {
+        OpenTable {
+            dists: Vec::new(),
+            keys: Vec::new(),
+            vals: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty table pre-sized for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut t = Self::new();
+        t.reserve(n);
+        t
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot count (power of two, or 0 before first use).
+    /// Exposed so tests can pin "reserve means no mid-stream rehash".
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Ensure the table can hold `n` entries total without growing.
+    pub fn reserve(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let needed = capacity_for(n.max(self.len));
+        if needed > self.keys.len() {
+            self.rehash(needed);
+        }
+    }
+
+    #[inline]
+    fn home(&self, key: u64) -> usize {
+        // Power-of-two capacity: mask the mixed key.
+        (moremur(key) as usize) & (self.keys.len() - 1)
+    }
+
+    /// Slot of `key`, or `None`. A single comparison per step covers
+    /// both exits: stored distance 0 is an empty slot, and a stored
+    /// distance ≤ the running probe distance is an entry richer than
+    /// `key` could be (the robin-hood invariant guarantees `key`
+    /// cannot sit further from home than any resident it probes past).
+    #[inline]
+    fn find(&self, key: u64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        // Equal-length local slices + masked indices let the compiler
+        // drop the per-step bounds checks from the probe loop.
+        let n = self.keys.len();
+        let keys = &self.keys[..n];
+        let dists = &self.dists[..n];
+        let mask = n - 1;
+        let mut pos = (moremur(key) as usize) & mask;
+        let mut dist = 0usize;
+        loop {
+            let d = dists[pos] as usize;
+            if d <= dist {
+                return None;
+            }
+            if keys[pos] == key {
+                return Some(pos);
+            }
+            pos = (pos + 1) & mask;
+            dist += 1;
+        }
+    }
+
+    /// Robin-hood placement of a key known absent: the carried entry
+    /// steals the slot of any richer resident, which then carries on
+    /// probing (our key stays put once parked). `Err` returns the
+    /// entry left in hand if a probe distance would overflow the
+    /// metadata byte — the caller grows the table and retries.
+    fn try_insert(&mut self, key: u64, value: V) -> Result<usize, (u64, V)> {
+        let mask = self.keys.len() - 1;
+        let mut pos = self.home(key);
+        let mut dist = 0usize;
+        let mut ckey = key;
+        let mut cval = value;
+        let mut landed: Option<usize> = None;
+        let mut original_carried = true;
+        loop {
+            if dist > MAX_DIST {
+                return Err((ckey, cval));
+            }
+            let d = self.dists[pos] as usize;
+            if d == 0 {
+                self.dists[pos] = (dist + 1) as u8;
+                self.keys[pos] = ckey;
+                self.vals[pos] = Some(cval);
+                self.len += 1;
+                return Ok(landed.unwrap_or(pos));
+            }
+            if d - 1 < dist {
+                std::mem::swap(&mut self.keys[pos], &mut ckey);
+                cval = self.vals[pos].replace(cval).expect("slot is occupied");
+                self.dists[pos] = (dist + 1) as u8;
+                if original_carried {
+                    landed = Some(pos);
+                    original_carried = false;
+                }
+                dist = d - 1;
+            }
+            pos = (pos + 1) & mask;
+            dist += 1;
+        }
+    }
+
+    /// Insert `key` (known absent, capacity pre-checked), returning the
+    /// slot where *this* key came to rest.
+    fn insert_new(&mut self, key: u64, value: V) -> usize {
+        debug_assert!(self.len < max_len_for(self.keys.len()));
+        match self.try_insert(key, value) {
+            Ok(pos) => pos,
+            Err(carried) => {
+                // A probe ran past the metadata range (statistically
+                // unreachable with mixed keys): grow until the carried
+                // entry places, then re-locate the original key — its
+                // slot moved with the rehash.
+                let mut pending = Some(carried);
+                while let Some((k, v)) = pending.take() {
+                    let cap = (self.keys.len() * 2).max(8);
+                    self.rehash(cap);
+                    if let Err(again) = self.try_insert(k, v) {
+                        pending = Some(again);
+                    }
+                }
+                self.find(key).expect("inserted key is resident")
+            }
+        }
+    }
+
+    fn rehash(&mut self, new_cap: usize) {
+        debug_assert!(new_cap.is_power_of_two());
+        let old_dists = std::mem::replace(&mut self.dists, vec![0; new_cap]);
+        let old_keys = std::mem::replace(&mut self.keys, vec![0; new_cap]);
+        let mut new_vals = Vec::with_capacity(new_cap);
+        new_vals.resize_with(new_cap, || None);
+        let old_vals = std::mem::replace(&mut self.vals, new_vals);
+        self.len = 0;
+        for ((d, k), v) in old_dists.into_iter().zip(old_keys).zip(old_vals) {
+            if d != 0 {
+                self.insert_new(k, v.expect("slot is occupied"));
+            }
+        }
+    }
+
+    /// Borrow `key`'s value.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key)
+            .map(|pos| self.vals[pos].as_ref().expect("found slot is occupied"))
+    }
+
+    /// Mutably borrow `key`'s value.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut V> {
+        self.find(key)
+            .map(|pos| self.vals[pos].as_mut().expect("found slot is occupied"))
+    }
+
+    /// Borrow `key`'s value, inserting `make(key)` first if absent —
+    /// the one lookup the record path performs.
+    #[inline]
+    pub fn get_or_insert_with(&mut self, key: u64, make: impl FnOnce(u64) -> V) -> &mut V {
+        let pos = match self.find(key) {
+            Some(pos) => pos,
+            None => {
+                if self.keys.is_empty() || self.len + 1 > max_len_for(self.keys.len()) {
+                    let cap = (self.keys.len() * 2).max(8);
+                    self.rehash(cap);
+                }
+                let value = make(key);
+                self.insert_new(key, value)
+            }
+        };
+        self.vals[pos].as_mut().expect("found slot is occupied")
+    }
+
+    /// Remove `key`, returning its value. Backward-shifts the
+    /// following probe cluster so no tombstone is left behind.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let pos = self.find(key)?;
+        let value = self.vals[pos].take().expect("found slot is occupied");
+        self.dists[pos] = 0;
+        self.len -= 1;
+        let mask = self.keys.len() - 1;
+        let mut hole = pos;
+        loop {
+            let next = (hole + 1) & mask;
+            let d = self.dists[next];
+            // Stop at an empty slot (0) or an entry already at home (1).
+            if d <= 1 {
+                break;
+            }
+            self.keys[hole] = self.keys[next];
+            self.vals[hole] = self.vals[next].take();
+            self.dists[hole] = d - 1;
+            self.dists[next] = 0;
+            hole = next;
+        }
+        Some(value)
+    }
+
+    /// Iterate `(key, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.dists
+            .iter()
+            .zip(&self.keys)
+            .zip(&self.vals)
+            .filter(|((&d, _), _)| d != 0)
+            .map(|((_, &k), v)| (k, v.as_ref().expect("slot is occupied")))
+    }
+
+    /// Remove and yield every entry, leaving the table empty with its
+    /// capacity intact. Entries not consumed by the iterator are still
+    /// removed when it drops (matching `HashMap::drain`).
+    pub fn drain(&mut self) -> Drain<'_, V> {
+        self.len = 0;
+        Drain {
+            slots: self.dists.iter_mut().zip(self.keys.iter().zip(self.vals.iter_mut())),
+        }
+    }
+
+    /// Remove every entry, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.dists.fill(0);
+        for v in &mut self.vals {
+            *v = None;
+        }
+        self.len = 0;
+    }
+
+    /// Stored probe distance of the entry at `pos`, if any — test-only
+    /// visibility into the robin-hood invariant.
+    #[cfg(test)]
+    fn stored_dist(&self, pos: usize) -> Option<usize> {
+        match self.dists[pos] {
+            0 => None,
+            d => Some(d as usize - 1),
+        }
+    }
+}
+
+/// Draining iterator over an [`OpenTable`]; see [`OpenTable::drain`].
+pub struct Drain<'a, V> {
+    #[allow(clippy::type_complexity)]
+    slots: std::iter::Zip<
+        std::slice::IterMut<'a, u8>,
+        std::iter::Zip<std::slice::Iter<'a, u64>, std::slice::IterMut<'a, Option<V>>>,
+    >,
+}
+
+impl<V> Iterator for Drain<'_, V> {
+    type Item = (u64, V);
+
+    fn next(&mut self) -> Option<(u64, V)> {
+        for (d, (&k, v)) in self.slots.by_ref() {
+            if *d != 0 {
+                *d = 0;
+                return Some((k, v.take().expect("slot is occupied")));
+            }
+        }
+        None
+    }
+}
+
+impl<V> Drop for Drain<'_, V> {
+    fn drop(&mut self) {
+        for (d, (_, v)) in self.slots.by_ref() {
+            *d = 0;
+            *v = None;
+        }
+    }
+}
+
+impl<V> std::fmt::Debug for OpenTable<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpenTable")
+            .field("len", &self.len)
+            .field("capacity", &self.keys.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_table_allocates_nothing() {
+        let t: OpenTable<u32> = OpenTable::new();
+        assert_eq!(t.capacity(), 0);
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.get(0), None);
+    }
+
+    #[test]
+    fn insert_get_roundtrip_including_key_zero() {
+        let mut t = OpenTable::new();
+        for key in [0u64, 1, u64::MAX, 0xDEAD_BEEF] {
+            *t.get_or_insert_with(key, |k| k as u32) = (key as u32).wrapping_add(1);
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0), Some(&1));
+        assert_eq!(t.get(u64::MAX), Some(&(u64::MAX as u32).wrapping_add(1)));
+        assert_eq!(t.get(2), None);
+        // Second lookup finds, not re-inserts.
+        *t.get_or_insert_with(0, |_| 999) += 1;
+        assert_eq!(t.get(0), Some(&2));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn growth_preserves_entries() {
+        let mut t = OpenTable::new();
+        for key in 0..10_000u64 {
+            t.get_or_insert_with(key, |k| k * 3);
+        }
+        assert_eq!(t.len(), 10_000);
+        assert!(t.capacity().is_power_of_two());
+        for key in 0..10_000u64 {
+            assert_eq!(t.get(key), Some(&(key * 3)), "key {key}");
+        }
+        // Load factor invariant held throughout.
+        assert!(t.len() <= max_len_for(t.capacity()));
+    }
+
+    #[test]
+    fn reserve_prevents_mid_stream_rehash() {
+        let mut t: OpenTable<u64> = OpenTable::new();
+        t.reserve(5_000);
+        let cap = t.capacity();
+        assert!(cap.is_power_of_two());
+        assert!(max_len_for(cap) >= 5_000);
+        for key in 0..5_000u64 {
+            t.get_or_insert_with(key, |k| k);
+        }
+        assert_eq!(t.capacity(), cap, "no rehash while under the reserved size");
+        // Reserving less than what's resident is a no-op.
+        t.reserve(10);
+        assert_eq!(t.capacity(), cap);
+    }
+
+    #[test]
+    fn remove_backward_shift_keeps_probes_intact() {
+        // Insert enough keys that probe clusters form, then remove in a
+        // pattern that would strand tombstone-based probing.
+        let mut t = OpenTable::new();
+        let n = 2_000u64;
+        for key in 0..n {
+            t.get_or_insert_with(key, |k| k);
+        }
+        for key in (0..n).step_by(3) {
+            assert_eq!(t.remove(key), Some(key), "key {key}");
+            assert_eq!(t.remove(key), None, "double remove of {key}");
+        }
+        for key in 0..n {
+            if key % 3 == 0 {
+                assert_eq!(t.get(key), None, "removed key {key} resurfaced");
+            } else {
+                assert_eq!(t.get(key), Some(&key), "survivor {key} lost");
+            }
+        }
+        assert_eq!(t.len() as u64, n - n.div_ceil(3));
+    }
+
+    #[test]
+    fn robin_hood_invariant_holds() {
+        // Every resident entry must sit at most as far from home as any
+        // entry that probed past its slot — equivalently, walking any
+        // cluster, probe distances may drop by at most 1 per step.
+        let mut t = OpenTable::new();
+        for key in 0..5_000u64 {
+            t.get_or_insert_with(key.wrapping_mul(0x9E37_79B9_7F4A_7C15), |_| ());
+        }
+        for key in (0..5_000u64).step_by(7) {
+            t.remove(key.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        }
+        let cap = t.capacity();
+        for pos in 0..cap {
+            let Some(dist) = t.stored_dist(pos) else { continue };
+            let prev = (pos + cap - 1) & (cap - 1);
+            match t.stored_dist(prev) {
+                None => assert_eq!(dist, 0, "entry at {pos} probes across an empty slot"),
+                Some(prev_dist) => {
+                    assert!(
+                        dist <= prev_dist + 1,
+                        "robin-hood violated at slot {pos}: dist {dist} after {prev_dist}"
+                    );
+                }
+            }
+        }
+        // The stored distance must also be the true distance from home.
+        for pos in 0..cap {
+            if t.stored_dist(pos).is_some() {
+                let key = t.keys[pos];
+                let true_dist = (pos.wrapping_sub(t.home(key))) & (cap - 1);
+                assert_eq!(
+                    t.stored_dist(pos),
+                    Some(true_dist),
+                    "stale distance metadata at slot {pos}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn iter_and_drain_yield_everything() {
+        let mut t = OpenTable::new();
+        for key in 0..100u64 {
+            t.get_or_insert_with(key, |k| k + 1);
+        }
+        let mut seen: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        let cap = t.capacity();
+        let mut drained: Vec<(u64, u64)> = t.drain().collect();
+        drained.sort_unstable();
+        assert_eq!(drained.len(), 100);
+        assert!(drained.iter().all(|&(k, v)| v == k + 1));
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), cap, "drain keeps the allocation");
+        // Still usable after drain.
+        t.get_or_insert_with(7, |_| 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn partially_consumed_drain_still_empties() {
+        let mut t = OpenTable::new();
+        for key in 0..50u64 {
+            t.get_or_insert_with(key, |k| k);
+        }
+        {
+            let mut d = t.drain();
+            let _ = d.next();
+            let _ = d.next();
+        } // dropped with 48 entries unconsumed
+        assert!(t.is_empty());
+        assert_eq!(t.get(40), None);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut t = OpenTable::new();
+        for key in 0..1000u64 {
+            t.get_or_insert_with(key, |k| k);
+        }
+        let cap = t.capacity();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.capacity(), cap);
+        assert_eq!(t.get(1), None);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut t = OpenTable::new();
+        t.get_or_insert_with(9, |_| vec![1u8]);
+        t.get_mut(9).unwrap().push(2);
+        assert_eq!(t.get(9), Some(&vec![1, 2]));
+        assert_eq!(t.get_mut(10), None);
+    }
+
+    #[test]
+    fn churn_against_hashmap_model() {
+        use std::collections::HashMap;
+        let mut table: OpenTable<u64> = OpenTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        let mut state = 0x5EED_u64;
+        for step in 0..50_000u64 {
+            state = smb_hash::splitmix::splitmix64_mix(state.wrapping_add(step));
+            let key = state % 700; // enough collisions on 700 hot keys
+            match state >> 61 {
+                0 | 1 | 2 | 3 | 4 => {
+                    *table.get_or_insert_with(key, |_| 0) += 1;
+                    *model.entry(key).or_insert(0) += 1;
+                }
+                5 | 6 => {
+                    assert_eq!(table.remove(key), model.remove(&key), "step {step}");
+                }
+                _ => {
+                    assert_eq!(table.get(key), model.get(&key), "step {step}");
+                }
+            }
+            assert_eq!(table.len(), model.len(), "step {step}");
+        }
+        let mut got: Vec<(u64, u64)> = table.iter().map(|(k, v)| (k, *v)).collect();
+        got.sort_unstable();
+        let mut want: Vec<(u64, u64)> = model.into_iter().collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,208 @@
+//! Differential property suites for the open-addressed flow table.
+//!
+//! The open-addressing rewrite (`OpenTable`) must be observationally
+//! identical to the `std::collections::HashMap` it replaced, and the
+//! `FlowTable` built on it must produce bit-identical per-flow
+//! estimator states under arbitrary interleavings of record /
+//! estimate / remove / drain / clear. Each property here drives both
+//! implementations with the same random operation sequence and
+//! compares every observable after every step.
+//!
+//! Reproduce a failure with `SMB_PROP_SEED=<seed printed on failure>`.
+
+use std::collections::HashMap;
+
+use smb_core::{CardinalityEstimator, Smb};
+use smb_devtools::prop::gens;
+use smb_devtools::{forall, prop_assert, prop_assert_eq};
+use smb_hash::{splitmix::splitmix64_mix, HashScheme};
+use smb_sketch::{FlowTable, OpenTable};
+
+/// Keys drawn from a small space (forcing collisions, re-insertion
+/// after removal, and cluster shifts) but spread over u64 so the
+/// table's mixer sees realistic inputs.
+fn key_for(slot: u64) -> u64 {
+    splitmix64_mix(slot % 48)
+}
+
+#[test]
+fn open_table_matches_hashmap_under_random_op_sequences() {
+    // Op codes: 0-3 upsert, 4 get, 5 remove, 6 reserve, 7 drain,
+    // 8 clear. Upsert dominates so tables actually fill up and grow.
+    forall!(cases = 48, (ops in gens::vecs((gens::u8s(0..9), gens::u64s(0..u64::MAX)), 1..400)) => {
+        let mut table: OpenTable<u64> = OpenTable::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (i, &(op, arg)) in ops.iter().enumerate() {
+            let key = key_for(arg);
+            match op {
+                0..=3 => {
+                    let slot = table.get_or_insert_with(key, |_| 0);
+                    *slot = slot.wrapping_add(arg);
+                    let entry = model.entry(key).or_insert(0);
+                    *entry = entry.wrapping_add(arg);
+                }
+                4 => {
+                    prop_assert_eq!(table.get(key), model.get(&key), "get at op {}", i);
+                }
+                5 => {
+                    prop_assert_eq!(table.remove(key), model.remove(&key), "remove at op {}", i);
+                }
+                6 => {
+                    table.reserve((arg % 256) as usize);
+                }
+                7 => {
+                    let mut drained: Vec<(u64, u64)> = table.drain().collect();
+                    let mut expected: Vec<(u64, u64)> = model.drain().collect();
+                    drained.sort_unstable();
+                    expected.sort_unstable();
+                    prop_assert_eq!(drained, expected, "drain at op {}", i);
+                }
+                _ => {
+                    table.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(table.len(), model.len(), "len after op {}", i);
+            prop_assert_eq!(table.is_empty(), model.is_empty());
+        }
+        // Final sweep: every surviving entry agrees, both directions.
+        for (&key, &val) in &model {
+            prop_assert_eq!(table.get(key), Some(&val), "model key {:#x} missing", key);
+        }
+        let mut entries: Vec<(u64, u64)> = table.iter().map(|(k, v)| (k, *v)).collect();
+        let mut expected: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(entries, expected);
+    });
+}
+
+/// Exact physical equality of two SMB estimators: bitmap, round,
+/// fresh counter, and morph-attribution counter.
+fn smb_state_eq(a: &Smb, b: &Smb) -> bool {
+    a.as_bits() == b.as_bits()
+        && a.round() == b.round()
+        && a.fresh_ones() == b.fresh_ones()
+        && a.items_since_last_morph() == b.items_since_last_morph()
+        && a.estimate().to_bits() == b.estimate().to_bits()
+}
+
+#[test]
+fn flow_table_matches_hashmap_backed_reference_under_random_sequences() {
+    // A deliberately tiny SMB (m=256, T=32) so random sequences cross
+    // morph boundaries; per-flow seeds make flows distinguishable.
+    let factory = |flow: u64| {
+        Smb::with_scheme(256, 32, HashScheme::with_seed(flow)).expect("valid params")
+    };
+    // Op codes: 0-4 record a batch, 5 record one item, 6 estimate,
+    // 7 remove, 8 clear, 9 drain.
+    forall!(cases = 24, (ops in gens::vecs(
+        (gens::u8s(0..10), gens::u64s(0..16), gens::u64s(1..200)),
+        1..120,
+    )) => {
+        let mut table: FlowTable<Smb> = FlowTable::new(factory);
+        let mut reference: HashMap<u64, Smb> = HashMap::new();
+        let mut next_item = 0u64;
+        for (i, &(op, flow, count)) in ops.iter().enumerate() {
+            match op {
+                0..=4 => {
+                    let scheme = HashScheme::with_seed(flow);
+                    let hashes: Vec<_> = (0..count)
+                        .map(|_| {
+                            next_item += 1;
+                            scheme.item_hash(&next_item.to_le_bytes())
+                        })
+                        .collect();
+                    table.record_hashes(flow, &hashes);
+                    // The reference records the same batch one item at
+                    // a time: this also pins batched == sequential at
+                    // the flow-table level, morphs included.
+                    let est = reference.entry(flow).or_insert_with(|| factory(flow));
+                    for &h in &hashes {
+                        est.record_hash(h);
+                    }
+                }
+                5 => {
+                    next_item += 1;
+                    let item = next_item.to_le_bytes();
+                    table.record(flow, &item);
+                    reference
+                        .entry(flow)
+                        .or_insert_with(|| factory(flow))
+                        .record(&item);
+                }
+                6 => {
+                    prop_assert_eq!(
+                        table.estimate(flow).map(f64::to_bits),
+                        reference.get(&flow).map(|e| e.estimate().to_bits()),
+                        "estimate of flow {} at op {}", flow, i
+                    );
+                }
+                7 => {
+                    let removed = table.remove(flow);
+                    let expected = reference.remove(&flow);
+                    prop_assert_eq!(removed.is_some(), expected.is_some(), "remove at op {}", i);
+                    if let (Some(a), Some(b)) = (removed, expected) {
+                        prop_assert!(smb_state_eq(&a, &b), "removed estimator diverged at op {}", i);
+                    }
+                }
+                8 => {
+                    table.clear();
+                    reference.clear();
+                }
+                _ => {
+                    let mut drained: Vec<(u64, Smb)> = table.drain().collect();
+                    drained.sort_unstable_by_key(|&(flow, _)| flow);
+                    let mut expected: Vec<(u64, Smb)> =
+                        reference.drain().collect();
+                    expected.sort_unstable_by_key(|&(flow, _)| flow);
+                    prop_assert_eq!(drained.len(), expected.len(), "drain at op {}", i);
+                    for ((fa, a), (fb, b)) in drained.iter().zip(expected.iter()) {
+                        prop_assert_eq!(fa, fb);
+                        prop_assert!(smb_state_eq(a, b), "drained flow {} diverged", fa);
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), reference.len(), "flow count after op {}", i);
+        }
+        for (&flow, est) in &reference {
+            let got = table.get(flow);
+            prop_assert!(got.is_some(), "flow {} missing from table", flow);
+            prop_assert!(
+                smb_state_eq(got.unwrap(), est),
+                "final state of flow {} diverged", flow
+            );
+        }
+    });
+}
+
+/// Morph-boundary regression gate: a batch sized to land exactly on,
+/// just before, and just past the v == T trigger must leave the
+/// estimator bit-identical to sequential recording. (The in-crate
+/// smb-core suite covers random chunkings; this pins the adversarial
+/// boundary alignments from outside the crate.)
+#[test]
+fn batched_recording_is_exact_at_morph_boundaries() {
+    let scheme = HashScheme::with_seed(99);
+    for lead_in in [0usize, 31, 32, 33, 100] {
+        let mut batched = FlowTable::new(|_| {
+            Smb::with_scheme(256, 32, HashScheme::with_seed(99)).unwrap()
+        });
+        let mut sequential =
+            Smb::with_scheme(256, 32, HashScheme::with_seed(99)).unwrap();
+        let hashes: Vec<_> = (0..5000u64)
+            .map(|i| scheme.item_hash(&i.to_le_bytes()))
+            .collect();
+        // One batch up to the lead-in, then the rest in a single call
+        // spanning however many morphs remain.
+        batched.record_hashes(7, &hashes[..lead_in]);
+        batched.record_hashes(7, &hashes[lead_in..]);
+        for &h in &hashes {
+            sequential.record_hash(h);
+        }
+        assert!(
+            smb_state_eq(batched.get(7).unwrap(), &sequential),
+            "lead-in {lead_in} diverged"
+        );
+    }
+}
