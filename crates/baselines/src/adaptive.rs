@@ -130,6 +130,11 @@ impl CardinalityEstimator for AdaptiveBitmap {
     fn max_estimate(&self) -> f64 {
         self.fine.max_estimate().max(self.coarse.max_estimate())
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 #[cfg(test)]

@@ -126,6 +126,11 @@ impl CardinalityEstimator for Bjkst {
         // z is bounded by the geometric-lane width.
         self.capacity as f64 * 2f64.powi(32)
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl smb_core::MergeableEstimator for Bjkst {

@@ -127,6 +127,11 @@ impl CardinalityEstimator for Fm {
         // All 32 bits of every register set → mean z = 32.
         (self.regs.len() as f64 / FM_PHI) * 2f64.powi(32)
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl smb_core::MergeableEstimator for Fm {

@@ -126,6 +126,11 @@ impl CardinalityEstimator for Hll {
         // All registers at the 5-bit cap.
         hll_alpha(self.regs.len()) * t * t / (t * 2f64.powi(-31))
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl smb_core::MergeableEstimator for Hll {

@@ -116,6 +116,11 @@ impl CardinalityEstimator for Kmv {
         // u can be as small as 2⁻⁶⁴.
         (self.k as f64 - 1.0) * 2f64.powi(64)
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl smb_core::MergeableEstimator for Kmv {
@@ -224,6 +229,11 @@ impl CardinalityEstimator for MinCount {
         // Minimum representable fraction ≈ 2⁻³².
         let b = self.mins.len() as f64;
         b * ((2f64.powi(32)).ln() - EULER_GAMMA).exp()
+    }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
     }
 }
 

@@ -148,6 +148,11 @@ impl CardinalityEstimator for LogLog {
     fn max_estimate(&self) -> f64 {
         LOGLOG_ALPHA_INF * self.regs.len() as f64 * 2f64.powi(31)
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl CardinalityEstimator for SuperLogLog {
@@ -180,6 +185,11 @@ impl CardinalityEstimator for SuperLogLog {
 
     fn max_estimate(&self) -> f64 {
         SLL_ALPHA * self.regs.len() as f64 * 2f64.powi(31)
+    }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
     }
 }
 

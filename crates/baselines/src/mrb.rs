@@ -214,6 +214,11 @@ impl CardinalityEstimator for Mrb {
     fn is_saturated(&self) -> bool {
         self.ones[self.k - 1] as usize >= self.c - 1
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 #[cfg(test)]

@@ -174,6 +174,11 @@ impl CardinalityEstimator for HllTailCut {
         // Base can reach ~63 before rank saturates.
         hll_alpha(self.offsets.len()) * t * t / (t * 2f64.powi(-63))
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use smb_core::{CardinalityEstimator, MorphCollector, ObserverHandle, Smb};
-use smb_engine::{BackpressurePolicy, EngineConfig, ShardedFlowEngine};
+use smb_engine::{BackpressurePolicy, CheckpointConfig, EngineConfig, ShardedFlowEngine};
 use smb_factory::{Algo, AlgoSpec};
 use smb_hash::HashScheme;
 use smb_sketch::FlowTable;
@@ -71,6 +71,23 @@ pub struct ServeConfig {
     /// Also re-export metrics every this many seconds while ingesting
     /// (requires `metrics_out`; the file is rewritten in place).
     pub metrics_interval: Option<u64>,
+    /// Write durable checkpoints of every flow estimator under this
+    /// directory while serving (and a final one on shutdown).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Seconds between background checkpoints (requires
+    /// `checkpoint_dir`).
+    pub checkpoint_interval: u64,
+}
+
+/// `restore` subcommand configuration.
+#[derive(Debug, Clone)]
+pub struct RestoreCliConfig {
+    /// Checkpoint directory written by `serve --checkpoint-dir`.
+    pub dir: PathBuf,
+    /// Report at most this many flows (largest first).
+    pub top: usize,
+    /// Only report flows with estimates at least this large.
+    pub threshold: f64,
 }
 
 /// `trace` subcommand configuration.
@@ -102,6 +119,8 @@ pub enum Command {
     Flows(FlowsConfig),
     /// Sharded parallel per-flow estimation of `flow<TAB>item` lines.
     Serve(ServeConfig),
+    /// Recover a `serve` checkpoint directory and report its estimates.
+    Restore(RestoreCliConfig),
     /// Generate a synthetic trace.
     Trace(TraceCliConfig),
     /// Stream SMB morph events over stdin lines as JSON lines.
@@ -181,8 +200,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics: None,
                 metrics_out: None,
                 metrics_interval: None,
+                checkpoint_dir: None,
+                checkpoint_interval: 30,
             };
             let mut i = 1;
+            let mut interval_given = false;
             while i < args.len() {
                 match args[i].as_str() {
                     "--algo" => cfg.algo = Algo::from_name(take_value(args, &mut i, "--algo")?)?,
@@ -213,9 +235,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         cfg.metrics_interval =
                             Some(parse_num(args, &mut i, "--metrics-interval")?);
                     }
+                    "--checkpoint-dir" => {
+                        cfg.checkpoint_dir =
+                            Some(PathBuf::from(take_value(args, &mut i, "--checkpoint-dir")?));
+                    }
+                    "--checkpoint-interval" => {
+                        cfg.checkpoint_interval =
+                            parse_num(args, &mut i, "--checkpoint-interval")?;
+                        interval_given = true;
+                    }
                     other => return Err(format!("unknown option `{other}` for serve")),
                 }
                 i += 1;
+            }
+            if interval_given && cfg.checkpoint_dir.is_none() {
+                return Err(
+                    "--checkpoint-interval needs --checkpoint-dir (nowhere to write epochs)"
+                        .into(),
+                );
+            }
+            if cfg.checkpoint_dir.is_some() && cfg.checkpoint_interval == 0 {
+                return Err("--checkpoint-interval must be at least 1 second".into());
             }
             if cfg.metrics_interval.is_some() && cfg.metrics_out.is_none() {
                 return Err("--metrics-interval needs --metrics-out (periodic snapshots rewrite a file)".into());
@@ -225,6 +265,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err("--metrics-out/--metrics-interval need --metrics <json|prom>".into());
             }
             Ok(Command::Serve(cfg))
+        }
+        "restore" => {
+            let mut dir = None;
+            let mut top = 20usize;
+            let mut threshold = 0.0f64;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--dir" => dir = Some(PathBuf::from(take_value(args, &mut i, "--dir")?)),
+                    "--top" => top = parse_num(args, &mut i, "--top")?,
+                    "--threshold" => threshold = parse_num(args, &mut i, "--threshold")?,
+                    other => return Err(format!("unknown option `{other}` for restore")),
+                }
+                i += 1;
+            }
+            let dir = dir.ok_or("restore needs --dir <checkpoint directory>")?;
+            Ok(Command::Restore(RestoreCliConfig { dir, top, threshold }))
         }
         "morphlog" => {
             let mut cfg = MorphlogConfig {
@@ -363,6 +420,16 @@ pub fn run_serve(
     }
     let mut engine = ShardedFlowEngine::new(config).map_err(|e| e.to_string())?;
 
+    let checkpoint = cfg.checkpoint_dir.as_ref().map(|dir| {
+        CheckpointConfig::new(dir)
+            .with_interval(std::time::Duration::from_secs(cfg.checkpoint_interval.max(1)))
+    });
+    if let Some(ckpt) = &checkpoint {
+        engine
+            .start_checkpointer(ckpt.clone())
+            .map_err(|e| e.to_string())?;
+    }
+
     let reporter = match (cfg.metrics, &cfg.metrics_out, cfg.metrics_interval) {
         (Some(format), Some(path), Some(secs)) => {
             let path = path.clone();
@@ -391,6 +458,15 @@ pub fn run_serve(
     if let Some(reporter) = reporter {
         reporter.stop();
     }
+    // End-of-input checkpoint: the background thread only guarantees
+    // interval-bounded loss; this pins the final state before reporting.
+    let final_epoch = match &checkpoint {
+        Some(ckpt) => {
+            engine.stop_checkpointer();
+            Some(engine.checkpoint_now(ckpt).map_err(|e| e.to_string())?)
+        }
+        None => None,
+    };
 
     let mut report = engine.snapshot_top_k(cfg.top);
     report.retain(|&(_, est)| est >= cfg.threshold);
@@ -412,6 +488,10 @@ pub fn run_serve(
         engine.config().policy,
     )
     .map_err(|e| e.to_string())?;
+    if let (Some(epoch), Some(ckpt)) = (final_epoch, &checkpoint) {
+        writeln!(out, "checkpoint   : epoch {epoch} -> {}", ckpt.dir.display())
+            .map_err(|e| e.to_string())?;
+    }
     writeln!(out, "{stats}").map_err(|e| e.to_string())?;
     for (flow, estimate) in report {
         writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
@@ -426,6 +506,32 @@ pub fn run_serve(
                 writeln!(out, "{rendered}").map_err(|e| e.to_string())?;
             }
         }
+    }
+    Ok(())
+}
+
+/// Run `restore`: rebuild an engine from the newest consistent epoch
+/// in a checkpoint directory and report what was recovered — the
+/// epoch, flow count, any skipped (torn or corrupted) newer epochs,
+/// and the top-k per-flow estimates. Skipped epochs mean bounded loss:
+/// everything ingested after the restored epoch's checkpoint is gone.
+pub fn run_restore(cfg: RestoreCliConfig, out: &mut dyn Write) -> Result<(), String> {
+    let (engine, report) = ShardedFlowEngine::restore(&cfg.dir).map_err(|e| e.to_string())?;
+    writeln!(out, "restored     : epoch {} from {}", report.epoch, cfg.dir.display())
+        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "flows        : {}  (checkpoint had {} shard(s))",
+        report.flows, report.checkpoint_shards,
+    )
+    .map_err(|e| e.to_string())?;
+    for (epoch, reason) in &report.skipped {
+        writeln!(out, "skipped      : epoch {epoch} — {reason}").map_err(|e| e.to_string())?;
+    }
+    let mut top = engine.snapshot_top_k(cfg.top);
+    top.retain(|&(_, est)| est >= cfg.threshold);
+    for (flow, estimate) in top {
+        writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -566,6 +672,108 @@ mod tests {
     }
 
     #[test]
+    fn parse_checkpoint_flags() {
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve", "--checkpoint-dir", "/tmp/ck"]))
+        else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.checkpoint_dir.as_deref(), Some(std::path::Path::new("/tmp/ck")));
+        assert_eq!(c.checkpoint_interval, 30, "interval defaults to 30 s");
+        let Ok(Command::Serve(c)) = parse_args(&s(&[
+            "serve", "--checkpoint-dir", "/tmp/ck", "--checkpoint-interval", "5",
+        ])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.checkpoint_interval, 5);
+        // Inconsistent combinations are rejected at parse time.
+        assert!(parse_args(&s(&["serve", "--checkpoint-interval", "5"])).is_err());
+        assert!(parse_args(&s(&[
+            "serve", "--checkpoint-dir", "/tmp/ck", "--checkpoint-interval", "0",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parse_restore_flags() {
+        let Ok(Command::Restore(c)) = parse_args(&s(&["restore", "--dir", "/tmp/ck"])) else {
+            panic!("expected restore")
+        };
+        assert_eq!(c.dir, std::path::Path::new("/tmp/ck"));
+        assert_eq!(c.top, 20);
+        assert_eq!(c.threshold, 0.0);
+        let Ok(Command::Restore(c)) = parse_args(&s(&[
+            "restore", "--dir", "/tmp/ck", "--top", "3", "--threshold", "50",
+        ])) else {
+            panic!("expected restore")
+        };
+        assert_eq!(c.top, 3);
+        assert_eq!(c.threshold, 50.0);
+        assert!(parse_args(&s(&["restore"])).is_err(), "--dir is mandatory");
+        assert!(parse_args(&s(&["restore", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn serve_checkpoint_then_restore_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "smbcount-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 2,
+            batch: 64,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            expected_flows: 0,
+            threshold: 0.0,
+            top: 5,
+            metrics: None,
+            metrics_out: None,
+            metrics_interval: None,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_interval: 3600, // only the final shutdown epoch fires
+        };
+        let mut lines = Vec::new();
+        for i in 0..3000u32 {
+            lines.push(format!("heavy\t{i}"));
+        }
+        for i in 0..50u32 {
+            lines.push(format!("light\t{i}"));
+        }
+        let mut out = Vec::new();
+        run_serve(cfg, &mut lines.into_iter(), &mut out).unwrap();
+        let served = String::from_utf8(out).unwrap();
+        assert!(served.contains("checkpoint   : epoch 0"), "{served}");
+        let serve_estimates: Vec<&str> =
+            served.lines().filter(|l| l.contains('\t')).collect();
+
+        let mut out = Vec::new();
+        run_restore(
+            RestoreCliConfig { dir: dir.clone(), top: 5, threshold: 0.0 },
+            &mut out,
+        )
+        .unwrap();
+        let restored = String::from_utf8(out).unwrap();
+        assert!(restored.contains("restored     : epoch 0"), "{restored}");
+        assert!(restored.contains("flows        : 2"), "{restored}");
+        // The recovered estimates are the served estimates, verbatim.
+        for line in &serve_estimates {
+            assert!(restored.contains(line), "missing {line} in {restored}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A missing directory is a clean error, not a panic.
+        assert!(run_restore(
+            RestoreCliConfig { dir: dir.clone(), top: 5, threshold: 0.0 },
+            &mut Vec::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
     fn parse_morphlog_flags() {
         let Ok(Command::Morphlog(c)) =
             parse_args(&s(&["morphlog", "--memory-bits", "4096", "--n-max", "50000"]))
@@ -592,6 +800,8 @@ mod tests {
             metrics: Some(ExportFormat::Prometheus),
             metrics_out: None,
             metrics_interval: None,
+            checkpoint_dir: None,
+            checkpoint_interval: 30,
         };
         let mut lines = Vec::new();
         for i in 0..20_000u32 {
@@ -626,6 +836,8 @@ mod tests {
             metrics: Some(ExportFormat::Json),
             metrics_out: Some(path.clone()),
             metrics_interval: None,
+            checkpoint_dir: None,
+            checkpoint_interval: 30,
         };
         let mut lines = (0..500u32).map(|i| format!("f\t{i}"));
         let mut out = Vec::new();
@@ -785,6 +997,8 @@ mod tests {
             metrics: None,
             metrics_out: None,
             metrics_interval: None,
+            checkpoint_dir: None,
+            checkpoint_interval: 30,
         };
         let mut lines = Vec::new();
         for i in 0..3000u32 {
@@ -826,6 +1040,8 @@ mod tests {
             metrics: None,
             metrics_out: None,
             metrics_interval: None,
+            checkpoint_dir: None,
+            checkpoint_interval: 30,
         };
         let mut out = Vec::new();
         run_serve(serve_cfg, &mut text.lines().map(|l| l.to_string()), &mut out).unwrap();

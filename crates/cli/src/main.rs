@@ -8,8 +8,13 @@
 //! smbcount serve [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]
 //!                [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]
 //!                [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]
+//!                [--checkpoint-dir DIR] [--checkpoint-interval SECS]
 //!     sharded parallel flows mode: per-flow estimates + engine stats
-//!     (+ metrics snapshot in JSON or Prometheus text exposition)
+//!     (+ metrics snapshot in JSON or Prometheus text exposition,
+//!      + durable checkpoints and a final epoch on shutdown)
+//! smbcount restore --dir DIR [--top K] [--threshold N]
+//!     recover the newest consistent checkpoint epoch; print what was
+//!     restored and the recovered per-flow estimates
 //! smbcount morphlog [--memory-bits M] [--n-max N]
 //!     stream SMB morph events over stdin lines as JSON lines
 //! smbcount trace [--flows N] [--seed S]
@@ -18,7 +23,9 @@
 
 use std::io::{BufRead, BufWriter, Write};
 
-use smb_cli::{parse_args, run_count, run_flows, run_morphlog, run_serve, run_trace, Command};
+use smb_cli::{
+    parse_args, run_count, run_flows, run_morphlog, run_restore, run_serve, run_trace, Command,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,7 +33,7 @@ fn main() {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: smbcount <count|flows|serve|trace> [options]   (see --help)");
+            eprintln!("usage: smbcount <count|flows|serve|restore|trace> [options]   (see --help)");
             std::process::exit(2);
         }
     };
@@ -45,6 +52,8 @@ fn main() {
                  \x20 serve  [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]\n\
                  \x20        [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
                  \x20        [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]   metrics export\n\
+                 \x20        [--checkpoint-dir DIR] [--checkpoint-interval SECS]   durable checkpoints + final epoch\n\
+                 \x20 restore  --dir DIR [--top K] [--threshold N]   recover the newest consistent checkpoint\n\
                  \x20 morphlog  [--memory-bits M] [--n-max N]   stream SMB morph events as JSON lines\n\
                  \x20 trace  [--flows N] [--seed S]   generate a synthetic trace\n\n\
                  algorithms: smb mrb fm hll hllpp tailcut loglog superloglog kmv mincount bjkst bitmap"
@@ -54,6 +63,7 @@ fn main() {
         Command::Count(cfg) => run_count(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Flows(cfg) => run_flows(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Serve(cfg) => run_serve(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
+        Command::Restore(cfg) => run_restore(cfg, &mut out),
         Command::Morphlog(cfg) => {
             run_morphlog(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out)
         }

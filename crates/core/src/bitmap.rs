@@ -148,6 +148,11 @@ impl CardinalityEstimator for Bitmap {
         self.observer = observer;
         true
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl MergeableEstimator for Bitmap {

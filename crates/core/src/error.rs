@@ -25,6 +25,18 @@ pub enum Error {
     /// distinguish larger cardinalities. Estimates are clamped at the
     /// maximum representable value.
     Saturated,
+    /// An I/O failure while writing or reading durable state (the
+    /// engine's checkpoint/restore path).
+    Io {
+        /// What was being done, including the underlying OS error.
+        context: String,
+    },
+    /// Durable state could not be recovered: no checkpoint epoch in
+    /// the scanned directory was complete and checksum-clean.
+    NoConsistentCheckpoint {
+        /// The scanned directory plus per-epoch rejection reasons.
+        detail: String,
+    },
 }
 
 impl Error {
@@ -42,6 +54,13 @@ impl Error {
             reason: reason.into(),
         }
     }
+
+    /// Shorthand constructor for [`Error::Io`].
+    pub fn io(context: impl Into<String>) -> Self {
+        Error::Io {
+            context: context.into(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -54,6 +73,10 @@ impl fmt::Display for Error {
                 write!(f, "estimators cannot be merged: {reason}")
             }
             Error::Saturated => write!(f, "estimator is saturated"),
+            Error::Io { context } => write!(f, "i/o error: {context}"),
+            Error::NoConsistentCheckpoint { detail } => {
+                write!(f, "no consistent checkpoint epoch: {detail}")
+            }
         }
     }
 }
@@ -71,6 +94,12 @@ mod tests {
         let e = Error::merge("different seeds");
         assert_eq!(e.to_string(), "estimators cannot be merged: different seeds");
         assert_eq!(Error::Saturated.to_string(), "estimator is saturated");
+        let e = Error::io("write MANIFEST.json: disk full");
+        assert_eq!(e.to_string(), "i/o error: write MANIFEST.json: disk full");
+        let e = Error::NoConsistentCheckpoint {
+            detail: "/ckpt: epoch 3 (bad crc)".into(),
+        };
+        assert!(e.to_string().contains("no consistent checkpoint"));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! this is what the comparison harness in `smb-bench` relies on.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bitmap;
 pub mod bits;

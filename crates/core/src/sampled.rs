@@ -109,6 +109,11 @@ impl CardinalityEstimator for SampledBitmap {
     fn is_saturated(&self) -> bool {
         self.ones >= self.bits.len()
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 impl MergeableEstimator for SampledBitmap {

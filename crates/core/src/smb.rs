@@ -448,6 +448,11 @@ impl CardinalityEstimator for Smb {
         self.observer = observer;
         true
     }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        Some(smb_devtools::Snapshot::to_json(self))
+    }
 }
 
 /// The two integers `(r, v)` that fully determine an SMB estimate —

@@ -86,6 +86,26 @@ pub trait CardinalityEstimator {
         let _ = observer;
         false
     }
+
+    /// Serialize this estimator's **full state** to the in-tree JSON
+    /// snapshot format, object-safely — the durability hook the
+    /// sharded engine's checkpointer calls on `Box<dyn
+    /// CardinalityEstimator>` trait objects it cannot downcast.
+    ///
+    /// Returns `None` when the estimator does not support snapshots;
+    /// every estimator constructible through `smb-factory` overrides
+    /// this (delegating to its `smb_devtools::Snapshot` impl), so a
+    /// `None` from a factory-built estimator never happens. The
+    /// restore direction is deliberately *not* on this trait: rebuilding
+    /// a concrete type from JSON needs the concrete type, which is
+    /// `smb_factory::restore_estimator`'s job.
+    ///
+    /// Only available with the `snapshot` feature (the same feature
+    /// that gates the `Snapshot` impls themselves).
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        None
+    }
 }
 
 /// Boxed estimators (including trait objects such as
@@ -125,6 +145,10 @@ impl<T: CardinalityEstimator + ?Sized> CardinalityEstimator for Box<T> {
     }
     fn set_observer(&mut self, observer: Option<ObserverHandle>) -> bool {
         (**self).set_observer(observer)
+    }
+    #[cfg(feature = "snapshot")]
+    fn snapshot_state(&self) -> Option<smb_devtools::Json> {
+        (**self).snapshot_state()
     }
 }
 

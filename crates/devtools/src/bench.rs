@@ -13,7 +13,7 @@
 //!
 //! Results print as an aligned table and, when `SMB_BENCH_JSON=<path>`
 //! is set, are also written as a JSON document through the in-tree
-//! [`Json`](crate::json::Json) layer so downstream tooling can diff
+//! [`crate::json::Json`] layer so downstream tooling can diff
 //! runs.
 //!
 //! **Smoke mode** (`--smoke` argument or `SMB_BENCH_SMOKE=1`) shrinks

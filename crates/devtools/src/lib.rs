@@ -9,7 +9,7 @@
 //! |---|---|---|
 //! | [`rng`] | `rand` | [`rng::SplitMix64`], [`rng::Xoshiro256pp`], the [`rng::Rng`] trait |
 //! | [`prop`] | `proptest` | [`forall!`] runner, generators, seed reporting + shrinking |
-//! | [`bench`] | `criterion` | warmup + median/p95 harness with JSON emission |
+//! | [`mod@bench`] | `criterion` | warmup + median/p95 harness with JSON emission |
 //! | [`json`] | `serde_json` | [`json::Json`] value type, parser, writer |
 //! | [`snapshot`] | `serde` derive | [`snapshot::Snapshot`] round-trip trait |
 //!

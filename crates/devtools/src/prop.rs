@@ -4,7 +4,7 @@
 //! # Model
 //!
 //! A property is a closure over values drawn from a [`Gen`]; the
-//! runner ([`forall`] or the [`forall!`] macro) executes it for a
+//! runner ([`forall`] or the `forall!` macro) executes it for a
 //! configurable number of cases, each case seeded deterministically
 //! from a run seed. On failure the harness:
 //!

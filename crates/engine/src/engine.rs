@@ -28,6 +28,7 @@
 //!   Either way `queue_full_events` records every time a full queue
 //!   was observed.
 
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -39,6 +40,10 @@ use smb_sketch::FlowTable;
 use smb_telemetry::{MetricsObserver, Registry, RegistrySnapshot};
 
 use crate::channel::{bounded, Sender, TrySendError};
+use crate::durability::{
+    checkpoint_with_retries, select_epoch, CheckpointConfig, CheckpointMetrics, Checkpointer,
+    LoadedEpoch, RestoreReport,
+};
 use crate::stats::{EngineStats, ShardMetrics};
 
 /// Factory shared by all shards; must be callable from worker threads.
@@ -334,6 +339,15 @@ pub struct ShardedFlowEngine {
     /// All engine metrics (per-shard series plus SMB morph counters)
     /// live here; export via [`ShardedFlowEngine::metrics_snapshot`].
     registry: Arc<Registry>,
+    /// Durability series (checkpoint duration/bytes/epoch, restore
+    /// counters), registered up front so exports always carry them.
+    checkpoint_metrics: Arc<CheckpointMetrics>,
+    /// Next epoch number this engine will write — shared with the
+    /// background checkpointer so manual and background checkpoints
+    /// never collide.
+    next_epoch: Arc<Mutex<u64>>,
+    /// The background checkpointer, if started.
+    checkpointer: Option<Checkpointer>,
 }
 
 /// Salt decorrelating shard selection from the estimators' item hashing
@@ -429,12 +443,16 @@ impl ShardedFlowEngine {
                 worker: Some(worker),
             });
         }
+        let checkpoint_metrics = Arc::new(CheckpointMetrics::register(&registry));
         Ok(ShardedFlowEngine {
             pending: vec![Vec::with_capacity(config.batch); config.shards],
             config,
             scheme,
             shards,
             registry,
+            checkpoint_metrics,
+            next_epoch: Arc::new(Mutex::new(0)),
+            checkpointer: None,
         })
     }
 
@@ -675,10 +693,179 @@ impl ShardedFlowEngine {
             .sum()
     }
 
-    /// Flush, stop the workers, and return the final statistics.
+    /// Start the background checkpointer: one durable epoch per
+    /// `config.interval` under `config.dir`, with `config.retries`
+    /// retry attempts (after `config.backoff` each) on IO failure and
+    /// the oldest epochs pruned down to `config.keep_epochs` after
+    /// each success. [`ShardedFlowEngine::finish`] writes one final
+    /// checkpoint after its flush; a plain drop stops the thread
+    /// without one.
+    ///
+    /// # Errors
+    /// [`smb_core::Error::InvalidParameter`] if the config is invalid
+    /// or a checkpointer is already running; [`smb_core::Error::Io`]
+    /// if the checkpoint directory cannot be created.
+    pub fn start_checkpointer(&mut self, config: CheckpointConfig) -> smb_core::Result<()> {
+        config.validate()?;
+        if self.checkpointer.is_some() {
+            return Err(smb_core::Error::invalid(
+                "checkpointer",
+                "already running — stop it before starting another",
+            ));
+        }
+        std::fs::create_dir_all(&config.dir).map_err(|e| {
+            smb_core::Error::io(format!("create dir {}: {e}", config.dir.display()))
+        })?;
+        let tables: Vec<Arc<Mutex<ShardTable>>> =
+            self.shards.iter().map(|s| Arc::clone(&s.table)).collect();
+        self.checkpointer = Some(Checkpointer::spawn(
+            config,
+            self.config.spec,
+            tables,
+            Arc::clone(&self.checkpoint_metrics),
+            Arc::clone(&self.next_epoch),
+        ));
+        Ok(())
+    }
+
+    /// Stop the background checkpointer (joining its thread) without
+    /// writing a final epoch. No-op if none is running.
+    pub fn stop_checkpointer(&mut self) {
+        if let Some(checkpointer) = self.checkpointer.take() {
+            checkpointer.stop();
+        }
+    }
+
+    /// Flush and write one checkpoint epoch immediately, with the
+    /// config's retry budget. Returns the epoch number written. Safe
+    /// alongside a running background checkpointer — epoch numbers are
+    /// allocated from one shared counter.
+    ///
+    /// # Errors
+    /// [`smb_core::Error::Io`] when every attempt failed; the partial
+    /// epoch directory is removed and
+    /// `engine_checkpoint_failures_total` incremented.
+    pub fn checkpoint_now(&mut self, config: &CheckpointConfig) -> smb_core::Result<u64> {
+        config.validate()?;
+        self.flush();
+        let tables: Vec<Arc<Mutex<ShardTable>>> =
+            self.shards.iter().map(|s| Arc::clone(&s.table)).collect();
+        checkpoint_with_retries(
+            config,
+            &self.next_epoch,
+            self.config.spec,
+            &tables,
+            &self.checkpoint_metrics,
+        )
+    }
+
+    /// Recover an engine from the newest *consistent* checkpoint epoch
+    /// under `dir`, with the engine configuration (shard count, batch
+    /// sizing) taken from [`EngineConfig::new`] applied to the spec
+    /// recorded in the checkpoint manifest. Use
+    /// [`ShardedFlowEngine::restore_with`] to control the
+    /// configuration.
+    ///
+    /// Torn or corrupted newer epochs are skipped with their reasons
+    /// in [`RestoreReport::skipped`] (also counted in
+    /// `engine_restore_skipped_epochs_total` and warned to stderr):
+    /// recovery degrades to the newest epoch that passes every check —
+    /// manifest present, checksums clean, all shard files intact —
+    /// rather than failing outright. Restored per-flow estimates are
+    /// bit-identical to the originals at checkpoint time, for any
+    /// shard count (flows are re-partitioned on the way in).
+    ///
+    /// # Errors
+    /// [`smb_core::Error::NoConsistentCheckpoint`] when no epoch
+    /// passes validation.
+    pub fn restore(dir: impl AsRef<Path>) -> smb_core::Result<(Self, RestoreReport)> {
+        let (loaded, report) = select_epoch(dir.as_ref())?;
+        let config = EngineConfig::new(loaded.spec);
+        Self::restore_internal(config, loaded, report)
+    }
+
+    /// [`ShardedFlowEngine::restore`] with an explicit engine
+    /// configuration. `config.spec` must equal the spec in the
+    /// checkpoint manifest — restoring SMB state into, say, an HLL
+    /// engine (or the same algorithm with a different seed) is an
+    /// error, not a silent re-interpretation.
+    pub fn restore_with(
+        config: EngineConfig,
+        dir: impl AsRef<Path>,
+    ) -> smb_core::Result<(Self, RestoreReport)> {
+        let (loaded, report) = select_epoch(dir.as_ref())?;
+        if config.spec != loaded.spec {
+            return Err(smb_core::Error::invalid(
+                "spec",
+                format!(
+                    "checkpoint was written by {:?}, engine configured for {:?}",
+                    loaded.spec, config.spec
+                ),
+            ));
+        }
+        Self::restore_internal(config, loaded, report)
+    }
+
+    fn restore_internal(
+        config: EngineConfig,
+        loaded: LoadedEpoch,
+        mut report: RestoreReport,
+    ) -> smb_core::Result<(Self, RestoreReport)> {
+        let engine = Self::new(config)?;
+        // Reattach the engine's metrics observer to every restored
+        // estimator, so morph/saturation events keep flowing after
+        // recovery exactly as they did before the crash.
+        let observer = MetricsObserver::register(&engine.registry, &[]).into_handle();
+        let mut flows = 0u64;
+        for (flow, state) in &loaded.flows {
+            let mut estimator = smb_factory::restore_estimator(config.spec, state)?;
+            estimator.set_observer(Some(observer.clone()));
+            let shard = engine.shard_of(*flow);
+            engine.shards[shard]
+                .table
+                .lock()
+                .expect("shard table lock")
+                .insert(*flow, estimator);
+            flows += 1;
+        }
+        report.flows = flows;
+        engine.checkpoint_metrics.restored_flows.add(flows);
+        engine
+            .checkpoint_metrics
+            .skipped_epochs
+            .add(report.skipped.len() as u64);
+        engine.checkpoint_metrics.epoch.set(report.epoch as i64);
+        *engine.next_epoch.lock().expect("epoch counter lock") = report.epoch + 1;
+        for (epoch, reason) in &report.skipped {
+            eprintln!(
+                "smb-engine: skipped inconsistent checkpoint epoch {epoch} ({reason}); \
+                 restored epoch {} — ingest after it is lost",
+                report.epoch
+            );
+        }
+        Ok((engine, report))
+    }
+
+    /// Flush, stop the workers, and return the final statistics. When
+    /// a background checkpointer is running, one final epoch is
+    /// written after the flush (best-effort: a failure is counted in
+    /// `engine_checkpoint_failures_total`, not panicked on) so a clean
+    /// shutdown loses nothing.
     pub fn finish(mut self) -> EngineStats {
         self.flush();
+        if let Some(checkpointer) = &self.checkpointer {
+            let tables: Vec<Arc<Mutex<ShardTable>>> =
+                self.shards.iter().map(|s| Arc::clone(&s.table)).collect();
+            let _ = checkpoint_with_retries(
+                &checkpointer.config,
+                &self.next_epoch,
+                self.config.spec,
+                &tables,
+                &self.checkpoint_metrics,
+            );
+        }
         let stats = self.stats();
+        self.stop_checkpointer();
         self.close_and_join();
         stats
     }
@@ -696,10 +883,12 @@ impl ShardedFlowEngine {
 }
 
 impl Drop for ShardedFlowEngine {
-    /// Stops the workers. Pending (undispatched) partial batches are
-    /// discarded — call [`ShardedFlowEngine::flush`] or
-    /// [`ShardedFlowEngine::finish`] first if you need them counted.
+    /// Stops the checkpointer (without a final epoch) and the workers.
+    /// Pending (undispatched) partial batches are discarded — call
+    /// [`ShardedFlowEngine::flush`] or [`ShardedFlowEngine::finish`]
+    /// first if you need them counted.
     fn drop(&mut self) {
+        self.stop_checkpointer();
         self.close_and_join();
     }
 }

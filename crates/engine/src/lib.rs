@@ -14,7 +14,15 @@
 //!   observability surface: per-shard item counts, batch occupancy,
 //!   dropped items and queue-full events;
 //! * [`channel`] — the in-tree bounded blocking channel (offline
-//!   dependency policy: no crossbeam).
+//!   dependency policy: no crossbeam);
+//! * durability — per-shard atomic checkpoints
+//!   ([`ShardedFlowEngine::checkpoint_now`], a background thread via
+//!   [`ShardedFlowEngine::start_checkpointer`] and
+//!   [`CheckpointConfig`]) and crash recovery
+//!   ([`ShardedFlowEngine::restore`], [`RestoreReport`]): restore
+//!   lands on the newest *consistent* epoch with bit-identical
+//!   estimates; torn or corrupted newer epochs are skipped with a
+//!   bounded-loss warning (see `DESIGN.md` §11).
 //!
 //! Per-flow estimates are **bit-identical across shard counts**: a
 //! flow's packets always reach the same shard in ingest order, and all
@@ -24,12 +32,14 @@
 //! depends on the schedule.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod channel;
+mod durability;
 mod engine;
 mod stats;
 
+pub use durability::{CheckpointConfig, RestoreReport};
 pub use engine::{
     record_batch_grouped, BackpressurePolicy, EngineConfig, EstimatorFactory, GroupScratch,
     ShardTable, ShardedFlowEngine,

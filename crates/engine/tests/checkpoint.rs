@@ -1,0 +1,389 @@
+//! Crash-injection tests for the engine's durability subsystem.
+//!
+//! Each test builds a populated engine, writes checkpoint epochs, then
+//! damages the newest epoch the way a crash or disk fault would —
+//! truncating a shard file mid-write, flipping manifest bytes, deleting
+//! one shard of N — and proves recovery lands on the newest *consistent*
+//! epoch with bit-identical per-flow estimates.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use smb_engine::{CheckpointConfig, EngineConfig, ShardedFlowEngine};
+use smb_factory::{Algo, AlgoSpec};
+
+fn spec() -> AlgoSpec {
+    AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(3)
+}
+
+/// A fresh, empty scratch directory unique to this test and process.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("smb-ckpt-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn config(dir: &Path) -> CheckpointConfig {
+    // No retries: injected faults should fail fast in tests.
+    CheckpointConfig::new(dir).with_retries(0).with_keep_epochs(100)
+}
+
+fn engine(shards: usize) -> ShardedFlowEngine {
+    ShardedFlowEngine::new(EngineConfig::new(spec()).with_shards(shards).with_batch(64))
+        .expect("valid config")
+}
+
+fn ingest_range(engine: &mut ShardedFlowEngine, flows: u64, lo: u32, hi: u32) {
+    for i in lo..hi {
+        engine.ingest(u64::from(i) % flows, &i.to_le_bytes());
+    }
+}
+
+/// `(flow, estimate-bits)` pairs, sorted — the bit-identical comparison
+/// currency of every test here.
+fn estimate_bits(engine: &ShardedFlowEngine) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = engine
+        .all_estimates()
+        .into_iter()
+        .map(|(flow, est)| (flow, est.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn epoch_dirs(dir: &Path) -> Vec<String> {
+    let mut names: Vec<String> = fs::read_dir(dir)
+        .expect("read checkpoint dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.starts_with("epoch-"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn roundtrip_is_bit_identical_and_resumable() {
+    let dir = scratch("roundtrip");
+    let cfg = config(&dir);
+    let mut original = engine(3);
+    ingest_range(&mut original, 20, 0, 30_000);
+    let epoch = original.checkpoint_now(&cfg).expect("checkpoint");
+    assert_eq!(epoch, 0);
+    let want = estimate_bits(&original);
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("restore");
+    assert_eq!(report.epoch, 0);
+    assert_eq!(report.flows, 20);
+    assert_eq!(report.checkpoint_shards, 3);
+    assert!(report.skipped.is_empty());
+    assert_eq!(estimate_bits(&restored), want, "restore must be bit-identical");
+
+    // The restored engine is live: ingesting the same continuation into
+    // both engines keeps them bit-identical — including SMB morphs that
+    // the continuation triggers.
+    let mut restored = restored;
+    ingest_range(&mut original, 20, 30_000, 60_000);
+    ingest_range(&mut restored, 20, 30_000, 60_000);
+    original.flush();
+    restored.flush();
+    assert_eq!(
+        estimate_bits(&restored),
+        estimate_bits(&original),
+        "post-restore ingest must track the original"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_repartitions_across_shard_counts() {
+    let dir = scratch("repartition");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_range(&mut original, 15, 0, 20_000);
+    original.checkpoint_now(&cfg).expect("checkpoint");
+    let want = estimate_bits(&original);
+
+    // A 2-shard checkpoint restores into 3-shard and 1-shard engines:
+    // flows are re-partitioned, estimates unchanged.
+    for shards in [3usize, 1] {
+        let econfig = EngineConfig::new(spec()).with_shards(shards);
+        let (restored, report) =
+            ShardedFlowEngine::restore_with(econfig, &dir).expect("restore");
+        assert_eq!(report.checkpoint_shards, 2);
+        assert_eq!(restored.config().shards, shards);
+        assert_eq!(
+            estimate_bits(&restored),
+            want,
+            "{shards}-shard restore of a 2-shard checkpoint"
+        );
+        // Flow placement obeys the *restored* engine's partition: a
+        // later ingest must reach the estimator that was restored.
+        let mut restored = restored;
+        restored.ingest(7, b"fresh item after restore");
+        restored.flush();
+        assert!(restored.query(7).is_some());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_shard_file_recovers_to_previous_epoch() {
+    let dir = scratch("torn-shard");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_range(&mut original, 10, 0, 10_000);
+    original.checkpoint_now(&cfg).expect("epoch 0");
+    let want = estimate_bits(&original);
+    ingest_range(&mut original, 10, 10_000, 20_000);
+    original.checkpoint_now(&cfg).expect("epoch 1");
+
+    // Truncate epoch 1's first shard file mid-body, as a crash between
+    // write and fsync would.
+    let victim = dir.join("epoch-0000000001").join("shard-0000.json");
+    let bytes = fs::read(&victim).unwrap();
+    fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("degrade to epoch 0");
+    assert_eq!(report.epoch, 0);
+    assert_eq!(report.skipped.len(), 1);
+    assert_eq!(report.skipped[0].0, 1);
+    assert!(
+        report.skipped[0].1.contains("torn"),
+        "reason should mention the tear: {}",
+        report.skipped[0].1
+    );
+    assert_eq!(estimate_bits(&restored), want);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_manifest_recovers_to_previous_epoch() {
+    let dir = scratch("bad-manifest");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_range(&mut original, 8, 0, 8_000);
+    original.checkpoint_now(&cfg).expect("epoch 0");
+    let want = estimate_bits(&original);
+    ingest_range(&mut original, 8, 8_000, 16_000);
+    original.checkpoint_now(&cfg).expect("epoch 1");
+
+    // Flip one byte inside the manifest body (bit rot / partial
+    // overwrite). The manifest's self-CRC must catch it.
+    let victim = dir.join("epoch-0000000001").join("MANIFEST.json");
+    let mut bytes = fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    fs::write(&victim, &bytes).unwrap();
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("degrade to epoch 0");
+    assert_eq!(report.epoch, 0);
+    assert_eq!(report.skipped.len(), 1);
+    assert_eq!(estimate_bits(&restored), want);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_shard_file_recovers_to_previous_epoch() {
+    let dir = scratch("missing-shard");
+    let cfg = config(&dir);
+    let mut original = engine(4);
+    ingest_range(&mut original, 12, 0, 12_000);
+    original.checkpoint_now(&cfg).expect("epoch 0");
+    let want = estimate_bits(&original);
+    ingest_range(&mut original, 12, 12_000, 24_000);
+    original.checkpoint_now(&cfg).expect("epoch 1");
+
+    fs::remove_file(dir.join("epoch-0000000001").join("shard-0002.json")).unwrap();
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("degrade to epoch 0");
+    assert_eq!(report.epoch, 0);
+    assert_eq!(report.skipped.len(), 1);
+    assert!(
+        report.skipped[0].1.contains("missing"),
+        "reason should mention the missing shard: {}",
+        report.skipped[0].1
+    );
+    assert_eq!(estimate_bits(&restored), want);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unrecoverable_directories_error_cleanly() {
+    // Empty directory: nothing to restore.
+    let dir = scratch("empty");
+    let err = ShardedFlowEngine::restore(&dir).expect_err("no epochs");
+    assert!(
+        err.to_string().contains("no consistent checkpoint"),
+        "{err}"
+    );
+
+    // Every epoch corrupt: the error names each rejected epoch.
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_range(&mut original, 5, 0, 5_000);
+    original.checkpoint_now(&cfg).expect("epoch 0");
+    fs::remove_file(dir.join("epoch-0000000000").join("MANIFEST.json")).unwrap();
+    let err = ShardedFlowEngine::restore(&dir).expect_err("all epochs torn");
+    assert!(err.to_string().contains("epoch 0"), "{err}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restore_with_rejects_mismatched_spec() {
+    let dir = scratch("spec-mismatch");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_range(&mut original, 5, 0, 5_000);
+    original.checkpoint_now(&cfg).expect("checkpoint");
+
+    let other = AlgoSpec::new(Algo::Hll, 2048).with_n_max(1e5).with_seed(3);
+    let err = ShardedFlowEngine::restore_with(EngineConfig::new(other), &dir)
+        .expect_err("HLL engine must not restore SMB state");
+    assert!(err.to_string().contains("invalid parameter"), "{err}");
+
+    let reseeded = spec().with_seed(99);
+    assert!(ShardedFlowEngine::restore_with(EngineConfig::new(reseeded), &dir).is_err());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_checkpointer_writes_epochs() {
+    let dir = scratch("background");
+    let cfg = config(&dir).with_interval(Duration::from_millis(50));
+    let mut engine = engine(2);
+    engine
+        .start_checkpointer(cfg)
+        .expect("start checkpointer");
+    assert!(
+        engine.start_checkpointer(config(&dir)).is_err(),
+        "double start must be rejected"
+    );
+    ingest_range(&mut engine, 6, 0, 6_000);
+    engine.flush();
+    // Give the 50 ms interval time to fire at least twice.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while epoch_dirs(&dir).len() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    engine.stop_checkpointer();
+    let epochs = epoch_dirs(&dir);
+    assert!(epochs.len() >= 2, "background thread wrote {epochs:?}");
+
+    let want = estimate_bits(&engine);
+    let (restored, _) = ShardedFlowEngine::restore(&dir).expect("restore");
+    assert_eq!(
+        estimate_bits(&restored),
+        want,
+        "flushed engine and newest background epoch agree"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retention_prunes_to_keep_epochs() {
+    let dir = scratch("retention");
+    let cfg = config(&dir).with_keep_epochs(2);
+    let mut original = engine(2);
+    for round in 0u32..4 {
+        ingest_range(&mut original, 5, round * 1000, (round + 1) * 1000);
+        original.checkpoint_now(&cfg).expect("checkpoint");
+    }
+    assert_eq!(
+        epoch_dirs(&dir),
+        vec!["epoch-0000000002".to_string(), "epoch-0000000003".to_string()],
+        "only the newest keep_epochs survive"
+    );
+    let (_, report) = ShardedFlowEngine::restore(&dir).expect("restore");
+    assert_eq!(report.epoch, 3);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn finish_writes_a_final_epoch() {
+    let dir = scratch("finish");
+    // Interval far beyond the test: the only epoch comes from finish().
+    let cfg = config(&dir).with_interval(Duration::from_secs(3600));
+    let mut original = engine(2);
+    original.start_checkpointer(cfg).expect("start");
+    ingest_range(&mut original, 9, 0, 9_000);
+    let stats = original.finish();
+    assert_eq!(stats.total_recorded(), 9_000);
+    let epochs = epoch_dirs(&dir);
+    assert_eq!(epochs.len(), 1, "finish writes exactly the final epoch");
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("restore");
+    assert_eq!(report.flows, 9);
+    restored.query(0).expect("flow 0 restored");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn durability_metrics_track_checkpoint_and_restore() {
+    let dir = scratch("metrics");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_range(&mut original, 7, 0, 7_000);
+    original.checkpoint_now(&cfg).expect("epoch 0");
+    ingest_range(&mut original, 7, 7_000, 14_000);
+    original.checkpoint_now(&cfg).expect("epoch 1");
+
+    let snap = original.metrics_snapshot();
+    assert_eq!(
+        snap.get("engine_checkpoints_written_total", &[])
+            .unwrap()
+            .as_counter(),
+        Some(2)
+    );
+    assert_eq!(
+        snap.get("engine_checkpoint_epoch", &[]).unwrap().as_gauge(),
+        Some(1)
+    );
+    let duration = snap
+        .get("engine_checkpoint_duration_ns", &[])
+        .unwrap()
+        .as_histogram()
+        .unwrap();
+    assert_eq!(duration.count, 2);
+    let bytes = snap
+        .get("engine_checkpoint_bytes", &[])
+        .unwrap()
+        .as_histogram()
+        .unwrap();
+    assert!(bytes.sum > 0, "checkpoints wrote bytes");
+
+    // Corrupt the newest epoch, restore, and check the recovery side.
+    let victim = dir.join("epoch-0000000001").join("MANIFEST.json");
+    let mut manifest = fs::read(&victim).unwrap();
+    let mid = manifest.len() / 2;
+    manifest[mid] ^= 0x40;
+    fs::write(&victim, &manifest).unwrap();
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("restore");
+    let snap = restored.metrics_snapshot();
+    assert_eq!(
+        snap.get("engine_restore_flows_total", &[])
+            .unwrap()
+            .as_counter(),
+        Some(report.flows)
+    );
+    assert_eq!(
+        snap.get("engine_restore_skipped_epochs_total", &[])
+            .unwrap()
+            .as_counter(),
+        Some(1)
+    );
+    assert_eq!(
+        snap.get("engine_checkpoint_epoch", &[]).unwrap().as_gauge(),
+        Some(0),
+        "epoch gauge reflects the restored epoch"
+    );
+
+    // The next checkpoint from the restored engine does not reuse the
+    // corrupted epoch's number.
+    let mut restored = restored;
+    let next = restored.checkpoint_now(&cfg).expect("checkpoint");
+    assert_eq!(next, 2, "epoch numbering continues past the skipped epoch");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -37,11 +37,16 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use smb_baselines::{Fm, Hll, HllPlusPlus, HllTailCut, Kmv, LogLog, MinCount, Mrb, SuperLogLog};
 use smb_core::{Bitmap, CardinalityEstimator, ObserverHandle, Result, Smb};
 use smb_hash::HashScheme;
+
+#[cfg(feature = "snapshot")]
+mod snapshot_impl;
+#[cfg(feature = "snapshot")]
+pub use snapshot_impl::restore_estimator;
 
 /// A heap-allocated estimator that may cross thread boundaries — the
 /// currency of [`build_estimator`] and of the engine's shard workers.
@@ -212,6 +217,19 @@ impl AlgoSpec {
 
 /// Build the estimator described by `spec` — the one
 /// match-on-algorithm in the workspace.
+///
+/// ```
+/// use smb_factory::{build_estimator, Algo, AlgoSpec};
+///
+/// let spec = AlgoSpec::new(Algo::Smb, 4096).with_n_max(1e5).with_seed(1);
+/// let mut est = build_estimator(spec).unwrap();
+/// for i in 0..5_000u32 {
+///     est.record(&i.to_le_bytes());
+/// }
+/// let estimate = est.estimate();
+/// assert!((estimate - 5_000.0).abs() / 5_000.0 < 0.2, "{estimate}");
+/// assert!(build_estimator(AlgoSpec::new(Algo::Smb, 1)).is_err());
+/// ```
 ///
 /// # Errors
 /// Propagates the constructor's [`smb_core::Error`] when the memory

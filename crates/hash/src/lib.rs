@@ -16,7 +16,9 @@
 //!   hash value;
 //! * [`HashScheme`], the seedable item-hasher abstraction that all
 //!   estimators share, so that a single hash computation per item can be
-//!   split into an index part and a geometric part ([`ItemHash`]).
+//!   split into an index part and a geometric part ([`ItemHash`]);
+//! * [`crc32`], the CRC-32 (IEEE) error-detection code guarding the
+//!   engine's durable checkpoint files and manifests.
 //!
 //! No external crates are used at all: the workspace's offline
 //! dependency policy (see `DESIGN.md`, "Building offline") forbids
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod fnv;
 pub mod geometric;
 pub mod mix;

@@ -113,6 +113,15 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
         self.flows.get(flow)
     }
 
+    /// Insert `flow`'s estimator directly, replacing and returning any
+    /// previous one. The engine's restore path places estimators
+    /// rebuilt from a checkpoint with this instead of routing them
+    /// through the factory (which only knows how to build *empty*
+    /// estimators).
+    pub fn insert(&mut self, flow: u64, estimator: E) -> Option<E> {
+        self.flows.insert(flow, estimator)
+    }
+
     /// Remove `flow` from the table, returning its estimator (e.g. for
     /// eviction of idle flows). Backward-shift deletion: no tombstones
     /// are left to slow later probes.
@@ -269,6 +278,29 @@ mod tests {
         for flow in 0..500u64 {
             assert!(t.estimate(flow).is_some(), "flow {flow}");
         }
+    }
+
+    #[test]
+    fn insert_places_restored_estimator() {
+        let scheme = HashScheme::with_seed(5);
+        let mut t: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        // A "restored" estimator arrives pre-populated from elsewhere.
+        let mut restored = Smb::with_scheme(2048, 128, scheme).unwrap();
+        for i in 0..500u32 {
+            restored.record(&i.to_le_bytes());
+        }
+        let expect = restored.estimate();
+        assert!(t.insert(42, restored).is_none());
+        assert_eq!(t.estimate(42), Some(expect));
+        // Recording continues on the inserted instance, not a fresh one.
+        t.record(42, &9_999u32.to_le_bytes());
+        assert!(t.estimate(42).unwrap() >= expect);
+        // Replacement hands back the resident estimator.
+        let fresh = Smb::with_scheme(2048, 128, scheme).unwrap();
+        let old = t.insert(42, fresh).expect("flow 42 was resident");
+        assert!(old.estimate() >= expect);
+        assert_eq!(t.estimate(42), Some(0.0));
     }
 
     #[test]

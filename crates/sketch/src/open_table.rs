@@ -273,6 +273,22 @@ impl<V> OpenTable<V> {
         self.vals[pos].as_mut().expect("found slot is occupied")
     }
 
+    /// Insert `key` with `value`, replacing and returning any previous
+    /// value. The restore path's entry point: values rebuilt from a
+    /// checkpoint are placed directly instead of coming out of the
+    /// [`OpenTable::get_or_insert_with`] factory closure.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<V> {
+        if let Some(pos) = self.find(key) {
+            return self.vals[pos].replace(value);
+        }
+        if self.keys.is_empty() || self.len + 1 > max_len_for(self.keys.len()) {
+            let cap = (self.keys.len() * 2).max(8);
+            self.rehash(cap);
+        }
+        self.insert_new(key, value);
+        None
+    }
+
     /// Remove `key`, returning its value. Backward-shifts the
     /// following probe cluster so no tombstone is left behind.
     pub fn remove(&mut self, key: u64) -> Option<V> {
@@ -437,6 +453,25 @@ mod tests {
         // Reserving less than what's resident is a no-op.
         t.reserve(10);
         assert_eq!(t.capacity(), cap);
+    }
+
+    #[test]
+    fn insert_places_and_replaces() {
+        let mut t = OpenTable::new();
+        assert_eq!(t.insert(5, 50u64), None);
+        assert_eq!(t.insert(5, 51), Some(50), "replace returns the old value");
+        assert_eq!(t.get(5), Some(&51));
+        assert_eq!(t.len(), 1);
+        // Direct inserts interleave cleanly with the factory path and
+        // survive growth.
+        for key in 0..5_000u64 {
+            assert_eq!(t.insert(key, key * 2), if key == 5 { Some(51) } else { None });
+        }
+        for key in 0..5_000u64 {
+            assert_eq!(t.get(key), Some(&(key * 2)), "key {key}");
+        }
+        *t.get_or_insert_with(9, |_| unreachable!("9 is resident")) += 1;
+        assert_eq!(t.get(9), Some(&19));
     }
 
     #[test]

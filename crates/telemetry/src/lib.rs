@@ -21,7 +21,7 @@
 //! and `morphlog`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 pub mod metrics;

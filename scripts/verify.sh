@@ -42,6 +42,48 @@ step "telemetry tests (offline): metrics, morph events, exposition round-trip"
 cargo test -q --offline -p smb-telemetry
 cargo test -q --offline -p smb-telemetry --features telemetry-off
 
+step "rustdoc (offline, warnings are errors) + doc tests"
+RUSTDOCFLAGS="-Dwarnings" cargo doc --no-deps --workspace --offline
+cargo test --doc --workspace -q --offline
+
+step "checkpoint/restore smoke (offline): serve --checkpoint-dir, crash, restore"
+ckpt_dir="$(mktemp -d)/smb-ckpt"
+trace_file="$(mktemp)"
+cargo run -q --offline -p smb-cli --bin smbcount -- trace --flows 200 --seed 7 >"$trace_file"
+serve_out="$(
+    cargo run -q --offline -p smb-cli --bin smbcount -- \
+        serve --shards 2 --top 5 --checkpoint-dir "$ckpt_dir" <"$trace_file"
+)"
+grep -qF "checkpoint   : epoch 0" <<<"$serve_out" || {
+    echo "FAIL: serve did not report its final checkpoint epoch:" >&2
+    echo "$serve_out" >&2
+    exit 1
+}
+# Second run continues the epoch sequence from disk, then a torn
+# shard file in the newest epoch must degrade restore to epoch 0.
+cargo run -q --offline -p smb-cli --bin smbcount -- \
+    serve --shards 2 --checkpoint-dir "$ckpt_dir" <"$trace_file" >/dev/null
+truncate -s 64 "$ckpt_dir"/epoch-0000000001/shard-0001.json
+restore_out="$(cargo run -q --offline -p smb-cli --bin smbcount -- restore --dir "$ckpt_dir" --top 5)"
+for needle in "restored     : epoch 0" \
+              "flows        : 200" \
+              "torn shard file"; do
+    if ! grep -qF "$needle" <<<"$restore_out"; then
+        echo "FAIL: restore output is missing: $needle" >&2
+        echo "$restore_out" >&2
+        exit 1
+    fi
+done
+# The recovered estimates are the serve run's estimates, verbatim.
+while IFS= read -r line; do
+    if ! grep -qF "$line" <<<"$restore_out"; then
+        echo "FAIL: restored estimates differ from the serve report: $line" >&2
+        exit 1
+    fi
+done < <(grep -P '^[0-9a-f]{16}\t' <<<"$serve_out")
+rm -rf "$(dirname "$ckpt_dir")" "$trace_file"
+echo "ok: torn newest epoch degraded to epoch 0 with bit-identical estimates"
+
 step "prometheus smoke (offline): serve --metrics prom over a tiny trace"
 prom_out="$(
     cargo run -q --offline -p smb-cli --bin smbcount -- trace --flows 50 |
