@@ -1,7 +1,8 @@
 //! Ingest-throughput bench: single-threaded `FlowTable` versus the
-//! sharded engine at 1/2/4/8 shards, replaying the synthetic
-//! CAIDA-like trace (the paper's §V-F deployment shape: one estimator
-//! per flow).
+//! sharded engine at 1/2/4/8 shards, plus multi-producer ingest at
+//! 1/2/4 producer handles (`--producers N` pins one count), replaying
+//! the synthetic CAIDA-like trace (the paper's §V-F deployment shape:
+//! one estimator per flow).
 //!
 //! Each iteration replays the whole pre-materialised trace —
 //! construction, ingest, flush, teardown — so `median_ns` is the cost
@@ -88,6 +89,74 @@ fn main() {
             }
             black_box(engine.finish().total_recorded());
         });
+    }
+
+    // Multi-producer ingest: P producer-handle threads split the trace
+    // round-robin and feed the shard queues concurrently
+    // (`producer_handle()` — no producer-side serialization beyond the
+    // per-batch queue lock). `--producers N` pins a single count;
+    // default sweeps 1/2/4. Producer scaling needs cores just like
+    // shard scaling: with the producers and workers sharing one core
+    // the sweep measures MPSC overhead, not speedup — the detected
+    // parallelism printed above is the context for reading these
+    // numbers.
+    let producer_counts: Vec<usize> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--producers")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .map(|p: usize| vec![p.max(1)])
+            .unwrap_or_else(|| vec![1, 2, 4])
+    };
+    for &producers in &producer_counts {
+        bench.bench(
+            format!("ingest/mpsc/producers={producers}/packets={n}"),
+            || {
+                let engine = ShardedFlowEngine::new(
+                    EngineConfig::new(spec())
+                        .with_shards(2)
+                        .with_batch(1024)
+                        .with_queue_batches(8),
+                )
+                .expect("valid engine config");
+                let handle = engine.producer_handle();
+                std::thread::scope(|s| {
+                    for t in 0..producers {
+                        let mut p = handle.clone();
+                        let packets = &packets;
+                        s.spawn(move || {
+                            for (flow, item) in packets.iter().skip(t).step_by(producers) {
+                                p.ingest(*flow, item);
+                            }
+                        });
+                    }
+                });
+                drop(handle);
+                black_box(engine.finish().total_recorded());
+            },
+        );
+    }
+    let mpsc_numbers: Vec<(usize, f64, Option<f64>)> = {
+        let rs = bench.results();
+        let ips_of = |p: usize| {
+            rs.iter()
+                .find(|r| r.label.contains(&format!("/mpsc/producers={p}/")))
+                .map(|r| n as f64 / (r.median_ns / 1e9))
+        };
+        let base = ips_of(producer_counts[0]);
+        producer_counts
+            .iter()
+            .filter_map(|&p| {
+                ips_of(p).map(|ips| (p, ips, base.map(|b| ips / b)))
+            })
+            .collect()
+    };
+    for &(p, ips, scaling) in &mpsc_numbers {
+        bench.extra(format!("mpsc_items_per_sec_producers_{p}"), Json::Float(ips));
+        if let Some(scaling) = scaling {
+            bench.extra(format!("mpsc_scaling_producers_{p}"), Json::Float(scaling));
+        }
     }
 
     // Hot-path kernel, old versus new: the pre-rewrite recording shape

@@ -51,6 +51,10 @@ pub struct ServeConfig {
     pub memory_bits: usize,
     /// Worker shard count (0 = one per core).
     pub shards: usize,
+    /// Ingest producer threads feeding the shard queues (1 = the
+    /// classic single-producer loop; N > 1 fans parsed lines out
+    /// round-robin to N `producer_handle` threads).
+    pub producers: usize,
     /// Items per dispatch batch.
     pub batch: usize,
     /// Per-shard queue capacity in batches.
@@ -191,6 +195,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 algo: Algo::Smb,
                 memory_bits: 2048,
                 shards: 0,
+                producers: 1,
                 batch: 256,
                 queue_batches: 8,
                 policy: BackpressurePolicy::Block,
@@ -210,6 +215,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--algo" => cfg.algo = Algo::from_name(take_value(args, &mut i, "--algo")?)?,
                     "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
                     "--shards" => cfg.shards = parse_num(args, &mut i, "--shards")?,
+                    "--producers" => cfg.producers = parse_num(args, &mut i, "--producers")?,
                     "--batch" => cfg.batch = parse_num(args, &mut i, "--batch")?,
                     "--queue" => cfg.queue_batches = parse_num(args, &mut i, "--queue")?,
                     "--policy" => {
@@ -247,6 +253,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     other => return Err(format!("unknown option `{other}` for serve")),
                 }
                 i += 1;
+            }
+            if cfg.producers == 0 {
+                return Err("--producers must be at least 1".into());
             }
             if interval_given && cfg.checkpoint_dir.is_none() {
                 return Err(
@@ -400,7 +409,9 @@ pub fn run_flows(
 
 /// Run `serve`: the sharded parallel version of `flows`. Lines stream
 /// through a [`ShardedFlowEngine`]; the report adds the engine's
-/// per-shard statistics. With `--metrics`, the engine registry
+/// per-shard statistics. With `--producers N` (N > 1), parsing stays
+/// on the calling thread while N producer-handle threads feed the
+/// shard queues concurrently. With `--metrics`, the engine registry
 /// (per-shard queue/drop/batch series plus SMB morph counters) is
 /// exported as JSON or Prometheus text after the run — and, with
 /// `--metrics-interval`, periodically during it.
@@ -448,10 +459,53 @@ pub fn run_serve(
     };
 
     let mut skipped = 0u64;
-    for line in lines {
-        match parse_flow_line(&line) {
-            Some((key, item)) => engine.ingest(key, item.as_bytes()),
-            None => skipped += 1,
+    if cfg.producers > 1 {
+        // Multi-producer ingest: this thread only parses and deals
+        // lines round-robin to N producer threads, each owning a
+        // cloned engine producer handle. Per-flow arrival order across
+        // producers is nondeterministic (items split round-robin), but
+        // every item is recorded exactly once, so estimates are
+        // unaffected. Producer handles flush on drop, before the
+        // engine flush below — the documented flush protocol.
+        let producer = engine.producer_handle();
+        std::thread::scope(|scope| {
+            let txs: Vec<_> = (0..cfg.producers)
+                .map(|_| {
+                    let (tx, rx) = std::sync::mpsc::sync_channel::<(u64, String)>(1024);
+                    let mut p = producer.clone();
+                    scope.spawn(move || {
+                        while let Ok((key, item)) = rx.recv() {
+                            p.ingest(key, item.as_bytes());
+                        }
+                    });
+                    tx
+                })
+                .collect();
+            let mut next = 0usize;
+            for line in lines {
+                match parse_flow_line(&line) {
+                    Some((key, item)) => {
+                        // The worker only stops on channel disconnect,
+                        // which cannot happen while `txs` is alive.
+                        txs[next % cfg.producers]
+                            .send((key, item.to_string()))
+                            .expect("producer thread alive");
+                        next += 1;
+                    }
+                    None => skipped += 1,
+                }
+            }
+            // Dropping the channels ends the workers; scope joins them
+            // (and their handles flush-on-drop).
+            drop(txs);
+        });
+        drop(producer);
+    } else {
+        for line in lines {
+            match parse_flow_line(&line) {
+                Some((key, item)) => engine.ingest(key, item.as_bytes()),
+                None => skipped += 1,
+            }
         }
     }
     engine.flush();
@@ -481,8 +535,9 @@ pub fn run_serve(
     .map_err(|e| e.to_string())?;
     writeln!(
         out,
-        "engine       : {} shard(s), batch {}, queue {} batch(es), {:?}",
+        "engine       : {} shard(s), {} producer(s), batch {}, queue {} batch(es), {:?}",
         engine.config().shards,
+        cfg.producers,
         engine.config().batch,
         engine.config().queue_batches,
         engine.config().policy,
@@ -641,6 +696,91 @@ mod tests {
     }
 
     #[test]
+    fn parse_producers_flag() {
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve"])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.producers, 1, "default is the classic single-producer loop");
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve", "--producers", "4"])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.producers, 4);
+        assert!(parse_args(&s(&["serve", "--producers", "0"])).is_err());
+        assert!(parse_args(&s(&["serve", "--producers"])).is_err());
+        assert!(parse_args(&s(&["serve", "--producers", "many"])).is_err());
+    }
+
+    #[test]
+    fn serve_multi_producer_matches_single_producer_report() {
+        let base = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 2,
+            producers: 1,
+            batch: 64,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            expected_flows: 0,
+            threshold: 0.0,
+            top: 5,
+            metrics: None,
+            metrics_out: None,
+            metrics_interval: None,
+            checkpoint_dir: None,
+            checkpoint_interval: 30,
+        };
+        let mut lines = Vec::new();
+        for i in 0..3000u32 {
+            lines.push(format!("heavy\t{i}"));
+        }
+        for i in 0..50u32 {
+            lines.push(format!("light\t{i}"));
+        }
+        lines.push("malformed".into());
+
+        let mut single = Vec::new();
+        run_serve(base.clone(), &mut lines.clone().into_iter(), &mut single).unwrap();
+        let single = String::from_utf8(single).unwrap();
+
+        let cfg = ServeConfig { producers: 4, ..base };
+        let mut multi = Vec::new();
+        run_serve(cfg, &mut lines.into_iter(), &mut multi).unwrap();
+        let multi = String::from_utf8(multi).unwrap();
+
+        assert!(multi.contains("4 producer(s)"), "{multi}");
+        assert!(multi.contains("flows tracked: 2"), "{multi}");
+        assert!(multi.contains("skipped 1"), "{multi}");
+        // Fan-out reorders per-flow arrivals but never loses or
+        // duplicates an item, so both runs see the same flows and
+        // (since SMB sampling is order-sensitive once it morphs)
+        // estimates that agree to within sketch noise, not bit-exactly.
+        let estimates = |report: &str| -> Vec<(String, f64)> {
+            let mut rows: Vec<(String, f64)> = report
+                .lines()
+                .filter(|l| l.contains('\t'))
+                .map(|l| {
+                    let mut parts = l.split('\t');
+                    let flow = parts.next().unwrap().to_string();
+                    let est: f64 = parts.next().unwrap().parse().unwrap();
+                    (flow, est)
+                })
+                .collect();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            rows
+        };
+        let single_rows = estimates(&single);
+        let multi_rows = estimates(&multi);
+        assert_eq!(single_rows.len(), multi_rows.len());
+        for ((f1, e1), (f2, e2)) in single_rows.iter().zip(&multi_rows) {
+            assert_eq!(f1, f2);
+            assert!(
+                (e1 - e2).abs() / e1.max(1.0) < 0.2,
+                "{f1}: single {e1} vs multi {e2}"
+            );
+        }
+    }
+
+    #[test]
     fn parse_rejects_garbage() {
         assert!(parse_args(&s(&["count", "--algo", "nope"])).is_err());
         assert!(parse_args(&s(&["count", "--memory-bits"])).is_err());
@@ -724,6 +864,7 @@ mod tests {
             algo: Algo::Smb,
             memory_bits: 2048,
             shards: 2,
+            producers: 1,
             batch: 64,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
@@ -791,6 +932,7 @@ mod tests {
             algo: Algo::Smb,
             memory_bits: 2048,
             shards: 2,
+            producers: 1,
             batch: 32,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
@@ -827,6 +969,7 @@ mod tests {
             algo: Algo::Smb,
             memory_bits: 2048,
             shards: 1,
+            producers: 1,
             batch: 32,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
@@ -988,6 +1131,7 @@ mod tests {
             algo: Algo::Smb,
             memory_bits: 2048,
             shards: 2,
+            producers: 1,
             batch: 64,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
@@ -1031,6 +1175,7 @@ mod tests {
             algo: Algo::Smb,
             memory_bits: 2048,
             shards: 3,
+            producers: 1,
             batch: 32,
             queue_batches: 4,
             policy: BackpressurePolicy::Block,

@@ -5,7 +5,8 @@
 //!     read items from stdin, one per line; print the estimate
 //! smbcount flows [--memory-bits 2048] [--threshold N] [--top K]
 //!     read "flow<TAB>item" lines; print per-flow estimates
-//! smbcount serve [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]
+//! smbcount serve [--algo A] [--shards N] [--producers P] [--batch B] [--queue Q]
+//!                [--policy block|drop]
 //!                [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]
 //!                [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]
 //!                [--checkpoint-dir DIR] [--checkpoint-interval SECS]
@@ -49,7 +50,7 @@ fn main() {
                  subcommands:\n\
                  \x20 count  [--algo A] [--memory-bits M] [--exact]   estimate |distinct(stdin lines)|\n\
                  \x20 flows  [--memory-bits M] [--threshold N] [--top K]   per-flow estimates of 'flow<TAB>item' lines\n\
-                 \x20 serve  [--algo A] [--shards N] [--batch B] [--queue Q] [--policy block|drop]\n\
+                 \x20 serve  [--algo A] [--shards N] [--producers P] [--batch B] [--queue Q] [--policy block|drop]\n\
                  \x20        [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
                  \x20        [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]   metrics export\n\
                  \x20        [--checkpoint-dir DIR] [--checkpoint-interval SECS]   durable checkpoints + final epoch\n\

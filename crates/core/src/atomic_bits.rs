@@ -1,0 +1,305 @@
+//! Lock-free packed bit-array substrate for concurrent recording.
+//!
+//! [`AtomicBitVec`] is the shared-memory counterpart of
+//! [`crate::BitVec`]: a fixed-length array of bits stored in
+//! [`AtomicU64`] words, grouped into cache-line-aligned blocks so two
+//! adjacent words updated by different threads at least start from an
+//! alignment the hardware can keep coherent cheaply. All single-bit
+//! operations are wait-free (`fetch_or` / `load`); nothing here ever
+//! takes a lock or spins.
+//!
+//! The load-bearing primitive is
+//! [`AtomicBitVec::set_returning_prev`]: one `fetch_or` whose returned
+//! previous word value tells the caller whether *its* call flipped the
+//! bit from zero to one. Exactly one of any number of racing setters of
+//! the same bit observes "fresh", which is what keeps the SMB
+//! fresh-bit counter `v` exact under concurrency — every physical
+//! 0→1 transition is attributed to exactly one thread (see
+//! [`crate::ConcurrentSmb`] and DESIGN.md §12).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bits::BitVec;
+
+/// Words per cache-line-aligned group: 8 × 64 bits = one 64-byte line.
+const WORDS_PER_LINE: usize = 8;
+/// Bits per cache-line-aligned group.
+const BITS_PER_LINE: usize = WORDS_PER_LINE * 64;
+
+/// One cache line of atomic bit storage. The alignment guarantees a
+/// group never straddles two lines, so a word-level `fetch_or` dirties
+/// exactly one line.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CacheLine([AtomicU64; WORDS_PER_LINE]);
+
+/// A fixed-length packed bit array safe for concurrent mutation
+/// through shared references.
+///
+/// Mirrors the [`BitVec`] API where that makes sense, with the shared
+/// (`&self`) mutators that concurrency requires. Like [`BitVec`], the
+/// length is fixed at construction and never reallocates — the
+/// self-morphing bitmap's "morph" is purely logical.
+///
+/// # Memory ordering
+///
+/// * [`set_returning_prev`](AtomicBitVec::set_returning_prev) is an
+///   `AcqRel` read-modify-write: the *release* half publishes the
+///   setter's prior writes together with the bit; the *acquire* half
+///   guarantees that a caller observing the bit already set also
+///   observes the original setter's prior writes.
+/// * [`get`](AtomicBitVec::get) is an `Acquire` load, pairing with the
+///   release half above.
+/// * [`count_ones`](AtomicBitVec::count_ones) reads word-by-word and
+///   is therefore a *consistent snapshot only at quiescence* (no
+///   concurrent setters); mid-race it can miss sets that land behind
+///   the scan cursor. Quiescent popcounts are exact — the concurrency
+///   test suite leans on that.
+///
+/// ```
+/// use smb_core::AtomicBitVec;
+/// let bits = AtomicBitVec::new(128);
+/// assert!(bits.set_returning_prev(7));   // fresh: 0 → 1
+/// assert!(!bits.set_returning_prev(7));  // already set
+/// assert!(bits.get(7));
+/// assert_eq!(bits.count_ones(), 1);
+/// ```
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    lines: Vec<CacheLine>,
+    len: usize,
+}
+
+impl AtomicBitVec {
+    /// A bit vector of `len` zero bits.
+    pub fn new(len: usize) -> Self {
+        let line_count = len.div_ceil(BITS_PER_LINE);
+        let mut lines = Vec::with_capacity(line_count);
+        lines.resize_with(line_count, CacheLine::default);
+        AtomicBitVec { lines, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero bits of capacity.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The atomic word holding bit `idx`.
+    #[inline]
+    fn word(&self, idx: usize) -> &AtomicU64 {
+        debug_assert!(idx < self.len);
+        &self.lines[idx / BITS_PER_LINE].0[(idx / 64) % WORDS_PER_LINE]
+    }
+
+    /// Read bit `idx` (acquire).
+    ///
+    /// # Panics
+    /// Panics if `idx >= len` (the line index is bounds-checked by the
+    /// underlying `Vec`).
+    #[inline]
+    pub fn get(&self, idx: usize) -> bool {
+        (self.word(idx).load(Ordering::Acquire) >> (idx % 64)) & 1 == 1
+    }
+
+    /// Set bit `idx` to one through a shared reference, returning
+    /// whether the bit was previously zero — i.e. whether **this call**
+    /// made the 0→1 transition. Among any number of racing setters of
+    /// the same bit, exactly one gets `true`; that exactness is what
+    /// keeps SMB's fresh-bit counter `v` equal to the physical
+    /// popcount minus the closed rounds' budget (DESIGN.md §12).
+    #[inline]
+    pub fn set_returning_prev(&self, idx: usize) -> bool {
+        let mask = 1u64 << (idx % 64);
+        let prev = self.word(idx).fetch_or(mask, Ordering::AcqRel);
+        prev & mask == 0
+    }
+
+    /// Set bit `idx` to one. Returns `true` if this call flipped it —
+    /// the [`BitVec::set`] signature, minus the `&mut`.
+    #[inline]
+    pub fn set(&self, idx: usize) -> bool {
+        self.set_returning_prev(idx)
+    }
+
+    /// Set every index yielded by `idxs`, returning how many were
+    /// fresh. The freshness total is exact even under concurrent
+    /// setters (each 0→1 transition counts exactly once globally).
+    pub fn set_all(&self, idxs: impl IntoIterator<Item = usize>) -> usize {
+        idxs.into_iter()
+            .map(|idx| usize::from(self.set_returning_prev(idx)))
+            .sum()
+    }
+
+    /// Population count. Exact at quiescence; during concurrent
+    /// mutation it is a lower bound on the eventual count (bits are
+    /// only ever set, never cleared, outside `&mut` methods).
+    pub fn count_ones(&self) -> usize {
+        self.words()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of zero bits, under the same snapshot caveat as
+    /// [`count_ones`](AtomicBitVec::count_ones).
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Reset every bit to zero. Exclusive access (`&mut`) guarantees no
+    /// setter races the wipe.
+    pub fn clear(&mut self) {
+        for line in &mut self.lines {
+            for w in &mut line.0 {
+                *w.get_mut() = 0;
+            }
+        }
+    }
+
+    /// Iterate the indices of one bits, ascending, over an
+    /// acquire-load word snapshot.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().enumerate().flat_map(move |(wi, w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Copy the current bits into a plain [`BitVec`] — the bridge to
+    /// the sequential differential suites. Consistent only at
+    /// quiescence, like every multi-word read here.
+    pub fn to_bitvec(&self) -> BitVec {
+        let mut out = BitVec::new(self.len);
+        for idx in self.iter_ones() {
+            out.set(idx);
+        }
+        out
+    }
+
+    /// Heap memory consumed by the bit storage, in bits. Cache-line
+    /// grouping rounds up to 512-bit granularity (vs [`BitVec`]'s 64).
+    pub fn storage_bits(&self) -> usize {
+        self.lines.len() * BITS_PER_LINE
+    }
+
+    /// Acquire-load every storage word in index order, including the
+    /// alignment tail past `len` (always zero: no public API can set
+    /// those bits).
+    fn words(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lines
+            .iter()
+            .flat_map(|line| line.0.iter())
+            .map(|w| w.load(Ordering::Acquire))
+    }
+}
+
+impl From<&BitVec> for AtomicBitVec {
+    /// Seed an atomic bit vector from a sequential one (restore paths,
+    /// differential tests).
+    fn from(bits: &BitVec) -> Self {
+        let out = AtomicBitVec::new(bits.len());
+        for idx in bits.iter_ones() {
+            out.set_returning_prev(idx);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_all_zero() {
+        let b = AtomicBitVec::new(1000);
+        assert_eq!(b.len(), 1000);
+        assert!(!b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.count_zeros(), 1000);
+        for i in (0..1000).step_by(37) {
+            assert!(!b.get(i));
+        }
+    }
+
+    #[test]
+    fn set_returning_prev_reports_freshness_once() {
+        let b = AtomicBitVec::new(600);
+        // Word and line boundaries: 63/64 straddle a word, 511/512 a line.
+        for idx in [0usize, 63, 64, 511, 512, 599] {
+            assert!(b.set_returning_prev(idx), "first set of {idx} is fresh");
+            assert!(!b.set_returning_prev(idx), "second set of {idx} is not");
+            assert!(b.get(idx));
+        }
+        assert_eq!(b.count_ones(), 6);
+    }
+
+    #[test]
+    fn set_all_counts_like_bitvec_model() {
+        let idxs = [0usize, 63, 64, 0, 65, 63, 129, 2];
+        let atomic = AtomicBitVec::new(130);
+        let mut model = BitVec::new(130);
+        let fresh_atomic = atomic.set_all(idxs.iter().copied());
+        let fresh_model: usize = idxs.iter().map(|&i| usize::from(model.set(i))).sum();
+        assert_eq!(fresh_atomic, fresh_model);
+        assert_eq!(atomic.to_bitvec(), model);
+        assert_eq!(atomic.set_all(idxs.iter().copied()), 0);
+    }
+
+    #[test]
+    fn clear_resets_and_iter_ones_ascends() {
+        let mut b = AtomicBitVec::new(1100);
+        let idxs = [0usize, 1, 63, 64, 511, 512, 513, 1023, 1024, 1099];
+        for &i in &idxs {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter_ones().collect();
+        assert_eq!(got, idxs);
+        b.clear();
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.set_returning_prev(42), "usable after clear");
+    }
+
+    #[test]
+    fn bitvec_round_trip() {
+        let mut seq = BitVec::new(777);
+        for i in (0..777).step_by(13) {
+            seq.set(i);
+        }
+        let atomic = AtomicBitVec::from(&seq);
+        assert_eq!(atomic.count_ones(), seq.count_ones());
+        assert_eq!(atomic.to_bitvec(), seq);
+    }
+
+    #[test]
+    fn storage_is_line_rounded() {
+        assert_eq!(AtomicBitVec::new(1).storage_bits(), 512);
+        assert_eq!(AtomicBitVec::new(512).storage_bits(), 512);
+        assert_eq!(AtomicBitVec::new(513).storage_bits(), 1024);
+        // Alignment is a real cache line.
+        assert_eq!(std::mem::align_of::<CacheLine>(), 64);
+        assert_eq!(std::mem::size_of::<CacheLine>(), 64);
+    }
+
+    #[test]
+    fn zero_length_is_degenerate_but_safe() {
+        let b = AtomicBitVec::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+        assert_eq!(b.storage_bits(), 0);
+    }
+}

@@ -1,0 +1,593 @@
+//! Lock-free multi-producer Self-Morphing Bitmap.
+//!
+//! [`ConcurrentSmb`] is the shared-reference counterpart of
+//! [`crate::Smb`]: any number of threads may call
+//! [`ConcurrentSmb::record_hash`] concurrently through `&self`, with no
+//! locks anywhere on the recording path. Two atomics carry the whole
+//! estimator state:
+//!
+//! * an [`AtomicBitVec`] for the physical bitmap — bit sets are single
+//!   `fetch_or`s whose return value says which thread made the 0→1
+//!   transition;
+//! * one `AtomicU64` packing `(round, fresh_count)` as
+//!   `(r << 32) | v`, so the morph decision — "did this fresh bit
+//!   exhaust round `r`'s budget?" — is a single CAS. A losing racer
+//!   re-reads the (possibly advanced) state and re-derives its
+//!   transition under the new round; the pure transition function
+//!   `bump_fresh` is what both the CAS loop and the hand-enumerated
+//!   interleaving tests execute.
+//!
+//! # Why `v` stays exact
+//!
+//! Every physical 0→1 bit transition is observed by **exactly one**
+//! thread (the `fetch_or` return), and that thread performs **exactly
+//! one** successful packed-state transition (its CAS retries until it
+//! wins). Morphing consumes exactly `T` fresh increments per closed
+//! round. Therefore at quiescence
+//!
+//! ```text
+//! popcount(bits) = r·T + v
+//! ```
+//!
+//! holds *exactly* — the same structural invariant the sequential
+//! [`Smb`](crate::Smb) maintains — regardless of schedule. The
+//! concurrency test suite (`tests/concurrent_differential.rs`) asserts
+//! it after every seeded stress schedule.
+//!
+//! # What concurrency can perturb
+//!
+//! An item's sampling test reads `r` *before* its bit lands; a morph
+//! completing in between admits an item the new round would have
+//! sampled out. The Self-Learning Bitmap literature calls this
+//! out-of-order tolerance: the estimate stays within the theory error
+//! bounds because admission probabilities are perturbed by at most one
+//! round at a morph boundary, while the `(r, v)` accounting itself
+//! never drifts. Single-threaded use is **bit-identical** to
+//! [`Smb`](crate::Smb) — with no contention every CAS succeeds first
+//! try and the algorithm collapses to Algorithm 1. DESIGN.md §12 walks
+//! the full protocol and its memory-ordering argument.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smb_hash::{HashScheme, ItemHash};
+
+use crate::atomic_bits::AtomicBitVec;
+use crate::bits::BitVec;
+use crate::error::Result;
+use crate::smb::{build_s_table, validate_params, SmbSnapshot};
+use crate::traits::CardinalityEstimator;
+
+/// Pack `(r, v)` into the one-word CAS state.
+#[inline]
+pub(crate) const fn pack_state(r: u32, v: u32) -> u64 {
+    ((r as u64) << 32) | v as u64
+}
+
+/// Unpack the CAS state into `(r, v)`.
+#[inline]
+pub(crate) const fn unpack_state(state: u64) -> (u32, u32) {
+    ((state >> 32) as u32, state as u32)
+}
+
+/// The pure packed-state transition for one fresh bit: increment `v`,
+/// morphing to `(r + 1, 0)` when the increment exhausts round `r`'s
+/// budget and a next round exists. This is the function the CAS loop
+/// in [`ConcurrentSmb::record_hash`] installs; keeping it pure lets
+/// the morph-race tests enumerate interleavings over it directly.
+///
+/// The packed encoding makes every transition *strictly increasing* as
+/// a `u64` — `(r, v) → (r, v+1)` and `(r, T−1) → (r+1, 0)` both grow —
+/// so observed states (and with them estimates) are monotone under any
+/// schedule.
+#[inline]
+pub(crate) fn bump_fresh(state: u64, t: u32, max_rounds: u32) -> u64 {
+    let (r, v) = unpack_state(state);
+    if v + 1 >= t && r + 1 < max_rounds {
+        pack_state(r + 1, 0)
+    } else {
+        pack_state(r, v + 1)
+    }
+}
+
+/// A lock-free, multi-producer Self-Morphing Bitmap.
+///
+/// All recording goes through `&self`; share one instance across
+/// threads with `Arc` (or scoped-thread borrows) and record from all
+/// of them. Queries ([`ConcurrentSmb::estimate`],
+/// [`ConcurrentSmb::snapshot`]) are one atomic load.
+///
+/// ```
+/// use smb_core::ConcurrentSmb;
+/// use std::sync::Arc;
+///
+/// let smb = Arc::new(ConcurrentSmb::new(2048, 128).unwrap());
+/// std::thread::scope(|s| {
+///     for tid in 0..4u64 {
+///         let smb = Arc::clone(&smb);
+///         s.spawn(move || {
+///             for i in 0..5000u64 {
+///                 smb.record(&(tid * 5000 + i).to_le_bytes());
+///             }
+///         });
+///     }
+/// });
+/// let est = smb.estimate();
+/// assert!((est - 20_000.0).abs() / 20_000.0 < 0.25, "{est}");
+/// ```
+#[derive(Debug)]
+pub struct ConcurrentSmb {
+    bits: AtomicBitVec,
+    /// Packed `(r << 32) | v` — the entire morph state, one word.
+    state: AtomicU64,
+    /// Items offered (duplicates and sampled-out included), relaxed.
+    items_offered: AtomicU64,
+    /// Physical size `m` in bits.
+    m: usize,
+    /// Morphing threshold `T`.
+    t: usize,
+    /// Maximum number of rounds, `⌊m/T⌋`.
+    max_rounds: u32,
+    /// Eq. 9 cumulative closed-round estimates, identical to the
+    /// sequential `Smb`'s table for the same `(m, T)`.
+    s_table: Vec<f64>,
+    scheme: HashScheme,
+}
+
+impl ConcurrentSmb {
+    /// A concurrent SMB over `m` bits with morphing threshold `t`,
+    /// default hash scheme. Accepts exactly the parameter space of
+    /// [`Smb::new`](crate::Smb::new).
+    pub fn new(m: usize, t: usize) -> Result<Self> {
+        Self::with_scheme(m, t, HashScheme::default())
+    }
+
+    /// A concurrent SMB with an explicit hash scheme.
+    pub fn with_scheme(m: usize, t: usize, scheme: HashScheme) -> Result<Self> {
+        validate_params(m, t)?;
+        let max_rounds = (m / t) as u32;
+        Ok(ConcurrentSmb {
+            bits: AtomicBitVec::new(m),
+            state: AtomicU64::new(pack_state(0, 0)),
+            items_offered: AtomicU64::new(0),
+            m,
+            t,
+            max_rounds,
+            s_table: build_s_table(m, t, max_rounds),
+            scheme,
+        })
+    }
+
+    /// Record one item (hashes through the estimator's scheme).
+    #[inline]
+    pub fn record(&self, item: &[u8]) {
+        self.record_hash(self.scheme.item_hash(item));
+    }
+
+    /// Record a pre-hashed item. Lock-free: one acquire load for the
+    /// sampling test, one `fetch_or` for the bit, and — only when the
+    /// bit was fresh — one CAS loop on the packed `(r, v)` state.
+    pub fn record_hash(&self, hash: ItemHash) {
+        self.items_offered.fetch_add(1, Ordering::Relaxed);
+        // Step 1: geometric sampling against the round in force now.
+        let (r, _) = unpack_state(self.state.load(Ordering::Acquire));
+        if hash.geometric() < r {
+            return;
+        }
+        // Step 2: uniform placement. The fetch_or return decides which
+        // thread owns this bit's single fresh increment.
+        let idx = hash.index(self.m);
+        if !self.bits.set_returning_prev(idx) {
+            return;
+        }
+        // Step 3: fold the fresh bit into (r, v) with one CAS. A
+        // losing racer re-reads the new state — possibly a new round —
+        // and re-derives its transition under it, so round closures
+        // consume exactly T increments no matter the interleaving.
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let next = bump_fresh(cur, self.t as u32, self.max_rounds);
+            match self.state.compare_exchange_weak(
+                cur,
+                next,
+                // Success publishes the bit + counter together;
+                // failure re-reads with acquire so the retry sees the
+                // winner's transition.
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Record a slice of pre-hashed items.
+    pub fn record_hashes(&self, hashes: &[ItemHash]) {
+        for &h in hashes {
+            self.record_hash(h);
+        }
+    }
+
+    /// Current round index `r`. The sampling probability is `2⁻ʳ`.
+    #[inline]
+    pub fn round(&self) -> u32 {
+        unpack_state(self.state.load(Ordering::Acquire)).0
+    }
+
+    /// Fresh bits set in the current round (the paper's `v`).
+    #[inline]
+    pub fn fresh_ones(&self) -> usize {
+        unpack_state(self.state.load(Ordering::Acquire)).1 as usize
+    }
+
+    /// The morphing threshold `T`.
+    #[inline]
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// Maximum number of rounds this configuration supports, `⌊m/T⌋`.
+    pub fn max_rounds(&self) -> u32 {
+        self.max_rounds
+    }
+
+    /// The packed `(r << 32) | v` state word — strictly increasing
+    /// over successful transitions, which is what the stress suite's
+    /// per-thread monotonicity probes watch.
+    #[inline]
+    pub fn packed_state(&self) -> u64 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    /// O(1) consistent snapshot of `(r, v)` — both integers come from
+    /// one atomic load, so a snapshot never pairs an old round with a
+    /// new fill the way two separate loads could.
+    pub fn snapshot(&self) -> SmbSnapshot {
+        let (r, v) = unpack_state(self.state.load(Ordering::Acquire));
+        SmbSnapshot { r, v: v as usize }
+    }
+
+    /// Total ones in the physical bitmap implied by the invariant
+    /// `ones = r·T + v`. At quiescence this equals
+    /// [`AtomicBitVec::count_ones`] on the substrate *exactly*.
+    pub fn ones(&self) -> usize {
+        let (r, v) = unpack_state(self.state.load(Ordering::Acquire));
+        (r as usize) * self.t + v as usize
+    }
+
+    /// Items offered so far (duplicates and sampled-out included).
+    /// Relaxed counter: exact at quiescence.
+    pub fn items_offered(&self) -> u64 {
+        self.items_offered.load(Ordering::Relaxed)
+    }
+
+    /// Borrow the atomic bit substrate (diagnostics/tests).
+    pub fn as_bits(&self) -> &AtomicBitVec {
+        &self.bits
+    }
+
+    /// Copy the physical bitmap into a sequential [`BitVec`]
+    /// (consistent at quiescence) — the differential suites compare
+    /// this against the sequential estimator's bits.
+    pub fn bits_snapshot(&self) -> BitVec {
+        self.bits.to_bitvec()
+    }
+
+    /// Evaluate the estimate for an explicit `(r, v)` pair — the same
+    /// Eq. 11 evaluation as [`Smb::estimate_at`](crate::Smb::estimate_at),
+    /// against an identical S-table.
+    pub fn estimate_at(&self, r: u32, v: usize) -> f64 {
+        debug_assert!(r < self.max_rounds);
+        let m_r = self.m - (r as usize) * self.t;
+        // Clamp a saturated final round at its largest useful fill.
+        let v = v.min(m_r - 1);
+        self.s_table[r as usize]
+            - 2f64.powi(r as i32) * (self.m as f64) * (1.0 - v as f64 / m_r as f64).ln()
+    }
+
+    /// The cardinality estimate (Eq. 11) from one atomic state load.
+    pub fn estimate(&self) -> f64 {
+        let (r, v) = unpack_state(self.state.load(Ordering::Acquire));
+        self.estimate_at(r, v as usize)
+    }
+
+    /// The hash scheme items are recorded under.
+    pub fn scheme(&self) -> HashScheme {
+        self.scheme
+    }
+
+    /// Physical memory used by the bitmap, in bits.
+    pub fn memory_bits(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the final round has (nearly) filled — estimates are
+    /// clamped beyond this point.
+    pub fn is_saturated(&self) -> bool {
+        let (r, v) = unpack_state(self.state.load(Ordering::Acquire));
+        let m_r = self.m - (r as usize) * self.t;
+        r + 1 == self.max_rounds && v as usize >= m_r - 1
+    }
+
+    /// Reset to the empty state. Exclusive access (`&mut`) means no
+    /// recorder can race the wipe.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        *self.state.get_mut() = pack_state(0, 0);
+        *self.items_offered.get_mut() = 0;
+    }
+}
+
+/// Trait-object compatibility: the `&mut` recording methods forward to
+/// the shared-reference implementations, so a `ConcurrentSmb` can
+/// stand in wherever a [`CardinalityEstimator`] is expected (factory
+/// tables, benches) while still being shareable across threads.
+impl CardinalityEstimator for ConcurrentSmb {
+    #[inline]
+    fn record_hash(&mut self, hash: ItemHash) {
+        ConcurrentSmb::record_hash(self, hash);
+    }
+
+    fn record_hashes(&mut self, hashes: &[ItemHash]) {
+        ConcurrentSmb::record_hashes(self, hashes);
+    }
+
+    fn estimate(&self) -> f64 {
+        ConcurrentSmb::estimate(self)
+    }
+
+    fn scheme(&self) -> HashScheme {
+        self.scheme
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.m
+    }
+
+    fn clear(&mut self) {
+        ConcurrentSmb::clear(self);
+    }
+
+    fn name(&self) -> &'static str {
+        "SMB-concurrent"
+    }
+
+    fn max_estimate(&self) -> f64 {
+        let last = self.max_rounds - 1;
+        let m_last = self.m - (last as usize) * self.t;
+        self.s_table[last as usize]
+            + 2f64.powi(last as i32) * (self.m as f64) * (m_last as f64).ln()
+    }
+
+    fn is_saturated(&self) -> bool {
+        ConcurrentSmb::is_saturated(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smb::Smb;
+    use std::sync::Barrier;
+
+    /// A model of the full two-thread recording protocol, executed
+    /// step by step so interleavings can be enumerated by hand: each
+    /// thread's atomic footprint is (a) `fetch_or` its bit, (b) apply
+    /// `bump_fresh` to the state machine (the CAS loop serialises to
+    /// exactly one application per fresh bit, in the order the CASes
+    /// win). `order` picks which thread performs each step.
+    fn simulate(
+        start: u64,
+        t: u32,
+        max_rounds: u32,
+        idx_a: usize,
+        idx_b: usize,
+        pre_set: &[usize],
+        order: [(usize, u8); 4],
+    ) -> (Vec<usize>, u64) {
+        let mut bits: Vec<usize> = pre_set.to_vec();
+        let mut state = start;
+        // fresh[i]: outcome of thread i's fetch_or, once performed.
+        let mut fresh = [false, false];
+        for (thread, step) in order {
+            let idx = if thread == 0 { idx_a } else { idx_b };
+            match step {
+                0 => {
+                    fresh[thread] = !bits.contains(&idx);
+                    if fresh[thread] {
+                        bits.push(idx);
+                    }
+                }
+                _ => {
+                    if fresh[thread] {
+                        state = bump_fresh(state, t, max_rounds);
+                    }
+                }
+            }
+        }
+        bits.sort_unstable();
+        (bits, state)
+    }
+
+    /// All interleavings of two threads' (set-bit, bump-state) step
+    /// pairs that respect per-thread program order.
+    const INTERLEAVINGS: [[(usize, u8); 4]; 6] = [
+        [(0, 0), (0, 1), (1, 0), (1, 1)], // A fully first
+        [(0, 0), (1, 0), (0, 1), (1, 1)], // bits race, A's CAS wins
+        [(0, 0), (1, 0), (1, 1), (0, 1)], // bits race, B's CAS wins
+        [(1, 0), (0, 0), (0, 1), (1, 1)], // B's bit first, A's CAS first
+        [(1, 0), (0, 0), (1, 1), (0, 1)], // B's bit first, B's CAS first
+        [(1, 0), (1, 1), (0, 0), (0, 1)], // B fully first
+    ];
+
+    #[test]
+    fn morph_race_hand_enumerated_interleavings_commute() {
+        // Loom-style exhaustive check at the protocol level: for every
+        // reachable (r, v) start state — morph boundary v = T−1
+        // included — and every bit-collision shape, all six
+        // interleavings of two racing recorders land on the same
+        // final (bitmap, packed state).
+        let (t, max_rounds) = (4u32, 4u32);
+        for r in 0..max_rounds {
+            let v_cap = if r + 1 == max_rounds { 2 * t } else { t - 1 };
+            for v in 0..=v_cap {
+                let start = pack_state(r, v);
+                // Distinct fresh bits; same bit; one duplicate of a
+                // pre-set bit; both duplicates.
+                for (idx_a, idx_b, pre) in [
+                    (3usize, 9usize, vec![]),
+                    (5, 5, vec![]),
+                    (3, 7, vec![7]),
+                    (2, 6, vec![2, 6]),
+                ] {
+                    let reference =
+                        simulate(start, t, max_rounds, idx_a, idx_b, &pre, INTERLEAVINGS[0]);
+                    for order in &INTERLEAVINGS[1..] {
+                        let got = simulate(start, t, max_rounds, idx_a, idx_b, &pre, *order);
+                        assert_eq!(
+                            got, reference,
+                            "interleaving diverged at r={r} v={v} idx=({idx_a},{idx_b}) pre={pre:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bump_fresh_is_strictly_increasing_and_budgeted() {
+        let (t, max_rounds) = (128u32, 16u32);
+        let mut state = pack_state(0, 0);
+        for i in 1..=(max_rounds * t * 2) {
+            let next = bump_fresh(state, t, max_rounds);
+            assert!(next > state, "packed state must strictly increase");
+            let (r, v) = unpack_state(next);
+            if r + 1 < max_rounds {
+                assert!(v < t, "v must stay below T outside the final round");
+                // Round r is reached after exactly r·T increments.
+                assert_eq!(r as u64 * t as u64 + v as u64, i as u64);
+            } else {
+                assert_eq!(r, max_rounds - 1, "round counter parks in the final round");
+            }
+            state = next;
+        }
+    }
+
+    #[test]
+    fn two_thread_morph_race_on_real_atomics() {
+        // Drive a real ConcurrentSmb to the morph boundary (v = T−1),
+        // then release two threads from a barrier, each recording one
+        // crafted fresh item. Whatever the hardware schedule, the final
+        // state must equal two sequential bump_fresh applications:
+        // (r, T−1) → (r+1, 0) → (r+1, 1).
+        let (m, t) = (512usize, 8usize);
+        // Craft a hash landing on bit `k` of a 512-bit map that passes
+        // every sampling round: the Lemire index reduction reads the
+        // top of the uniform lane (`(u32 · m) >> 32`, so bit k needs
+        // uniform = k << 23), and an all-zero geometric lane ranks 32.
+        let hash_at = |k: u64| ItemHash::new(k << 23);
+        for round in 0..200u64 {
+            let smb = ConcurrentSmb::new(m, t).unwrap();
+            for i in 0..(t - 1) as u64 {
+                smb.record_hash(hash_at(i));
+            }
+            assert_eq!(smb.snapshot(), SmbSnapshot { r: 0, v: t - 1 });
+            // Two fresh racers on distinct unset bits.
+            let racers = [
+                hash_at(t as u64 + round % 7),
+                hash_at(t as u64 + 100 + round % 11),
+            ];
+            let barrier = Barrier::new(2);
+            std::thread::scope(|s| {
+                for h in racers {
+                    let (smb, barrier) = (&smb, &barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        smb.record_hash(h);
+                    });
+                }
+            });
+            assert_eq!(
+                smb.snapshot(),
+                SmbSnapshot { r: 1, v: 1 },
+                "iteration {round}"
+            );
+            assert_eq!(smb.ones(), smb.as_bits().count_ones(), "iteration {round}");
+        }
+    }
+
+    #[test]
+    fn single_threaded_matches_sequential_smb_bit_for_bit() {
+        // With no contention every CAS wins first try, so the
+        // concurrent estimator IS Algorithm 1: same bits, same (r, v),
+        // same estimate, for a stream deep into the sampling rounds.
+        let scheme = HashScheme::with_seed(41);
+        let concurrent = ConcurrentSmb::with_scheme(2048, 128, scheme).unwrap();
+        let mut sequential = Smb::with_scheme(2048, 128, scheme).unwrap();
+        for i in 0..60_000u64 {
+            let h = scheme.item_hash(&i.to_le_bytes());
+            concurrent.record_hash(h);
+            CardinalityEstimator::record_hash(&mut sequential, h);
+        }
+        assert!(sequential.round() > 0, "must exercise sampling rounds");
+        assert_eq!(concurrent.snapshot(), sequential.snapshot());
+        assert_eq!(concurrent.estimate(), sequential.estimate());
+        assert_eq!(&concurrent.bits_snapshot(), sequential.as_bits());
+        assert_eq!(concurrent.items_offered(), 60_000);
+    }
+
+    #[test]
+    fn parameter_validation_matches_smb() {
+        for (m, t) in [(0usize, 1usize), (100, 0), (100, 51), (1 << 33, 16)] {
+            assert_eq!(
+                ConcurrentSmb::new(m, t).is_err(),
+                Smb::new(m, t).is_err(),
+                "(m={m}, t={t})"
+            );
+        }
+        assert!(ConcurrentSmb::new(100, 50).is_ok());
+    }
+
+    #[test]
+    fn clear_restores_initial_state() {
+        let mut smb = ConcurrentSmb::new(1024, 128).unwrap();
+        for i in 0..50_000u64 {
+            smb.record(&i.to_le_bytes());
+        }
+        assert!(smb.round() > 0);
+        smb.clear();
+        assert_eq!(smb.snapshot(), SmbSnapshot { r: 0, v: 0 });
+        assert_eq!(smb.estimate(), 0.0);
+        assert_eq!(smb.as_bits().count_ones(), 0);
+        assert_eq!(smb.items_offered(), 0);
+        smb.record(b"again");
+        assert!(smb.estimate() > 0.0);
+    }
+
+    #[test]
+    fn trait_impl_forwards_to_shared_methods() {
+        let mut smb = ConcurrentSmb::new(2048, 128).unwrap();
+        let scheme = CardinalityEstimator::scheme(&smb);
+        let hashes: Vec<ItemHash> = (0..10_000u64)
+            .map(|i| scheme.item_hash(&i.to_le_bytes()))
+            .collect();
+        CardinalityEstimator::record_hashes(&mut smb, &hashes);
+        let est = CardinalityEstimator::estimate(&smb);
+        assert!((est - 10_000.0).abs() / 10_000.0 < 0.25, "{est}");
+        assert_eq!(CardinalityEstimator::name(&smb), "SMB-concurrent");
+        assert_eq!(CardinalityEstimator::memory_bits(&smb), 2048);
+        assert!(CardinalityEstimator::max_estimate(&smb) > est);
+        assert!(!CardinalityEstimator::is_saturated(&smb));
+    }
+
+    #[test]
+    fn saturation_is_graceful() {
+        let smb = ConcurrentSmb::new(256, 64).unwrap();
+        for i in 0..2_000_000u64 {
+            smb.record(&i.to_le_bytes());
+        }
+        assert!(smb.is_saturated());
+        assert!(smb.estimate().is_finite());
+        assert_eq!(smb.round(), smb.max_rounds() - 1, "round counter stops");
+    }
+}

@@ -112,18 +112,7 @@ impl Smb {
 
     /// An SMB with an explicit hash scheme.
     pub fn with_scheme(m: usize, t: usize, scheme: HashScheme) -> Result<Self> {
-        if m == 0 || m > u32::MAX as usize {
-            return Err(Error::invalid("m", "must be in 1..=u32::MAX"));
-        }
-        if t == 0 {
-            return Err(Error::invalid("t", "threshold must be positive"));
-        }
-        if t > m / 2 {
-            return Err(Error::invalid(
-                "t",
-                format!("threshold {t} must be at most m/2 = {} (need ≥2 rounds)", m / 2),
-            ));
-        }
+        validate_params(m, t)?;
         let max_rounds = (m / t) as u32;
         let s_table = Self::build_s_table(m, t, max_rounds);
         Ok(Smb {
@@ -150,15 +139,7 @@ impl Smb {
     /// Precompute `S[i] = Σ_{j<i} −2ʲ·m·ln(1 − T/m_j)` (Eq. 9), the
     /// cumulative estimate of closed rounds.
     fn build_s_table(m: usize, t: usize, max_rounds: u32) -> Vec<f64> {
-        let mut s = Vec::with_capacity(max_rounds as usize);
-        let mut acc = 0.0f64;
-        for i in 0..max_rounds {
-            s.push(acc);
-            let m_i = (m - (i as usize) * t) as f64;
-            // Closed round i contributes −2ⁱ·m·ln(1 − T/m_i).
-            acc += -(2f64.powi(i as i32)) * (m as f64) * (1.0 - t as f64 / m_i).ln();
-        }
-        s
+        build_s_table(m, t, max_rounds)
     }
 
     /// Current round index `r`. The sampling probability is `2⁻ʳ`.
@@ -453,6 +434,41 @@ impl CardinalityEstimator for Smb {
     fn snapshot_state(&self) -> Option<smb_devtools::Json> {
         Some(smb_devtools::Snapshot::to_json(self))
     }
+}
+
+/// Validate the paper's `(m, T)` constraints, shared by [`Smb`] and
+/// [`crate::ConcurrentSmb`] so both accept exactly the same parameter
+/// space.
+pub(crate) fn validate_params(m: usize, t: usize) -> Result<()> {
+    if m == 0 || m > u32::MAX as usize {
+        return Err(Error::invalid("m", "must be in 1..=u32::MAX"));
+    }
+    if t == 0 {
+        return Err(Error::invalid("t", "threshold must be positive"));
+    }
+    if t > m / 2 {
+        return Err(Error::invalid(
+            "t",
+            format!("threshold {t} must be at most m/2 = {} (need ≥2 rounds)", m / 2),
+        ));
+    }
+    Ok(())
+}
+
+/// Precompute `S[i] = Σ_{j<i} −2ʲ·m·ln(1 − T/m_j)` (Eq. 9), the
+/// cumulative estimate of all closed rounds before round `i` —
+/// shared by [`Smb`] and [`crate::ConcurrentSmb`] so the two
+/// estimators evaluate the same query formula from the same table.
+pub(crate) fn build_s_table(m: usize, t: usize, max_rounds: u32) -> Vec<f64> {
+    let mut s = Vec::with_capacity(max_rounds as usize);
+    let mut acc = 0.0f64;
+    for i in 0..max_rounds {
+        s.push(acc);
+        let m_i = (m - (i as usize) * t) as f64;
+        // Closed round i contributes −2ⁱ·m·ln(1 − T/m_i).
+        acc += -(2f64.powi(i as i32)) * (m as f64) * (1.0 - t as f64 / m_i).ln();
+    }
+    s
 }
 
 /// The two integers `(r, v)` that fully determine an SMB estimate —

@@ -1,0 +1,137 @@
+//! Property and stress coverage for [`AtomicBitVec`], the concurrent
+//! bitmap substrate under [`smb_core::ConcurrentSmb`].
+//!
+//! Single-threaded, the atomic bitvec must be observationally
+//! equivalent to the sequential [`BitVec`] model (`forall!` suites);
+//! multi-threaded, the one property everything else rests on is
+//! popcount exactness: every physical 0→1 transition is observed by
+//! exactly one `set_returning_prev` caller, so the per-thread fresh
+//! counts always sum to the final popcount (`stress!` suite).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smb_core::{AtomicBitVec, BitVec};
+use smb_devtools::{forall, prop_assert_eq, stress};
+
+/// Bit width deliberately off any word/line boundary and wider than
+/// one 512-bit cache line, so index arithmetic crosses both a word and
+/// a line edge.
+const LEN: usize = 700;
+
+#[test]
+fn set_get_matches_bitvec_model() {
+    forall!(cases = 128, (idxs in smb_devtools::prop::gens::vecs(
+        smb_devtools::prop::gens::usizes(0..LEN), 1..200)) => {
+        let atomic = AtomicBitVec::new(LEN);
+        let mut model = BitVec::new(LEN);
+        for &i in &idxs {
+            let fresh = atomic.set_returning_prev(i);
+            prop_assert_eq!(fresh, !model.get(i), "freshness at bit {}", i);
+            model.set(i);
+        }
+        for i in 0..LEN {
+            prop_assert_eq!(atomic.get(i), model.get(i), "bit {}", i);
+        }
+        prop_assert_eq!(atomic.count_ones(), model.count_ones());
+        prop_assert_eq!(atomic.count_zeros(), LEN - model.count_ones());
+        let ones: Vec<usize> = atomic.iter_ones().collect();
+        let model_ones: Vec<usize> = model.iter_ones().collect();
+        prop_assert_eq!(ones, model_ones);
+        prop_assert_eq!(atomic.to_bitvec(), model);
+    });
+}
+
+#[test]
+fn set_all_matches_individual_sets() {
+    forall!(cases = 96, (idxs in smb_devtools::prop::gens::vecs(
+        smb_devtools::prop::gens::usizes(0..LEN), 0..300)) => {
+        let bulk = AtomicBitVec::new(LEN);
+        let single = AtomicBitVec::new(LEN);
+        let fresh_bulk = bulk.set_all(idxs.iter().copied());
+        let mut fresh_single = 0usize;
+        for &i in &idxs {
+            if single.set_returning_prev(i) {
+                fresh_single += 1;
+            }
+        }
+        prop_assert_eq!(fresh_bulk, fresh_single, "fresh-bit counts");
+        prop_assert_eq!(bulk.to_bitvec(), single.to_bitvec());
+        prop_assert_eq!(bulk.count_ones(), fresh_bulk, "all sets started from zero");
+    });
+}
+
+#[test]
+fn bitvec_round_trip_preserves_contents() {
+    forall!(cases = 64, (idxs in smb_devtools::prop::gens::vecs(
+        smb_devtools::prop::gens::usizes(0..LEN), 0..150)) => {
+        let mut model = BitVec::new(LEN);
+        for &i in &idxs {
+            model.set(i);
+        }
+        let atomic = AtomicBitVec::from(&model);
+        prop_assert_eq!(atomic.len(), model.len());
+        prop_assert_eq!(atomic.to_bitvec(), model);
+    });
+}
+
+struct PopcountState {
+    bits: AtomicBitVec,
+    /// Per-thread index lists, deliberately overlapping so threads
+    /// race on the same bits.
+    idxs: Vec<Vec<usize>>,
+    /// Sum of fresh (`set_returning_prev == true`) observations across
+    /// all threads.
+    fresh: AtomicU64,
+}
+
+#[test]
+fn popcount_is_exact_under_eight_thread_contention() {
+    const THREADS: usize = 8;
+    stress!(schedules = 16, threads = THREADS,
+        setup = |seed| {
+            use smb_devtools::{Rng, Xoshiro256pp};
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            // Draw from a window ~half the bitmap so collisions are
+            // frequent: many threads observing the same 0→1 edge is
+            // exactly the race set_returning_prev must adjudicate.
+            let idxs = (0..THREADS)
+                .map(|_| {
+                    (0..400)
+                        .map(|_| rng.gen_range_usize(0..LEN / 2 + 1))
+                        .collect()
+                })
+                .collect();
+            PopcountState {
+                bits: AtomicBitVec::new(LEN),
+                idxs,
+                fresh: AtomicU64::new(0),
+            }
+        },
+        body = |tid, ctx, state: &PopcountState| {
+            let mut fresh = 0u64;
+            for (k, &i) in state.idxs[tid].iter().enumerate() {
+                if state.bits.set_returning_prev(i) {
+                    fresh += 1;
+                }
+                if k % 7 == 0 {
+                    ctx.interleave();
+                }
+            }
+            state.fresh.fetch_add(fresh, Ordering::Relaxed);
+        },
+        check = |state| {
+            let fresh = state.fresh.load(Ordering::Relaxed) as usize;
+            prop_assert_eq!(
+                fresh,
+                state.bits.count_ones(),
+                "each 0->1 transition must be claimed by exactly one thread"
+            );
+            // And the set of one-bits is exactly the union of inputs.
+            let mut expected = BitVec::new(LEN);
+            for idxs in &state.idxs {
+                expected.set_all(idxs.iter().copied());
+            }
+            prop_assert_eq!(state.bits.to_bitvec(), expected);
+            Ok(())
+        });
+}

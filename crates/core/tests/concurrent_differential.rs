@@ -1,0 +1,230 @@
+//! Differential contention suite: K producers hammer one
+//! [`ConcurrentSmb`]; the same multiset replayed into a sequential
+//! [`Smb`] is the reference. Gated by the seeded `stress!` harness, so
+//! any failure reports a reproducing `SMB_STRESS_SEED`.
+//!
+//! What must hold after the threads quiesce, for K ∈ {2, 4, 8}:
+//!
+//! * **exact invariants** — physical popcount equals `r·T + v` (the
+//!   CAS protocol never loses or double-counts a fresh bit), and the
+//!   round counter never exceeds `⌊m/T⌋`;
+//! * **monotonicity** — the packed `(r, v)` word only ever increases,
+//!   so every thread observes a non-decreasing round counter
+//!   (asserted live, inside the race);
+//! * **accuracy** — both the concurrent and the sequential estimate
+//!   land within the Theorem 3 relative-error tolerance `δ` chosen so
+//!   `β ≥ 0.999` (from `smb-theory`), and within `2δ` of each other.
+//!   Contention can reorder sampling decisions around a morph by at
+//!   most one round, which is exactly the regime the bound covers —
+//!   bit-identity with the sequential replay is *not* required (or
+//!   possible) under contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smb_core::{CardinalityEstimator, ConcurrentSmb, Smb};
+use smb_devtools::prop::PropError;
+use smb_devtools::{prop_assert, stress, Rng, Xoshiro256pp};
+use smb_hash::HashScheme;
+use smb_theory::{error_bound, SmbBoundInput};
+
+const M: usize = 4096;
+const T: usize = 256;
+/// Distinct items contributed by each producer thread.
+const PER_THREAD: usize = 3000;
+/// Distinct items recorded by *every* producer (max contention: the
+/// same hashes race on the same bits on every thread).
+const SHARED: usize = 500;
+
+/// Smallest Theorem 3 tolerance `δ` with `β ≥ 0.999` for cardinality
+/// `n` at this suite's `(m, T)`.
+fn theory_delta(n: usize) -> f64 {
+    let mut delta = 0.01;
+    while delta < 0.5 {
+        let detail = error_bound(SmbBoundInput {
+            m: M,
+            t: T,
+            n: n as f64,
+            delta,
+        });
+        if detail.beta >= 0.999 {
+            return delta;
+        }
+        delta += 0.005;
+    }
+    panic!("no tolerance below 0.5 reaches beta 0.999 for n={n}");
+}
+
+struct DiffState {
+    smb: ConcurrentSmb,
+    scheme: HashScheme,
+    /// Per-thread item lists (values, hashed at record time through
+    /// the shared scheme).
+    items: Vec<Vec<u64>>,
+    /// True distinct cardinality of the union of all lists.
+    true_n: usize,
+}
+
+fn diff_setup(threads: usize) -> impl Fn(u64) -> DiffState {
+    move |seed| {
+        let scheme = HashScheme::with_seed(seed ^ 0xD1FF_5EED);
+        let smb = ConcurrentSmb::with_scheme(M, T, scheme).expect("valid params");
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        // Disjoint per-thread blocks plus one shared block; tag the
+        // blocks into disjoint u64 ranges so distinctness is exact by
+        // construction.
+        let offset = rng.next_u64() & 0x00FF_FFFF_FFFF_FFFF;
+        let items: Vec<Vec<u64>> = (0..threads)
+            .map(|tid| {
+                let mut list: Vec<u64> = (0..PER_THREAD as u64)
+                    .map(|j| offset + (tid as u64 + 1) * (1 << 32) + j)
+                    .collect();
+                list.extend((0..SHARED as u64).map(|j| offset + j));
+                // Duplicates within a thread exercise the stale-bit
+                // fast path (set_returning_prev returning false).
+                for _ in 0..PER_THREAD / 10 {
+                    let dup = list[rng.gen_range_usize(0..PER_THREAD)];
+                    list.push(dup);
+                }
+                list
+            })
+            .collect();
+        DiffState {
+            smb,
+            scheme,
+            items,
+            true_n: threads * PER_THREAD + SHARED,
+        }
+    }
+}
+
+fn diff_body(tid: usize, ctx: &mut smb_devtools::StressCtx, state: &DiffState) {
+    let mut last_packed = 0u64;
+    for (k, item) in state.items[tid].iter().enumerate() {
+        state.smb.record_hash(state.scheme.item_hash(&item.to_le_bytes()));
+        if k % 5 == 0 {
+            ctx.interleave();
+        }
+        if k % 64 == 0 {
+            // Live monotonicity probe: the packed (r, v) word must
+            // never move backwards from any thread's point of view
+            // (packing puts r in the high half, so this also proves
+            // the round counter is monotone).
+            let packed = state.smb.packed_state();
+            assert!(
+                packed >= last_packed,
+                "packed state went backwards: {last_packed:#x} -> {packed:#x}"
+            );
+            last_packed = packed;
+        }
+    }
+}
+
+fn diff_check(state: &DiffState) -> Result<(), PropError> {
+    // Exact invariants first: they hold regardless of interleaving.
+    prop_assert!(
+        state.smb.as_bits().count_ones() == state.smb.ones(),
+        "popcount {} != r*T+v {}",
+        state.smb.as_bits().count_ones(),
+        state.smb.ones()
+    );
+    prop_assert!(state.smb.round() <= state.smb.max_rounds());
+    prop_assert!(state.smb.items_offered() as usize >= state.true_n);
+
+    // Sequential reference: same multiset, same scheme, one thread.
+    let mut reference = Smb::with_scheme(M, T, state.scheme).expect("valid params");
+    for list in &state.items {
+        for item in list {
+            reference.record(&item.to_le_bytes());
+        }
+    }
+
+    let n = state.true_n as f64;
+    let delta = theory_delta(state.true_n);
+    let concurrent = state.smb.estimate();
+    let sequential = reference.estimate();
+    prop_assert!(
+        (concurrent - n).abs() / n <= delta,
+        "concurrent estimate {concurrent:.1} misses n={n} beyond delta={delta}"
+    );
+    prop_assert!(
+        (sequential - n).abs() / n <= delta,
+        "sequential estimate {sequential:.1} misses n={n} beyond delta={delta}"
+    );
+    prop_assert!(
+        (concurrent - sequential).abs() / n <= 2.0 * delta,
+        "concurrent {concurrent:.1} and sequential {sequential:.1} disagree beyond 2*delta"
+    );
+    // Contention perturbs the morph schedule by at most one round.
+    let dr = state.smb.round().abs_diff(reference.round());
+    prop_assert!(dr <= 1, "round diverged by {dr} (> 1)");
+    Ok(())
+}
+
+#[test]
+fn two_producers_match_sequential_within_theory_bound() {
+    stress!(schedules = 6, threads = 2,
+        setup = diff_setup(2), body = diff_body, check = diff_check);
+}
+
+#[test]
+fn four_producers_match_sequential_within_theory_bound() {
+    stress!(schedules = 4, threads = 4,
+        setup = diff_setup(4), body = diff_body, check = diff_check);
+}
+
+#[test]
+fn eight_producers_match_sequential_within_theory_bound() {
+    stress!(schedules = 3, threads = 8,
+        setup = diff_setup(8), body = diff_body, check = diff_check);
+}
+
+#[test]
+fn round_counter_observed_monotone_by_a_racing_reader() {
+    // A dedicated reader thread polls while writers morph the bitmap
+    // through several rounds: every observation sequence must be
+    // non-decreasing in (r, v) order.
+    struct ReaderState {
+        smb: ConcurrentSmb,
+        scheme: HashScheme,
+        violations: AtomicU64,
+        done: AtomicU64,
+    }
+    const WRITERS: usize = 3;
+    stress!(schedules = 6, threads = 4,
+        setup = |seed| ReaderState {
+            smb: ConcurrentSmb::with_scheme(M, T, HashScheme::with_seed(seed)).unwrap(),
+            scheme: HashScheme::with_seed(seed),
+            violations: AtomicU64::new(0),
+            done: AtomicU64::new(0),
+        },
+        body = |tid, ctx, state: &ReaderState| {
+            if tid < WRITERS {
+                for i in 0..6000u64 {
+                    let item = (tid as u64) << 48 | i;
+                    state.smb.record_hash(state.scheme.item_hash(&item.to_le_bytes()));
+                    if i % 16 == 0 {
+                        ctx.interleave();
+                    }
+                }
+                state.done.fetch_add(1, Ordering::Release);
+            } else {
+                let mut last = 0u64;
+                while state.done.load(Ordering::Acquire) < WRITERS as u64 {
+                    let packed = state.smb.packed_state();
+                    if packed < last {
+                        state.violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    last = packed;
+                    ctx.interleave();
+                }
+            }
+        },
+        check = |state| {
+            prop_assert!(
+                state.violations.load(Ordering::Relaxed) == 0,
+                "reader saw the packed (r, v) state move backwards"
+            );
+            prop_assert!(state.smb.round() >= 1, "workload must actually morph");
+            Ok(())
+        });
+}

@@ -9,6 +9,7 @@
 //! |---|---|---|
 //! | [`rng`] | `rand` | [`rng::SplitMix64`], [`rng::Xoshiro256pp`], the [`rng::Rng`] trait |
 //! | [`prop`] | `proptest` | [`forall!`] runner, generators, seed reporting + shrinking |
+//! | [`mod@stress`] | `loom` (in spirit) | [`macro@stress`] seeded thread-interleaving runner with failing-seed reporting |
 //! | [`mod@bench`] | `criterion` | warmup + median/p95 harness with JSON emission |
 //! | [`json`] | `serde_json` | [`json::Json`] value type, parser, writer |
 //! | [`snapshot`] | `serde` derive | [`snapshot::Snapshot`] round-trip trait |
@@ -31,6 +32,13 @@
 //! Re-running the named test with that environment variable pins the
 //! harness to exactly that case.
 //!
+//! ## Reproducing a stress failure
+//!
+//! [`macro@stress`] reports failures the same way, via `SMB_STRESS_SEED`:
+//! the seed pins the failing schedule (data, yield-point decisions,
+//! thread count), and `SMB_STRESS_SCHEDULES` lengthens soaks. See the
+//! [`mod@stress`] module docs for the schedule model.
+//!
 //! ## Running benches
 //!
 //! ```text
@@ -46,9 +54,11 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod snapshot;
+pub mod stress;
 
 pub use bench::{black_box, Bench, BenchConfig, BenchResult};
 pub use json::{Json, JsonError};
 pub use prop::{Gen, PropError, PropResult};
 pub use rng::{Rng, SplitMix64, Xoshiro256pp};
 pub use snapshot::Snapshot;
+pub use stress::{StressConfig, StressCtx};

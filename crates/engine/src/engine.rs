@@ -29,6 +29,7 @@
 //!   was observed.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -44,7 +45,7 @@ use crate::durability::{
     checkpoint_with_retries, select_epoch, CheckpointConfig, CheckpointMetrics, Checkpointer,
     LoadedEpoch, RestoreReport,
 };
-use crate::stats::{EngineStats, ShardMetrics};
+use crate::stats::{EngineStats, ProducerMetrics, ProducerStats, ShardMetrics};
 
 /// Factory shared by all shards; must be callable from worker threads.
 pub type EstimatorFactory = dyn Fn(u64) -> DynEstimator + Send + Sync;
@@ -348,11 +349,111 @@ pub struct ShardedFlowEngine {
     next_epoch: Arc<Mutex<u64>>,
     /// The background checkpointer, if started.
     checkpointer: Option<Checkpointer>,
+    /// Allocator for producer-handle ids, shared with every handle so
+    /// clones made after the engine is gone still get unique ids.
+    producer_ids: Arc<AtomicU32>,
 }
 
 /// Salt decorrelating shard selection from the estimators' item hashing
 /// (both see the flow key; the item hash additionally sees the bytes).
 const SHARD_SALT: u64 = 0x5348_4152_445F_534D;
+
+/// The one shard-selection function, shared by the engine and every
+/// [`EngineProducer`]: all ingest paths must agree on flow placement
+/// or per-flow ordering (and estimates) would break.
+#[inline]
+fn shard_of_key(flow: u64, shards: usize) -> usize {
+    (mix::moremur(flow ^ SHARD_SALT) % shards as u64) as usize
+}
+
+/// How a batch is handed to a shard queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeliveryMode {
+    /// Dispatch-path delivery: try without blocking, apply the
+    /// backpressure policy on a full queue, sample enqueue latency.
+    Policy(BackpressurePolicy),
+    /// Flush-path delivery: block until the queue accepts. Flush is a
+    /// delivery point, not a load-shedding one, so the policy does not
+    /// apply and no latency sample is taken (it would only measure the
+    /// flush barrier itself).
+    ForceBlock,
+}
+
+/// What [`deliver_batch`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Delivery {
+    /// The queue accepted the batch; the shard's delivered counters
+    /// (`queue_depth`, `batches_sent`, `items_enqueued`) were updated.
+    delivered: bool,
+    /// The queue was observed full (possible on the policy path only).
+    queue_full: bool,
+    /// The channel was closed: the batch was discarded undelivered.
+    /// The engine itself never sees this (it closes queues only on
+    /// drop); a [`EngineProducer`] outliving its engine does.
+    closed: bool,
+}
+
+/// Hand one batch to a shard queue, updating the shard's metric cells
+/// exactly as the single-producer dispatch/flush paths always have:
+/// occupancy first, queue-full and drop accounting per policy, and the
+/// delivered counters only after the queue accepts (so a scrape never
+/// sees them exceed reality). All cells are atomics, so any number of
+/// producers may deliver to the same shard concurrently.
+fn deliver_batch(
+    metrics: &ShardMetrics,
+    tx: &Sender<Batch>,
+    mode: DeliveryMode,
+    batch: Batch,
+) -> Delivery {
+    let n = batch.len() as u64;
+    metrics.batch_occupancy.record(n);
+    let mut outcome = Delivery {
+        delivered: false,
+        queue_full: false,
+        closed: false,
+    };
+    match mode {
+        DeliveryMode::ForceBlock => {
+            if tx.send(batch).is_ok() {
+                outcome.delivered = true;
+            } else {
+                outcome.closed = true;
+            }
+        }
+        DeliveryMode::Policy(policy) => {
+            let start = Instant::now();
+            match tx.try_send(batch) {
+                Ok(()) => outcome.delivered = true,
+                Err(TrySendError::Full(batch)) => {
+                    outcome.queue_full = true;
+                    metrics.queue_full_events.inc();
+                    match policy {
+                        BackpressurePolicy::Block => {
+                            if tx.send(batch).is_ok() {
+                                outcome.delivered = true;
+                            } else {
+                                outcome.closed = true;
+                            }
+                        }
+                        BackpressurePolicy::DropNewest => {
+                            metrics.dropped_items.add(n);
+                        }
+                    }
+                }
+                Err(TrySendError::Closed(_)) => outcome.closed = true,
+            }
+            metrics
+                .enqueue_latency
+                .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+    if outcome.delivered {
+        metrics.queue_depth.add(1);
+        metrics.batches_sent.add_release(1);
+        metrics.items_enqueued.add(n);
+    }
+    outcome
+}
 
 impl ShardedFlowEngine {
     /// Spawn an engine whose per-flow estimators come from
@@ -453,6 +554,7 @@ impl ShardedFlowEngine {
             checkpoint_metrics,
             next_epoch: Arc::new(Mutex::new(0)),
             checkpointer: None,
+            producer_ids: Arc::new(AtomicU32::new(0)),
         })
     }
 
@@ -470,7 +572,7 @@ impl ShardedFlowEngine {
     /// Which shard owns `flow`. Deterministic in the flow key alone.
     #[inline]
     pub fn shard_of(&self, flow: u64) -> usize {
-        (mix::moremur(flow ^ SHARD_SALT) % self.shards.len() as u64) as usize
+        shard_of_key(flow, self.shards.len())
     }
 
     /// Ingest one item for `flow`: hash once, stage into the owning
@@ -509,41 +611,55 @@ impl ShardedFlowEngine {
             return;
         }
         let s = &self.shards[shard];
-        let n = batch.len() as u64;
-        s.metrics.batch_occupancy.record(n);
-        let start = Instant::now();
-        // Count sent/enqueued only after the queue accepts the batch,
-        // so the counters are monotone (a Prometheus scrape must never
-        // see them go down). Single producer: flush runs on this same
-        // thread, so it always observes the post-dispatch counts.
-        let delivered = match s.tx.try_send(batch) {
-            Ok(()) => true,
-            Err(TrySendError::Full(batch)) => {
-                s.metrics.queue_full_events.inc();
-                match self.config.policy {
-                    BackpressurePolicy::Block => {
-                        if s.tx.send(batch).is_err() {
-                            unreachable!("engine closes queues only on drop");
-                        }
-                        true
-                    }
-                    BackpressurePolicy::DropNewest => {
-                        s.metrics.dropped_items.add(n);
-                        false
-                    }
-                }
-            }
-            Err(TrySendError::Closed(_)) => {
-                unreachable!("engine closes queues only on drop")
-            }
-        };
-        s.metrics
-            .enqueue_latency
-            .record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
-        if delivered {
-            s.metrics.queue_depth.add(1);
-            s.metrics.batches_sent.add_release(1);
-            s.metrics.items_enqueued.add(n);
+        let outcome = deliver_batch(
+            &s.metrics,
+            &s.tx,
+            DeliveryMode::Policy(self.config.policy),
+            batch,
+        );
+        if outcome.closed {
+            unreachable!("engine closes queues only on drop");
+        }
+    }
+
+    /// Hand out a cloneable multi-producer ingest handle. Each handle
+    /// (and each clone) hashes once, batches per shard and feeds the
+    /// same shard queues as [`ShardedFlowEngine::ingest`], but through
+    /// `&mut self` on the *handle* — so N threads each owning a handle
+    /// ingest concurrently with no producer-side serialization beyond
+    /// the per-batch queue lock. Flow placement is identical across
+    /// all handles and the engine (the shard hash is shared), so
+    /// per-flow ordering within one producer is preserved and a flow
+    /// ingested by exactly one producer gets bit-identical estimates
+    /// to single-producer ingest.
+    ///
+    /// Every handle carries its own telemetry series
+    /// (`engine_producer_*_total{producer="<id>"}`) in the engine
+    /// registry.
+    ///
+    /// **Flush protocol.** [`EngineProducer::flush`] (or dropping the
+    /// handle) delivers its pending partial batches; the engine's
+    /// [`ShardedFlowEngine::flush`] barrier covers exactly the batches
+    /// enqueued before it runs. Flush or drop producers first, then
+    /// `engine.flush()`, and queries reflect everything they ingested.
+    /// A handle that outlives the engine discards sends into closed
+    /// queues, counting them in its `dropped` series — never panicking.
+    pub fn producer_handle(&self) -> EngineProducer {
+        let id = self.producer_ids.fetch_add(1, Ordering::Relaxed);
+        EngineProducer {
+            scheme: self.scheme,
+            batch: self.config.batch,
+            policy: self.config.policy,
+            shards: self
+                .shards
+                .iter()
+                .map(|s| (s.tx.clone(), Arc::clone(&s.metrics)))
+                .collect(),
+            pending: vec![Vec::with_capacity(self.config.batch); self.shards.len()],
+            metrics: ProducerMetrics::register(&self.registry, id),
+            id,
+            ids: Arc::clone(&self.producer_ids),
+            registry: Arc::clone(&self.registry),
         }
     }
 
@@ -553,6 +669,11 @@ impl ShardedFlowEngine {
     ///
     /// Partial batches are delivered with blocking sends under either
     /// policy: flush is a delivery point, not a load-shedding one.
+    ///
+    /// With [`ShardedFlowEngine::producer_handle`] producers in play,
+    /// the barrier covers batches those producers delivered *before*
+    /// this call — flush or drop them first (see the flush protocol on
+    /// [`ShardedFlowEngine::producer_handle`]).
     ///
     /// # Panics
     /// If a shard worker died (estimator panic), since its queue can
@@ -568,14 +689,10 @@ impl ShardedFlowEngine {
                 Vec::with_capacity(self.config.batch),
             );
             let s = &self.shards[shard];
-            let n = batch.len() as u64;
-            s.metrics.batch_occupancy.record(n);
-            if s.tx.send(batch).is_err() {
+            let outcome = deliver_batch(&s.metrics, &s.tx, DeliveryMode::ForceBlock, batch);
+            if outcome.closed {
                 unreachable!("engine closes queues only on drop");
             }
-            s.metrics.queue_depth.add(1);
-            s.metrics.batches_sent.add_release(1);
-            s.metrics.items_enqueued.add(n);
         }
         for s in &self.shards {
             loop {
@@ -879,6 +996,173 @@ impl ShardedFlowEngine {
                 let _ = worker.join();
             }
         }
+    }
+}
+
+/// A cloneable multi-producer ingest handle — see
+/// [`ShardedFlowEngine::producer_handle`].
+///
+/// Owns its own per-shard partial batches and its own telemetry
+/// series; shares only the shard queues (MPSC channels) and the atomic
+/// metric cells with the engine and its sibling handles. Send a
+/// handle to each ingest thread (`EngineProducer: Send`), or clone
+/// one per thread — a clone is a *new* producer with a fresh id and
+/// empty batches, not a shared view.
+///
+/// ```
+/// use smb_engine::{EngineConfig, ShardedFlowEngine};
+/// use smb_factory::{Algo, AlgoSpec};
+///
+/// let spec = AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(7);
+/// let mut engine = ShardedFlowEngine::new(EngineConfig::new(spec).with_shards(2)).unwrap();
+/// let producer = engine.producer_handle();
+/// std::thread::scope(|s| {
+///     for t in 0u64..4 {
+///         let mut p = producer.clone();
+///         s.spawn(move || {
+///             for i in 0..1000u32 {
+///                 p.ingest(t, &i.to_le_bytes());
+///             }
+///             // flush-on-drop delivers the partial batches
+///         });
+///     }
+/// });
+/// drop(producer);
+/// engine.flush();
+/// assert_eq!(engine.stats().total_flows(), 4);
+/// ```
+pub struct EngineProducer {
+    scheme: HashScheme,
+    batch: usize,
+    policy: BackpressurePolicy,
+    /// Queue handle + shared metric cells per shard, same order as the
+    /// engine's shard vector.
+    shards: Vec<(Sender<Batch>, Arc<ShardMetrics>)>,
+    /// This producer's own partial batch per shard.
+    pending: Vec<Batch>,
+    metrics: ProducerMetrics,
+    id: u32,
+    ids: Arc<AtomicU32>,
+    registry: Arc<Registry>,
+}
+
+impl EngineProducer {
+    /// This handle's producer id (the `producer` label on its series).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The scheme items are hashed under — identical to the engine's.
+    pub fn scheme(&self) -> HashScheme {
+        self.scheme
+    }
+
+    /// Which shard owns `flow` — identical to the engine's placement.
+    #[inline]
+    pub fn shard_of(&self, flow: u64) -> usize {
+        shard_of_key(flow, self.shards.len())
+    }
+
+    /// Ingest one item for `flow`: hash once, stage, dispatch when the
+    /// batch fills — the producer-handle version of
+    /// [`ShardedFlowEngine::ingest`].
+    #[inline]
+    pub fn ingest(&mut self, flow: u64, item: &[u8]) {
+        self.ingest_hash(flow, self.scheme.item_hash(item));
+    }
+
+    /// Ingest an item already hashed under [`EngineProducer::scheme`].
+    #[inline]
+    pub fn ingest_hash(&mut self, flow: u64, hash: ItemHash) {
+        let shard = self.shard_of(flow);
+        self.pending[shard].push((flow, hash));
+        if self.pending[shard].len() >= self.batch {
+            self.dispatch(shard, DeliveryMode::Policy(self.policy));
+        }
+    }
+
+    /// Ingest a sequence of `(flow, item)` pairs.
+    pub fn ingest_batch<'a>(&mut self, items: impl IntoIterator<Item = (u64, &'a [u8])>) {
+        for (flow, item) in items {
+            self.ingest(flow, item);
+        }
+    }
+
+    /// Deliver this producer's pending partial batches (blocking until
+    /// the queues accept them). Does **not** wait for workers to
+    /// process anything — that barrier is [`ShardedFlowEngine::flush`].
+    /// Also runs on drop.
+    pub fn flush(&mut self) {
+        for shard in 0..self.shards.len() {
+            if !self.pending[shard].is_empty() {
+                self.dispatch(shard, DeliveryMode::ForceBlock);
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of this producer's counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.metrics.snapshot(self.id)
+    }
+
+    fn dispatch(&mut self, shard: usize, mode: DeliveryMode) {
+        let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch));
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        let (tx, metrics) = &self.shards[shard];
+        let outcome = deliver_batch(metrics, tx, mode, batch);
+        if outcome.queue_full {
+            self.metrics.queue_full.inc();
+        }
+        if outcome.delivered {
+            self.metrics.items.add(n);
+            self.metrics.batches.inc();
+        } else {
+            // Dropped by policy (already in the shard's dropped_items)
+            // or the engine is gone and the queue is closed; either
+            // way this producer's items went nowhere.
+            self.metrics.dropped.add(n);
+        }
+    }
+}
+
+impl Clone for EngineProducer {
+    /// A new producer with a fresh id, empty partial batches and its
+    /// own telemetry series, feeding the same engine.
+    fn clone(&self) -> Self {
+        let id = self.ids.fetch_add(1, Ordering::Relaxed);
+        EngineProducer {
+            scheme: self.scheme,
+            batch: self.batch,
+            policy: self.policy,
+            shards: self.shards.clone(),
+            pending: vec![Vec::with_capacity(self.batch); self.shards.len()],
+            metrics: ProducerMetrics::register(&self.registry, id),
+            id,
+            ids: Arc::clone(&self.ids),
+            registry: Arc::clone(&self.registry),
+        }
+    }
+}
+
+impl Drop for EngineProducer {
+    /// Delivers pending partial batches (counting them dropped if the
+    /// engine is already gone) so no staged item is silently lost.
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl std::fmt::Debug for EngineProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineProducer")
+            .field("id", &self.id)
+            .field("shards", &self.shards.len())
+            .field("batch", &self.batch)
+            .field("policy", &self.policy)
+            .finish()
     }
 }
 
@@ -1266,6 +1550,164 @@ mod tests {
         assert_eq!(all.len(), 30);
         assert_eq!(&all[..10], &top[..]);
         assert!(engine.snapshot_top_k(0).is_empty());
+    }
+
+    #[test]
+    fn producer_partitioned_flows_match_single_producer_ingest() {
+        // Each flow ingested by exactly one producer thread must give
+        // estimates bit-identical to the engine's own ingest path.
+        let sp = spec();
+        let run_multi = || {
+            let mut engine = ShardedFlowEngine::new(
+                EngineConfig::new(sp).with_shards(2).with_batch(32),
+            )
+            .unwrap();
+            let producer = engine.producer_handle();
+            std::thread::scope(|s| {
+                for t in 0u64..4 {
+                    let mut p = producer.clone();
+                    s.spawn(move || {
+                        for flow in (t..12).step_by(4) {
+                            for i in 0..500u32 {
+                                p.ingest(flow, &(flow * 10_000 + i as u64).to_le_bytes());
+                            }
+                        }
+                    });
+                }
+            });
+            drop(producer);
+            engine.flush();
+            let mut all = engine.all_estimates();
+            all.sort_by_key(|&(flow, _)| flow);
+            all
+        };
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(sp).with_shards(2).with_batch(32),
+        )
+        .unwrap();
+        for flow in 0u64..12 {
+            for i in 0..500u32 {
+                engine.ingest(flow, &(flow * 10_000 + i as u64).to_le_bytes());
+            }
+        }
+        engine.flush();
+        let mut reference = engine.all_estimates();
+        reference.sort_by_key(|&(flow, _)| flow);
+        assert_eq!(run_multi(), reference);
+    }
+
+    #[test]
+    fn producer_counters_attribute_and_conserve_items() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(2).with_batch(16),
+        )
+        .unwrap();
+        let p0 = engine.producer_handle();
+        let mut handles = vec![p0.clone(), p0.clone()];
+        assert_eq!(p0.id(), 0);
+        assert_eq!(handles[0].id(), 1);
+        assert_eq!(handles[1].id(), 2);
+        for (k, p) in handles.iter_mut().enumerate() {
+            for i in 0..1000u32 {
+                p.ingest((k as u64) * 100 + i as u64 % 7, &i.to_le_bytes());
+            }
+            p.flush();
+        }
+        let per_producer: Vec<_> = handles.iter().map(|p| p.stats()).collect();
+        drop(handles);
+        drop(p0);
+        engine.flush();
+        for (k, s) in per_producer.iter().enumerate() {
+            assert_eq!(s.producer, (k + 1) as u32);
+            assert_eq!(s.items, 1000, "producer {k} delivered everything");
+            assert!(s.batches >= 1000 / 16);
+            assert_eq!(s.dropped_items, 0);
+        }
+        // Shard counters hold the union; engine stats stay consistent.
+        let stats = engine.stats();
+        assert_eq!(stats.total_enqueued(), 2000);
+        assert_eq!(stats.total_recorded(), 2000);
+        assert_eq!(stats.total_flows(), 14);
+        // The registry export carries the per-producer series.
+        let snap = engine.metrics_snapshot();
+        assert_eq!(snap.counter_total("engine_producer_items_total"), 2000);
+        assert_eq!(
+            snap.get("engine_producer_items_total", &[("producer", "1")])
+                .unwrap()
+                .as_counter(),
+            Some(1000)
+        );
+    }
+
+    #[test]
+    fn producer_flush_on_drop_delivers_partials() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(1).with_batch(1024),
+        )
+        .unwrap();
+        {
+            let mut p = engine.producer_handle();
+            for i in 0..10u32 {
+                p.ingest(1, &i.to_le_bytes());
+            }
+            // 10 items staged in a 1024-item batch: nothing delivered
+            // yet; the drop below must hand them over.
+        }
+        engine.flush();
+        assert_eq!(engine.stats().total_recorded(), 10);
+        assert!(engine.query(1).is_some());
+    }
+
+    #[test]
+    fn producer_outliving_engine_counts_drops_without_panicking() {
+        let mut p = {
+            let engine = ShardedFlowEngine::new(
+                EngineConfig::new(spec()).with_shards(1).with_batch(4),
+            )
+            .unwrap();
+            engine.producer_handle()
+            // engine drops here, closing the shard queues
+        };
+        for i in 0..10u32 {
+            p.ingest(1, &i.to_le_bytes());
+        }
+        p.flush();
+        let s = p.stats();
+        assert_eq!(s.items, 0);
+        assert_eq!(s.dropped_items, 10, "closed-queue sends count as drops");
+    }
+
+    #[test]
+    fn shared_flows_across_producers_conserve_counts() {
+        // All producers hammer the SAME flows: arrival interleaving is
+        // nondeterministic, but every item must be recorded exactly
+        // once and the distinct-item estimate must stay sane.
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(2).with_batch(32),
+        )
+        .unwrap();
+        let producer = engine.producer_handle();
+        std::thread::scope(|s| {
+            for t in 0u64..3 {
+                let mut p = producer.clone();
+                s.spawn(move || {
+                    for i in 0..2000u32 {
+                        // Distinct items per producer, shared flow keys.
+                        p.ingest(i as u64 % 4, &(t * 1_000_000 + i as u64).to_le_bytes());
+                    }
+                });
+            }
+        });
+        drop(producer);
+        engine.flush();
+        let stats = engine.stats();
+        assert_eq!(stats.total_enqueued(), 6000);
+        assert_eq!(stats.total_recorded(), 6000);
+        assert_eq!(stats.total_flows(), 4);
+        let est = engine.query(0).unwrap();
+        // 1500 distinct items per flow; SMB at m=2048 stays well within
+        // a loose factor-of-two sanity band.
+        assert!(est > 750.0 && est < 3000.0, "{est}");
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //!   owning a private [`smb_sketch::FlowTable`], fixed-size batches
 //!   over bounded queues, explicit backpressure
 //!   ([`BackpressurePolicy`]);
+//! * [`EngineProducer`] — cloneable multi-producer ingest handles
+//!   ([`ShardedFlowEngine::producer_handle`]): N threads feed the
+//!   shard queues concurrently, each with its own batches and its own
+//!   `producer="<id>"`-labelled telemetry series;
 //! * [`EngineStats`] / [`ShardStats`] — the workspace's first
 //!   observability surface: per-shard item counts, batch occupancy,
 //!   dropped items and queue-full events;
@@ -41,7 +45,7 @@ mod stats;
 
 pub use durability::{CheckpointConfig, RestoreReport};
 pub use engine::{
-    record_batch_grouped, BackpressurePolicy, EngineConfig, EstimatorFactory, GroupScratch,
-    ShardTable, ShardedFlowEngine,
+    record_batch_grouped, BackpressurePolicy, EngineConfig, EngineProducer, EstimatorFactory,
+    GroupScratch, ShardTable, ShardedFlowEngine,
 };
-pub use stats::{EngineStats, ShardStats};
+pub use stats::{EngineStats, ProducerStats, ShardStats};

@@ -130,6 +130,84 @@ impl ShardMetrics {
     }
 }
 
+/// One producer handle's metric cells, registered under
+/// `producer="<id>"`. Each [`crate::EngineProducer`] (and each clone)
+/// gets its own set, so per-thread ingest attribution survives into
+/// the export: summing `engine_producer_items_total` across producers
+/// gives exactly the items they delivered to shard queues.
+#[derive(Debug)]
+pub(crate) struct ProducerMetrics {
+    /// Items this producer delivered into shard queues.
+    pub items: Arc<Counter>,
+    /// Batches this producer delivered.
+    pub batches: Arc<Counter>,
+    /// Times this producer found a shard queue full.
+    pub queue_full: Arc<Counter>,
+    /// Items this producer discarded (drop policy, or the engine was
+    /// already shut down).
+    pub dropped: Arc<Counter>,
+}
+
+impl ProducerMetrics {
+    /// Register this producer's series (label `producer="<id>"`) in
+    /// `registry`.
+    pub(crate) fn register(registry: &Registry, producer: u32) -> Self {
+        let id = producer.to_string();
+        let labels: &[(&str, &str)] = &[("producer", &id)];
+        ProducerMetrics {
+            items: registry.counter_with(
+                "engine_producer_items_total",
+                "Items delivered to shard queues, per producer handle",
+                labels,
+            ),
+            batches: registry.counter_with(
+                "engine_producer_batches_total",
+                "Batches delivered to shard queues, per producer handle",
+                labels,
+            ),
+            queue_full: registry.counter_with(
+                "engine_producer_queue_full_total",
+                "Full-queue encounters, per producer handle",
+                labels,
+            ),
+            dropped: registry.counter_with(
+                "engine_producer_items_dropped_total",
+                "Items discarded (drop policy or engine shut down), per producer handle",
+                labels,
+            ),
+        }
+    }
+
+    /// A point-in-time [`ProducerStats`] view.
+    pub(crate) fn snapshot(&self, producer: u32) -> ProducerStats {
+        ProducerStats {
+            producer,
+            items: self.items.get(),
+            batches: self.batches.get(),
+            queue_full_events: self.queue_full.get(),
+            dropped_items: self.dropped.get(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one producer handle's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProducerStats {
+    /// Producer id, allocated sequentially per engine as handles are
+    /// created (`producer_handle`) or cloned. The engine's own ingest
+    /// front-end is not a producer handle and carries no producer
+    /// series — its traffic shows up in the shard counters only.
+    pub producer: u32,
+    /// Items this producer delivered into shard queues.
+    pub items: u64,
+    /// Batches this producer delivered.
+    pub batches: u64,
+    /// Times this producer found a shard queue full.
+    pub queue_full_events: u64,
+    /// Items this producer discarded.
+    pub dropped_items: u64,
+}
+
 /// A point-in-time snapshot of one shard's counters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardStats {

@@ -38,6 +38,38 @@ step "kernel equivalence gates (offline): open-table differential + morph bounda
 cargo test -q --offline -p smb-sketch --test differential
 cargo test -q --offline -p smb-core batched_matches_sequential
 
+step "concurrency stress suites (offline): seeded schedules, reproducible"
+# The lock-free ConcurrentSmb/AtomicBitVec path is gated by the seeded
+# stress! harness: two pinned seeds replay fixed regression schedules
+# on every run, and one clock-derived seed makes each verify run
+# explore a fresh interleaving. Any failure prints the reproducing
+# SMB_STRESS_SEED, so a red clock-seed run is directly replayable.
+for seed in 0x51B0 0xC0FFEE "$(date +%s)"; do
+    echo "-- stress schedules with SMB_STRESS_SEED=$seed"
+    SMB_STRESS_SEED="$seed" cargo test -q --offline -p smb-core \
+        --test concurrent_differential --test atomic_bits_prop
+done
+# The harness's own self-tests (seed derivation, failure reporting)
+# run unpinned so the reproduce-line machinery itself stays covered.
+cargo test -q --offline -p smb-devtools stress
+echo "ok: stress suites green under 2 pinned seeds + 1 clock seed"
+
+step "thread sanitizer pass (nightly-only, degrades to SKIP)"
+# TSan needs -Zsanitizer=thread, a nightly toolchain, and the rust-src
+# component for -Zbuild-std. The container image is stable-only and
+# offline, so this degrades to a visible SKIP rather than a silent
+# pass; the seeded stress suites above remain the required gate.
+if command -v rustup >/dev/null 2>&1 \
+    && rustup toolchain list 2>/dev/null | grep -q nightly \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q "rust-src (installed)"; then
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q --offline \
+        -Zbuild-std --target x86_64-unknown-linux-gnu \
+        -p smb-core --test concurrent_differential --test atomic_bits_prop
+    echo "ok: ThreadSanitizer pass clean"
+else
+    echo "SKIP: nightly toolchain (or rust-src) absent — ThreadSanitizer not run; seeded stress suites above still gate the CAS protocol"
+fi
+
 step "telemetry tests (offline): metrics, morph events, exposition round-trip"
 cargo test -q --offline -p smb-telemetry
 cargo test -q --offline -p smb-telemetry --features telemetry-off
@@ -130,7 +162,8 @@ step "smoke ingest bench (offline): kernel old-vs-new + engine throughput JSON"
 # as cwd, not the workspace root.
 SMB_BENCH_SMOKE=1 SMB_BENCH_JSON="$PWD/BENCH_ingest.json" cargo bench -p smb-bench --bench ingest --offline
 for needle in 'engine/shards=4' 'kernel/old-hashmap-per-item' 'kernel/new-grouped-openaddr' \
-              'kernel_speedup_single_flow' 'kernel_speedup_1k_flows' 'telemetry_overhead_pct'; do
+              'kernel_speedup_single_flow' 'kernel_speedup_1k_flows' 'telemetry_overhead_pct' \
+              'ingest/mpsc/producers=' 'mpsc_items_per_sec_producers_1' 'mpsc_scaling_producers_4'; do
     if ! grep -q "$needle" BENCH_ingest.json; then
         echo "FAIL: BENCH_ingest.json is missing: $needle" >&2
         exit 1
@@ -155,6 +188,21 @@ for k in ("kernel_speedup_single_flow", "kernel_speedup_1k_flows",
     print(f"{k}: {v:.2f}x (target {goal}, hard floor {floor}x)")
     if not v >= floor:
         raise SystemExit(f"FAIL: {k} = {v:.2f}x — new kernel slower than the old path")
+# Telemetry overhead was measured at ~13% against a 5% aspiration on
+# this 1-core container; the ceiling keeps the gap from silently
+# widening without pretending the target is already met.
+tel = extra["telemetry_overhead_pct"]
+print(f"telemetry_overhead_pct: {tel:.1f}% (target <= 5%, hard ceiling 20%)")
+if not tel <= 20.0:
+    raise SystemExit(f"FAIL: telemetry overhead {tel:.1f}% exceeds the 20% ceiling")
+# The MPSC sweep shares one core between producers and shard workers,
+# so it measures producer-path overhead, not speedup: no floor, but
+# the numbers must exist and be positive for every swept count.
+for p in (1, 2, 4):
+    ips = extra[f"mpsc_items_per_sec_producers_{p}"]
+    print(f"mpsc_items_per_sec_producers_{p}: {ips:,.0f} items/s")
+    if not ips > 0:
+        raise SystemExit(f"FAIL: mpsc sweep produced a non-positive rate for {p} producers")
 EOF
 echo "ok: BENCH_ingest.json baseline written ($(wc -c <BENCH_ingest.json) bytes)"
 
