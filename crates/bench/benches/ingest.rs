@@ -36,7 +36,7 @@ use smb_telemetry::{MetricsObserver, Registry};
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn spec() -> AlgoSpec {
-    AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(0xCA1DA)
+    AlgoSpec::new(Algo::Smb).memory_bits(2048).n_max(1e5).seed(0xCA1DA)
 }
 
 /// Pre-materialise the trace so iterations measure ingest, not
@@ -308,6 +308,73 @@ fn main() {
         bench.extra(format!("kernel_speedup_{slug}"), Json::Float(speedup));
     }
     bench.extra("kernel_speedup_target", Json::Float(1.5));
+
+    // Memory per flow: the tiering acceptance gate. One million flows
+    // with a Zipf-like size profile — flow k carries
+    // max(1, 100_000 / (k + 1)) distinct items, so a handful of heavy
+    // flows materialize real estimators while the long tail stays on
+    // the inline/array tiers — measured as resident bytes divided by
+    // tracked flows. The boxed baseline materializes a DynEstimator
+    // for every flow (the pre-tier engine shape), measured on a
+    // subsample since its per-flow cost is flat. This is a one-shot
+    // measurement, not a timed loop: resident bytes are deterministic.
+    {
+        const ZIPF_FLOWS: usize = 1_000_000;
+        const BASELINE_SAMPLE: usize = 10_000;
+        let mut tiered = FlowTable::tiered(scheme, make_smb);
+        tiered.reserve(ZIPF_FLOWS);
+        // Inline bit-identity spot checks across the tier spectrum:
+        // heavy (materialized), mid (array), singleton (inline).
+        let check_flows = [0u64, 9_999, 59_999, 999_999];
+        let mut references: HashMap<u64, DynEstimator> =
+            check_flows.iter().map(|&f| (f, make_smb(f))).collect();
+        let mut item = 0u64;
+        for k in 0..ZIPF_FLOWS {
+            let n_k = (100_000 / (k + 1)).max(1);
+            for _ in 0..n_k {
+                item += 1;
+                let hash = scheme.item_hash(&item.to_le_bytes());
+                tiered.record_hash(k as u64, hash);
+                if let Some(reference) = references.get_mut(&(k as u64)) {
+                    reference.record_hash(hash);
+                }
+            }
+        }
+        assert_eq!(tiered.len(), ZIPF_FLOWS);
+        for (flow, reference) in &references {
+            assert_eq!(
+                tiered.estimate(*flow).map(f64::to_bits),
+                Some(reference.estimate().to_bits()),
+                "memory_per_flow: tiered flow {flow} diverged from the untiered path"
+            );
+        }
+        let stats = tiered.tier_stats();
+        let tiered_per_flow = tiered.memory_bytes() as f64 / tiered.len() as f64;
+
+        let mut boxed = FlowTable::new(make_smb);
+        boxed.reserve(BASELINE_SAMPLE);
+        for k in 0..BASELINE_SAMPLE {
+            boxed.record_hash(k as u64, scheme.item_hash(&(k as u64).to_le_bytes()));
+        }
+        let boxed_per_flow = boxed.memory_bytes() as f64 / boxed.len() as f64;
+
+        eprintln!(
+            "\nmemory per flow ({ZIPF_FLOWS} Zipf flows): tiered {tiered_per_flow:.1} B/flow \
+             ({} small / {} array / {} full) vs boxed {boxed_per_flow:.1} B/flow \
+             => {:.1}x smaller (gate <= 64 B/flow)",
+            stats.small,
+            stats.array,
+            stats.full,
+            boxed_per_flow / tiered_per_flow,
+        );
+        bench.extra("memory_per_flow_flows", Json::Int(ZIPF_FLOWS as i128));
+        bench.extra("memory_per_flow_tiered_bytes", Json::Float(tiered_per_flow));
+        bench.extra("memory_per_flow_boxed_bytes", Json::Float(boxed_per_flow));
+        bench.extra("memory_per_flow_tiers_small", Json::Int(stats.small as i128));
+        bench.extra("memory_per_flow_tiers_array", Json::Int(stats.array as i128));
+        bench.extra("memory_per_flow_tiers_full", Json::Int(stats.full as i128));
+        bench.extra("memory_per_flow_gate_bytes", Json::Float(64.0));
+    }
 
     // Telemetry overhead: the same single-estimator ingest with and
     // without a registry-backed observer attached. The target (DESIGN.md

@@ -23,9 +23,10 @@ pub const COMPARED_ALGOS: [Algo; 5] = [Algo::Mrb, Algo::Fm, Algo::HllPlusPlus, A
 /// On an invalid memory budget; experiments run with vetted
 /// parameters, so an error here is a harness bug.
 pub fn build_estimator(algo: Algo, m: usize, n_max: f64, seed: u64) -> Box<dyn CardinalityEstimator> {
-    AlgoSpec::new(algo, m)
-        .with_n_max(n_max)
-        .with_seed(seed)
+    AlgoSpec::new(algo)
+        .memory_bits(m)
+        .n_max(n_max)
+        .seed(seed)
         .build()
         .expect("valid experiment parameters")
 }
@@ -38,9 +39,10 @@ mod tests {
     fn positional_shorthand_matches_spec_construction() {
         for algo in ALL_ALGOS {
             let a = build_estimator(algo, 5000, 1e6, 1);
-            let b = AlgoSpec::new(algo, 5000)
-                .with_n_max(1e6)
-                .with_seed(1)
+            let b = AlgoSpec::new(algo)
+                .memory_bits(5000)
+                .n_max(1e6)
+                .seed(1)
                 .build()
                 .unwrap();
             assert_eq!(a.name(), b.name());

@@ -13,7 +13,9 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use smb_core::{CardinalityEstimator, MorphCollector, ObserverHandle, Smb};
-use smb_engine::{BackpressurePolicy, CheckpointConfig, EngineConfig, ShardedFlowEngine};
+use smb_engine::{
+    BackpressurePolicy, CheckpointConfig, EngineConfig, EngineQuery, ShardedFlowEngine,
+};
 use smb_factory::{Algo, AlgoSpec};
 use smb_hash::HashScheme;
 use smb_sketch::FlowTable;
@@ -334,7 +336,8 @@ pub fn run_count(
     lines: &mut dyn Iterator<Item = String>,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let mut est = AlgoSpec::new(cfg.algo, cfg.memory_bits)
+    let mut est = AlgoSpec::new(cfg.algo)
+        .memory_bits(cfg.memory_bits)
         .build()
         .map_err(|e| e.to_string())?;
     let mut exact = cfg.exact.then(ExactCounter::new);
@@ -420,7 +423,7 @@ pub fn run_serve(
     lines: &mut dyn Iterator<Item = String>,
     out: &mut dyn Write,
 ) -> Result<(), String> {
-    let spec = AlgoSpec::new(cfg.algo, cfg.memory_bits).with_n_max(1e6);
+    let spec = AlgoSpec::new(cfg.algo).memory_bits(cfg.memory_bits).n_max(1e6);
     let mut config = EngineConfig::new(spec)
         .with_batch(cfg.batch)
         .with_queue_batches(cfg.queue_batches)
@@ -522,7 +525,12 @@ pub fn run_serve(
         None => None,
     };
 
-    let mut report = engine.snapshot_top_k(cfg.top);
+    // One multi-facet sweep over the shards; the handle does not borrow
+    // the engine, so a future interactive mode can query mid-ingest.
+    let answers = engine
+        .query_handle()
+        .run(&EngineQuery::new().with_top_k(cfg.top));
+    let mut report = answers.top_k.unwrap_or_default();
     report.retain(|&(_, est)| est >= cfg.threshold);
     let stats = engine.stats();
     writeln!(
@@ -583,7 +591,10 @@ pub fn run_restore(cfg: RestoreCliConfig, out: &mut dyn Write) -> Result<(), Str
     for (epoch, reason) in &report.skipped {
         writeln!(out, "skipped      : epoch {epoch} — {reason}").map_err(|e| e.to_string())?;
     }
-    let mut top = engine.snapshot_top_k(cfg.top);
+    let mut top = engine
+        .run_query(&EngineQuery::new().with_top_k(cfg.top))
+        .top_k
+        .unwrap_or_default();
     top.retain(|&(_, est)| est >= cfg.threshold);
     for (flow, estimate) in top {
         writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
@@ -602,8 +613,9 @@ pub fn run_morphlog(
     out: &mut dyn Write,
 ) -> Result<(), String> {
     let collector = MorphCollector::shared();
-    let mut est = AlgoSpec::new(Algo::Smb, cfg.memory_bits)
-        .with_n_max(cfg.n_max)
+    let mut est = AlgoSpec::new(Algo::Smb)
+        .memory_bits(cfg.memory_bits)
+        .n_max(cfg.n_max)
         .build_observed(Some(ObserverHandle::new(collector.clone())))
         .map_err(|e| e.to_string())?;
     let mut items = 0u64;

@@ -43,13 +43,32 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use smb_core::{CardinalityEstimator, Error};
+use smb_core::Error;
 use smb_devtools::{Json, Snapshot};
-use smb_factory::AlgoSpec;
+use smb_factory::{AlgoSpec, DynEstimator};
 use smb_hash::crc32::crc32;
+use smb_sketch::{FlowCell, FlowStore as _};
 use smb_telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::engine::ShardTable;
+
+/// Rebuild one flow's cell from its checkpointed state. Tier-tagged
+/// states become unmaterialized small/array cells; anything else goes
+/// through [`smb_factory::restore_estimator`] into a full cell — which
+/// also covers pre-tier checkpoints, where every state was a bare
+/// estimator snapshot.
+pub(crate) fn restore_cell(
+    spec: AlgoSpec,
+    state: &Json,
+) -> smb_core::Result<FlowCell<DynEstimator>> {
+    match FlowCell::<DynEstimator>::from_tier_json(state) {
+        Ok(Some(cell)) => Ok(cell),
+        Ok(None) => Ok(FlowCell::from_estimator(smb_factory::restore_estimator(
+            spec, state,
+        )?)),
+        Err(e) => Err(Error::invalid("cell", e.to_string())),
+    }
+}
 
 /// File name of the per-epoch commit record.
 const MANIFEST: &str = "MANIFEST.json";
@@ -255,11 +274,14 @@ fn sync_dir(path: &Path) {
 
 /// Serialize one shard's flow table: `[flow, state]` pairs sorted by
 /// flow key, so a given table always produces identical bytes (and
-/// therefore an identical CRC).
+/// therefore an identical CRC). Each cell serializes its own tier —
+/// unmaterialized cells as a `{"tier", "hashes"}` wrapper, full cells
+/// as the estimator's bare state (byte-identical to pre-tier
+/// checkpoints, so old epochs keep restoring).
 fn shard_to_json(shard: usize, table: &ShardTable) -> smb_core::Result<Json> {
     let mut flows: Vec<(u64, Json)> = Vec::with_capacity(table.len());
-    for (flow, est) in table.iter() {
-        let state = est.snapshot_state().ok_or_else(|| {
+    for (flow, state) in table.snapshot_cells() {
+        let state = state.ok_or_else(|| {
             Error::invalid(
                 "snapshot",
                 format!("estimator for flow {flow} does not support snapshots"),

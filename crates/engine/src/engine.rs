@@ -37,7 +37,7 @@ use std::time::Instant;
 use smb_core::CardinalityEstimator;
 use smb_factory::{AlgoSpec, DynEstimator};
 use smb_hash::{mix, HashScheme, ItemHash};
-use smb_sketch::FlowTable;
+use smb_sketch::{FlowStore, FlowTable, TierStats};
 use smb_telemetry::{MetricsObserver, Registry, RegistrySnapshot};
 
 use crate::channel::{bounded, Sender, TrySendError};
@@ -185,12 +185,6 @@ pub struct GroupScratch {
     run: Vec<ItemHash>,
 }
 
-/// Runs shorter than this record item-by-item straight off the batch
-/// slice instead of being copied into scratch for `record_hashes`: the
-/// batched prefilter's per-call setup needs roughly this many items to
-/// amortise, so for short runs the copy would buy nothing.
-const SHORT_RUN: usize = 32;
-
 /// Decide whether grouping an interleaved batch pays off: grouping
 /// buys long `record_hashes` runs when few distinct flows share the
 /// batch, but the `(flow, position)` sort is pure overhead when nearly
@@ -218,14 +212,17 @@ fn few_flows_dominate(batch: &[(u64, ItemHash)]) -> bool {
     distinct <= SAMPLE / 2
 }
 
-/// Record one batch of `(flow, hash)` pairs into `table`, resolving
-/// each distinct flow's estimator once per run of same-flow items
+/// Record one batch of `(flow, hash)` pairs into any [`FlowStore`],
+/// resolving each distinct flow once per run of same-flow items
 /// instead of once per item.
 ///
 /// Per-flow arrival order is preserved exactly, so the resulting
-/// estimator states are bit-identical to recording the batch one item
-/// at a time. Two regimes, picked per batch by one cheap counting
-/// scan:
+/// per-flow states are bit-identical to recording the batch one item
+/// at a time — the store's tiering (and each estimator's batched
+/// path) already guarantees batch/item equivalence, and this function
+/// only changes *which* items are presented together, never their
+/// per-flow order. Two regimes, picked per batch by one cheap
+/// counting scan:
 ///
 /// * **run slicing** — the batch is cut into maximal same-flow runs in
 ///   arrival order and each run feeds one `record_hashes` call. This
@@ -238,14 +235,11 @@ fn few_flows_dominate(batch: &[(u64, ItemHash)]) -> bool {
 ///   flow's items in arrival order. Skipped when most items belong to
 ///   different flows — the sort could never amortise there, and run
 ///   slicing already handles that shape at per-item cost.
-pub fn record_batch_grouped<E, F>(
-    table: &mut FlowTable<E, F>,
+pub fn record_batch_grouped<S: FlowStore>(
+    store: &mut S,
     batch: &[(u64, ItemHash)],
     scratch: &mut GroupScratch,
-) where
-    E: CardinalityEstimator,
-    F: Fn(u64) -> E,
-{
+) {
     if batch.is_empty() {
         return;
     }
@@ -267,19 +261,12 @@ pub fn record_batch_grouped<E, F>(
             while j < batch.len() && batch[j].0 == flow {
                 j += 1;
             }
-            // One table lookup per run either way; short runs skip the
-            // scratch copy (the batched prefilter only pays for itself
-            // on longer slices — see `Smb::record_hashes`).
-            let est = table.estimator_mut(flow);
-            if j - i < SHORT_RUN {
-                for &(_, h) in &batch[i..j] {
-                    est.record_hash(h);
-                }
-            } else {
-                scratch.run.clear();
-                scratch.run.extend(batch[i..j].iter().map(|&(_, h)| h));
-                est.record_hashes(&scratch.run);
-            }
+            // One store resolution per run; the store (and, once
+            // materialized, the estimator's own `record_hashes`)
+            // decides per-item vs batched recording for the slice.
+            scratch.run.clear();
+            scratch.run.extend(batch[i..j].iter().map(|&(_, h)| h));
+            store.record_hashes(flow, &scratch.run);
             i = j;
         }
         return;
@@ -300,19 +287,188 @@ pub fn record_batch_grouped<E, F>(
         while j < order.len() && order[j].0 == flow {
             j += 1;
         }
-        let est = table.estimator_mut(flow);
-        if j - i < SHORT_RUN {
-            for &(_, pos) in &order[i..j] {
-                est.record_hash(batch[pos as usize].1);
-            }
-        } else {
-            scratch.run.clear();
-            scratch
-                .run
-                .extend(order[i..j].iter().map(|&(_, pos)| batch[pos as usize].1));
-            est.record_hashes(&scratch.run);
-        }
+        scratch.run.clear();
+        scratch
+            .run
+            .extend(order[i..j].iter().map(|&(_, pos)| batch[pos as usize].1));
+        store.record_hashes(flow, &scratch.run);
         i = j;
+    }
+}
+
+/// The pinned cross-shard ordering for estimate lists: estimate
+/// descending, flow key ascending as the tie-break.
+fn by_estimate_desc(a: &(u64, f64), b: &(u64, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .expect("estimates are finite")
+        .then(a.0.cmp(&b.0))
+}
+
+/// Keep the `k` largest entries of `all`, sorted by
+/// [`by_estimate_desc`]. Partitions first so the O(n log n) sort only
+/// ever runs over k entries, not every flow.
+fn top_k_in_place(all: &mut Vec<(u64, f64)>, k: usize) {
+    if k > 0 && k < all.len() {
+        all.select_nth_unstable_by(k - 1, by_estimate_desc);
+        all.truncate(k);
+    }
+    all.sort_unstable_by(by_estimate_desc);
+    all.truncate(k);
+}
+
+/// One multi-facet read against the engine's shard tables. Build with
+/// the `with_*` setters and run through [`QueryHandle::run`] (or the
+/// convenience [`ShardedFlowEngine::run_query`]); every requested
+/// facet is answered from a single pass that locks each shard exactly
+/// once, so one query costs one sweep no matter how many facets it
+/// asks for. This is the one aggregate query surface — it subsumes
+/// the former `snapshot_top_k` and the per-table `flows_over`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineQuery {
+    /// Estimate this flow's cardinality.
+    pub estimate: Option<u64>,
+    /// The `k` flows with the largest estimates, in pinned
+    /// (estimate desc, flow asc) order.
+    pub top_k: Option<usize>,
+    /// Every flow whose estimate is at least this threshold, in pinned
+    /// (estimate desc, flow asc) order.
+    pub flows_over: Option<f64>,
+    /// Count the flows tracked across all shards.
+    pub flow_count: bool,
+    /// Sum resident per-flow bytes (slot arrays plus cell heap state)
+    /// across all shards.
+    pub memory_bytes: bool,
+}
+
+impl EngineQuery {
+    /// An empty query; add facets with the `with_*` setters. Running
+    /// it still reports [`QueryReport::tier_stats`], which every query
+    /// carries for free.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask for `flow`'s cardinality estimate.
+    pub fn with_estimate(mut self, flow: u64) -> Self {
+        self.estimate = Some(flow);
+        self
+    }
+
+    /// Ask for the `k` largest-estimate flows.
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Ask for every flow whose estimate is at least `threshold`.
+    pub fn with_flows_over(mut self, threshold: f64) -> Self {
+        self.flows_over = Some(threshold);
+        self
+    }
+
+    /// Ask for the engine-wide flow count.
+    pub fn with_flow_count(mut self) -> Self {
+        self.flow_count = true;
+        self
+    }
+
+    /// Ask for the engine-wide resident per-flow bytes.
+    pub fn with_memory_bytes(mut self) -> Self {
+        self.memory_bytes = true;
+        self
+    }
+}
+
+/// What an [`EngineQuery`] found. Each field is `Some`/non-default
+/// only if the corresponding facet was requested; `tier_stats` is
+/// always filled (reading the incremental counters is free).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryReport {
+    /// The requested flow's estimate; `None` if the facet was not
+    /// requested **or** the flow was never seen.
+    pub estimate: Option<f64>,
+    /// The top-k flows, if requested.
+    pub top_k: Option<Vec<(u64, f64)>>,
+    /// The flows over the threshold, if requested.
+    pub flows_over: Option<Vec<(u64, f64)>>,
+    /// Engine-wide flow count, if requested.
+    pub flow_count: Option<usize>,
+    /// Engine-wide resident bytes, if requested.
+    pub memory_bytes: Option<usize>,
+    /// Tier occupancy and lifetime promotion counters summed across
+    /// shards, as of this query's sweep.
+    pub tier_stats: TierStats,
+}
+
+/// A cheap, cloneable read handle over the engine's shard tables.
+///
+/// Queries run against the shared tables directly (each shard locked
+/// briefly, one at a time) **without borrowing the engine**, so a
+/// monitoring thread can hold a handle and query concurrently while
+/// the owning thread keeps calling `&mut self` ingest methods — the
+/// read-while-ingest pattern the old engine-borrowing accessors could
+/// not express. The handle stays valid after the engine is dropped;
+/// it then reads the tables' final state.
+#[derive(Clone)]
+pub struct QueryHandle {
+    shards: Vec<Arc<Mutex<ShardTable>>>,
+}
+
+impl QueryHandle {
+    /// Run `query`, locking each shard exactly once. Results reflect
+    /// batches the workers have already processed; flush the engine
+    /// first for a read of everything ingested.
+    pub fn run(&self, query: &EngineQuery) -> QueryReport {
+        let mut report = QueryReport::default();
+        let estimate_shard = query
+            .estimate
+            .map(|flow| shard_of_key(flow, self.shards.len()));
+        let needs_estimates = query.top_k.is_some() || query.flows_over.is_some();
+        let mut all: Vec<(u64, f64)> = Vec::new();
+        for (i, table) in self.shards.iter().enumerate() {
+            let table = table.lock().expect("shard table lock");
+            if estimate_shard == Some(i) {
+                report.estimate =
+                    table.estimate(query.estimate.expect("estimate facet requested"));
+            }
+            if needs_estimates {
+                all.extend(table.estimates());
+            }
+            if query.flow_count {
+                *report.flow_count.get_or_insert(0) += table.len();
+            }
+            if query.memory_bytes {
+                *report.memory_bytes.get_or_insert(0) += table.memory_bytes();
+            }
+            let t = table.tier_stats();
+            report.tier_stats.small += t.small;
+            report.tier_stats.array += t.array;
+            report.tier_stats.full += t.full;
+            report.tier_stats.promotions_to_array += t.promotions_to_array;
+            report.tier_stats.promotions_to_full += t.promotions_to_full;
+        }
+        if let Some(threshold) = query.flows_over {
+            let mut over: Vec<(u64, f64)> = all
+                .iter()
+                .copied()
+                .filter(|&(_, estimate)| estimate >= threshold)
+                .collect();
+            over.sort_unstable_by(by_estimate_desc);
+            report.flows_over = Some(over);
+        }
+        if let Some(k) = query.top_k {
+            top_k_in_place(&mut all, k);
+            report.top_k = Some(all);
+        }
+        report
+    }
+}
+
+impl std::fmt::Debug for QueryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle")
+            .field("shards", &self.shards.len())
+            .finish()
     }
 }
 
@@ -322,7 +478,7 @@ pub fn record_batch_grouped<E, F>(
 /// use smb_engine::{EngineConfig, ShardedFlowEngine};
 /// use smb_factory::{Algo, AlgoSpec};
 ///
-/// let spec = AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(7);
+/// let spec = AlgoSpec::new(Algo::Smb).memory_bits(2048).n_max(1e5).seed(7);
 /// let mut engine = ShardedFlowEngine::new(EngineConfig::new(spec).with_shards(2)).unwrap();
 /// for i in 0..10_000u32 {
 ///     engine.ingest(i as u64 % 4, &i.to_le_bytes());
@@ -503,8 +659,13 @@ impl ShardedFlowEngine {
             let (tx, rx) = bounded::<Batch>(config.queue_batches);
             let metrics = Arc::new(ShardMetrics::register(&registry, shard));
             let shard_factory = Arc::clone(&factory);
-            let mut shard_table: ShardTable =
-                FlowTable::with_factory(Box::new(move |flow| (shard_factory)(flow)));
+            // Tiered tables: tiny flows stay as inline hash cells and
+            // only materialize a spec-built estimator once they prove
+            // they need one. Estimates are bit-identical either way.
+            let mut shard_table: ShardTable = FlowTable::with_factory_tiered(
+                scheme,
+                Box::new(move |flow| (shard_factory)(flow)),
+            );
             if config.expected_flows > 0 {
                 // Flows partition ~evenly across shards; the extra 1/8
                 // absorbs hash-placement skew so the common case still
@@ -519,12 +680,15 @@ impl ShardedFlowEngine {
                 .name("smb-engine-shard".into())
                 .spawn(move || {
                     let mut scratch = GroupScratch::default();
+                    let mut last_tiers = TierStats::default();
                     while let Some(batch) = rx.recv() {
                         let start = Instant::now();
                         let mut table = worker_table.lock().expect("shard table lock");
-                        record_batch_grouped(&mut table, &batch, &mut scratch);
+                        record_batch_grouped(&mut *table, &batch, &mut scratch);
                         let flows = table.len() as i64;
+                        let tiers = table.tier_stats();
                         drop(table);
+                        worker_metrics.sync_tiers(&mut last_tiers, tiers);
                         worker_metrics.record_latency.record(
                             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
                         );
@@ -723,27 +887,32 @@ impl ShardedFlowEngine {
             .estimate(flow)
     }
 
-    /// The `k` flows with the largest estimates, descending — the
-    /// engine-wide version of [`FlowTable::flows_over`].
+    /// A cloneable, engine-independent read handle for running
+    /// [`EngineQuery`]s — hand it to monitoring threads so they can
+    /// query while this thread keeps ingesting.
+    pub fn query_handle(&self) -> QueryHandle {
+        QueryHandle {
+            shards: self.shards.iter().map(|s| Arc::clone(&s.table)).collect(),
+        }
+    }
+
+    /// Run one multi-facet [`EngineQuery`] against the current tables
+    /// (one brief lock per shard). Convenience for
+    /// `self.query_handle().run(query)`.
+    pub fn run_query(&self, query: &EngineQuery) -> QueryReport {
+        self.query_handle().run(query)
+    }
+
+    /// The `k` flows with the largest estimates, descending.
+    #[deprecated(
+        note = "run an EngineQuery instead: \
+                engine.run_query(&EngineQuery::new().with_top_k(k))"
+    )]
+    #[doc(hidden)]
     pub fn snapshot_top_k(&self, k: usize) -> Vec<(u64, f64)> {
-        let mut all: Vec<(u64, f64)> = Vec::new();
-        for s in &self.shards {
-            all.extend(s.table.lock().expect("shard table lock").estimates());
-        }
-        let by_estimate_desc = |a: &(u64, f64), b: &(u64, f64)| {
-            b.1.partial_cmp(&a.1)
-                .expect("estimates are finite")
-                .then(a.0.cmp(&b.0))
-        };
-        // Partition the top k to the front first, so the O(n log n)
-        // sort only ever runs over k entries, not every flow.
-        if k > 0 && k < all.len() {
-            all.select_nth_unstable_by(k - 1, by_estimate_desc);
-            all.truncate(k);
-        }
-        all.sort_unstable_by(by_estimate_desc);
-        all.truncate(k);
-        all
+        self.run_query(&EngineQuery::new().with_top_k(k))
+            .top_k
+            .expect("top_k facet was requested")
     }
 
     /// Every `(flow, estimate)` pair across all shards, in unspecified
@@ -787,17 +956,26 @@ impl ShardedFlowEngine {
     /// A point-in-time copy of all engine metrics, ready for
     /// [`smb_telemetry::ExportFormat`] rendering.
     pub fn metrics_snapshot(&self) -> RegistrySnapshot {
-        // Refresh the flow gauges so the export matches reality even
-        // if no batch has landed since the last table change.
+        // Refresh the flow and tier gauges so the export matches
+        // reality even if no batch has landed since the last table
+        // change. (Promotion counters stay worker-owned: they advance
+        // by per-batch deltas, so touching them here would double
+        // count.)
         for s in &self.shards {
-            let flows = s.table.lock().expect("shard table lock").len() as i64;
+            let table = s.table.lock().expect("shard table lock");
+            let flows = table.len() as i64;
+            let tiers = table.tier_stats();
+            drop(table);
             s.metrics.flows.set(flows);
+            s.metrics.set_tier_gauges(tiers);
         }
         self.registry.snapshot()
     }
 
-    /// Total memory held by per-flow estimators across all shards, in
-    /// bits.
+    /// Total memory held by per-flow estimator state across all
+    /// shards, in bits (the paper's logical accounting: estimator
+    /// `memory_bits` once materialized, 64 bits per stored hash for
+    /// tiered cells).
     pub fn total_memory_bits(&self) -> usize {
         self.shards
             .iter()
@@ -808,6 +986,30 @@ impl ShardedFlowEngine {
                     .total_memory_bits()
             })
             .sum()
+    }
+
+    /// Total resident bytes of per-flow storage across all shards:
+    /// slot arrays plus every cell's heap state.
+    pub fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.table.lock().expect("shard table lock").memory_bytes())
+            .sum()
+    }
+
+    /// Tier occupancy and lifetime promotion counters summed across
+    /// all shards.
+    pub fn tier_stats(&self) -> TierStats {
+        let mut total = TierStats::default();
+        for s in &self.shards {
+            let t = s.table.lock().expect("shard table lock").tier_stats();
+            total.small += t.small;
+            total.array += t.array;
+            total.full += t.full;
+            total.promotions_to_array += t.promotions_to_array;
+            total.promotions_to_full += t.promotions_to_full;
+        }
+        total
     }
 
     /// Start the background checkpointer: one durable epoch per
@@ -931,18 +1133,22 @@ impl ShardedFlowEngine {
         let engine = Self::new(config)?;
         // Reattach the engine's metrics observer to every restored
         // estimator, so morph/saturation events keep flowing after
-        // recovery exactly as they did before the crash.
+        // recovery exactly as they did before the crash. Tiered cells
+        // come back unmaterialized and pick the observer up from the
+        // engine's factory if they ever promote.
         let observer = MetricsObserver::register(&engine.registry, &[]).into_handle();
         let mut flows = 0u64;
         for (flow, state) in &loaded.flows {
-            let mut estimator = smb_factory::restore_estimator(config.spec, state)?;
-            estimator.set_observer(Some(observer.clone()));
+            let mut cell = crate::durability::restore_cell(config.spec, state)?;
+            if let Some(estimator) = cell.estimator_mut() {
+                estimator.set_observer(Some(observer.clone()));
+            }
             let shard = engine.shard_of(*flow);
             engine.shards[shard]
                 .table
                 .lock()
                 .expect("shard table lock")
-                .insert(*flow, estimator);
+                .insert_cell(*flow, cell);
             flows += 1;
         }
         report.flows = flows;
@@ -1013,7 +1219,7 @@ impl ShardedFlowEngine {
 /// use smb_engine::{EngineConfig, ShardedFlowEngine};
 /// use smb_factory::{Algo, AlgoSpec};
 ///
-/// let spec = AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(7);
+/// let spec = AlgoSpec::new(Algo::Smb).memory_bits(2048).n_max(1e5).seed(7);
 /// let mut engine = ShardedFlowEngine::new(EngineConfig::new(spec).with_shards(2)).unwrap();
 /// let producer = engine.producer_handle();
 /// std::thread::scope(|s| {
@@ -1194,7 +1400,7 @@ mod tests {
     use smb_factory::Algo;
 
     fn spec() -> AlgoSpec {
-        AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(3)
+        AlgoSpec::new(Algo::Smb).memory_bits(2048).n_max(1e5).seed(3)
     }
 
     #[test]
@@ -1202,7 +1408,7 @@ mod tests {
         assert!(ShardedFlowEngine::new(EngineConfig::new(spec()).with_shards(0)).is_err());
         assert!(ShardedFlowEngine::new(EngineConfig::new(spec()).with_batch(0)).is_err());
         assert!(ShardedFlowEngine::new(EngineConfig::new(spec()).with_queue_batches(0)).is_err());
-        let bad = AlgoSpec::new(Algo::Smb, 0);
+        let bad = AlgoSpec::new(Algo::Smb).memory_bits(0);
         assert!(ShardedFlowEngine::new(EngineConfig::new(bad)).is_err());
     }
 
@@ -1231,7 +1437,10 @@ mod tests {
         assert!((e7 - 5000.0).abs() / 5000.0 < 0.3, "{e7}");
         assert!((e8 - 50.0).abs() / 50.0 < 0.5, "{e8}");
         assert_eq!(engine.query(9), None);
-        let top = engine.snapshot_top_k(1);
+        let top = engine
+            .run_query(&EngineQuery::new().with_top_k(1))
+            .top_k
+            .unwrap();
         assert_eq!(top[0].0, 7);
         let stats = engine.stats();
         assert_eq!(stats.total_enqueued(), 10_000);
@@ -1524,7 +1733,7 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_top_k_is_descending_and_complete() {
+    fn query_top_k_is_descending_and_complete() {
         let mut engine = ShardedFlowEngine::new(
             EngineConfig::new(spec()).with_shards(3).with_batch(16),
         )
@@ -1536,7 +1745,13 @@ mod tests {
             }
         }
         engine.flush();
-        let top = engine.snapshot_top_k(10);
+        let top_k = |k| {
+            engine
+                .run_query(&EngineQuery::new().with_top_k(k))
+                .top_k
+                .unwrap()
+        };
+        let top = top_k(10);
         assert_eq!(top.len(), 10);
         for pair in top.windows(2) {
             assert!(
@@ -1546,10 +1761,152 @@ mod tests {
             );
         }
         // k beyond the flow count returns everything, still ordered.
-        let all = engine.snapshot_top_k(1000);
+        let all = top_k(1000);
         assert_eq!(all.len(), 30);
         assert_eq!(&all[..10], &top[..]);
-        assert!(engine.snapshot_top_k(0).is_empty());
+        assert!(top_k(0).is_empty());
+        // The deprecated shim answers identically, one release.
+        #[allow(deprecated)]
+        let shim = engine.snapshot_top_k(10);
+        assert_eq!(shim, top);
+    }
+
+    #[test]
+    fn multi_facet_query_answers_everything_in_one_sweep() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(2).with_batch(16),
+        )
+        .unwrap();
+        for flow in 0..20u64 {
+            for i in 0..=flow * 10 {
+                engine.ingest(flow, &(flow * 100_000 + i).to_le_bytes());
+            }
+        }
+        engine.flush();
+        let report = engine.run_query(
+            &EngineQuery::new()
+                .with_estimate(19)
+                .with_top_k(5)
+                .with_flows_over(50.0)
+                .with_flow_count()
+                .with_memory_bytes(),
+        );
+        assert_eq!(report.estimate, engine.query(19));
+        assert!(report.estimate.is_some());
+        let top = report.top_k.unwrap();
+        assert_eq!(top.len(), 5);
+        assert_eq!(top[0].0, 19, "largest flow leads: {top:?}");
+        let over = report.flows_over.unwrap();
+        assert!(!over.is_empty() && over.len() < 20, "{over:?}");
+        for pair in over.windows(2) {
+            assert!(pair[0].1 >= pair[1].1, "not descending: {over:?}");
+        }
+        for &(_, estimate) in &over {
+            assert!(estimate >= 50.0);
+        }
+        assert_eq!(report.flow_count, Some(20));
+        assert_eq!(report.memory_bytes, Some(engine.memory_bytes()));
+        assert_eq!(report.tier_stats.flows(), 20);
+        // An empty query still carries the tier census and nothing else.
+        let empty = engine.run_query(&EngineQuery::new());
+        assert_eq!(empty.estimate, None);
+        assert_eq!(empty.top_k, None);
+        assert_eq!(empty.flows_over, None);
+        assert_eq!(empty.flow_count, None);
+        assert_eq!(empty.memory_bytes, None);
+        assert_eq!(empty.tier_stats, report.tier_stats);
+    }
+
+    #[test]
+    fn query_handle_reads_while_the_owner_ingests() {
+        // The handle must answer queries without borrowing the engine:
+        // a monitor thread queries concurrently while this thread
+        // keeps calling `&mut self` ingest methods.
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(2).with_batch(8),
+        )
+        .unwrap();
+        let handle = engine.query_handle();
+        let monitor = handle.clone();
+        std::thread::scope(|s| {
+            let reader = s.spawn(move || {
+                let mut last_flows = 0;
+                for _ in 0..200 {
+                    let report = monitor.run(
+                        &EngineQuery::new().with_flow_count().with_top_k(3),
+                    );
+                    let flows = report.flow_count.unwrap();
+                    assert!(flows >= last_flows, "flow count went backwards");
+                    last_flows = flows;
+                }
+                last_flows
+            });
+            for i in 0..20_000u32 {
+                engine.ingest(i as u64 % 64, &i.to_le_bytes());
+            }
+            engine.flush();
+            let seen = reader.join().unwrap();
+            assert!(seen <= 64);
+        });
+        // After the flush the handle reads the complete state.
+        let report = handle.run(&EngineQuery::new().with_flow_count());
+        assert_eq!(report.flow_count, Some(64));
+    }
+
+    #[test]
+    fn tiered_shards_census_and_promote_exactly() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(4).with_batch(32),
+        )
+        .unwrap();
+        // 60 singleton flows, 20 mid flows (8 distinct each: array
+        // tier), 10 heavy flows (200 distinct each: materialized).
+        for flow in 0..60u64 {
+            engine.ingest(flow, b"lonely");
+        }
+        for flow in 100..120u64 {
+            for i in 0..8u64 {
+                engine.ingest(flow, &(flow * 1000 + i).to_le_bytes());
+            }
+        }
+        for flow in 200..210u64 {
+            for i in 0..200u64 {
+                engine.ingest(flow, &(flow * 1000 + i).to_le_bytes());
+            }
+        }
+        engine.flush();
+        let tiers = engine.tier_stats();
+        assert_eq!(tiers.small, 60);
+        assert_eq!(tiers.array, 20);
+        assert_eq!(tiers.full, 10);
+        assert_eq!(tiers.promotions_to_array, 30);
+        assert_eq!(tiers.promotions_to_full, 10);
+        // The per-shard telemetry mirrors the same census.
+        let snap = engine.metrics_snapshot();
+        let gauge_total = |tier: &str| -> i64 {
+            (0..4)
+                .map(|i| {
+                    let shard = i.to_string();
+                    snap.get(
+                        "engine_tier_flows",
+                        &[("shard", shard.as_str()), ("tier", tier)],
+                    )
+                    .and_then(|v| v.as_gauge())
+                    .unwrap_or(0)
+                })
+                .sum()
+        };
+        assert_eq!(gauge_total("small"), 60);
+        assert_eq!(gauge_total("array"), 20);
+        assert_eq!(gauge_total("full"), 10);
+        assert_eq!(snap.counter_total("engine_tier_promotions_total"), 40);
+        // Querying a tiered flow is bit-identical to an eager table.
+        let sp = spec();
+        let mut reference = FlowTable::new(move |_| sp.build().unwrap());
+        for i in 0..8u64 {
+            reference.record_hash(100, engine.scheme().item_hash(&(100_000 + i).to_le_bytes()));
+        }
+        assert_eq!(engine.query(100), reference.estimate(100));
     }
 
     #[test]

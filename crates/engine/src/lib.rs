@@ -14,6 +14,12 @@
 //!   ([`ShardedFlowEngine::producer_handle`]): N threads feed the
 //!   shard queues concurrently, each with its own batches and its own
 //!   `producer="<id>"`-labelled telemetry series;
+//! * [`EngineQuery`] / [`QueryReport`] / [`QueryHandle`] — the one
+//!   aggregate query surface: multi-facet reads (point estimate,
+//!   top-k, threshold scan, flow count, resident bytes, tier census)
+//!   in a single per-shard sweep, runnable from a cloneable handle
+//!   ([`ShardedFlowEngine::query_handle`]) that does not borrow the
+//!   engine — so monitoring threads read while ingest continues;
 //! * [`EngineStats`] / [`ShardStats`] — the workspace's first
 //!   observability surface: per-shard item counts, batch occupancy,
 //!   dropped items and queue-full events;
@@ -45,7 +51,7 @@ mod stats;
 
 pub use durability::{CheckpointConfig, RestoreReport};
 pub use engine::{
-    record_batch_grouped, BackpressurePolicy, EngineConfig, EngineProducer, EstimatorFactory,
-    GroupScratch, ShardTable, ShardedFlowEngine,
+    record_batch_grouped, BackpressurePolicy, EngineConfig, EngineProducer, EngineQuery,
+    EstimatorFactory, GroupScratch, QueryHandle, QueryReport, ShardTable, ShardedFlowEngine,
 };
 pub use stats::{EngineStats, ProducerStats, ShardStats};

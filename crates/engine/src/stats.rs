@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use smb_sketch::TierStats;
 use smb_telemetry::{Counter, Gauge, Histogram, Registry};
 
 /// One shard's metric cells, resolved from the engine registry at
@@ -45,6 +46,21 @@ pub(crate) struct ShardMetrics {
     /// Nanoseconds the worker spent recording each batch into its flow
     /// table (the ingest kernel: lock, group, record).
     pub record_latency: Arc<Histogram>,
+    /// Flows currently in the inline small tier
+    /// (`engine_tier_flows{tier="small"}`).
+    pub tier_small: Arc<Gauge>,
+    /// Flows currently in the heap-array tier
+    /// (`engine_tier_flows{tier="array"}`).
+    pub tier_array: Arc<Gauge>,
+    /// Flows with a materialized estimator
+    /// (`engine_tier_flows{tier="full"}`).
+    pub tier_full: Arc<Gauge>,
+    /// Lifetime cells promoted out of the small tier
+    /// (`engine_tier_promotions_total{tier="array"}`).
+    pub promotions_to_array: Arc<Counter>,
+    /// Lifetime cells that materialized an estimator
+    /// (`engine_tier_promotions_total{tier="full"}`).
+    pub promotions_to_full: Arc<Counter>,
 }
 
 impl ShardMetrics {
@@ -109,7 +125,53 @@ impl ShardMetrics {
                 "Nanoseconds the worker spent recording each batch",
                 labels,
             ),
+            tier_small: registry.gauge_with(
+                "engine_tier_flows",
+                "Flows resident per storage tier",
+                &[("shard", &index), ("tier", "small")],
+            ),
+            tier_array: registry.gauge_with(
+                "engine_tier_flows",
+                "Flows resident per storage tier",
+                &[("shard", &index), ("tier", "array")],
+            ),
+            tier_full: registry.gauge_with(
+                "engine_tier_flows",
+                "Flows resident per storage tier",
+                &[("shard", &index), ("tier", "full")],
+            ),
+            promotions_to_array: registry.counter_with(
+                "engine_tier_promotions_total",
+                "Lifetime tier promotions, by destination tier",
+                &[("shard", &index), ("tier", "array")],
+            ),
+            promotions_to_full: registry.counter_with(
+                "engine_tier_promotions_total",
+                "Lifetime tier promotions, by destination tier",
+                &[("shard", &index), ("tier", "full")],
+            ),
         }
+    }
+
+    /// Mirror a table's tier occupancy into the gauges.
+    pub(crate) fn set_tier_gauges(&self, tiers: TierStats) {
+        self.tier_small.set(tiers.small as i64);
+        self.tier_array.set(tiers.array as i64);
+        self.tier_full.set(tiers.full as i64);
+    }
+
+    /// Worker-side per-batch sync: set the occupancy gauges and
+    /// advance the promotion counters by the delta since the last
+    /// sync. `last` is the worker's private baseline — promotion
+    /// counters must be advanced from exactly one place per shard or
+    /// deltas would double count.
+    pub(crate) fn sync_tiers(&self, last: &mut TierStats, now: TierStats) {
+        self.set_tier_gauges(now);
+        self.promotions_to_array
+            .add(now.promotions_to_array - last.promotions_to_array);
+        self.promotions_to_full
+            .add(now.promotions_to_full - last.promotions_to_full);
+        *last = now;
     }
 
     /// A point-in-time [`ShardStats`] view. `flows` is passed in from

@@ -14,7 +14,7 @@ use smb_engine::{CheckpointConfig, EngineConfig, ShardedFlowEngine};
 use smb_factory::{Algo, AlgoSpec};
 
 fn spec() -> AlgoSpec {
-    AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(3)
+    AlgoSpec::new(Algo::Smb).memory_bits(2048).n_max(1e5).seed(3)
 }
 
 /// A fresh, empty scratch directory unique to this test and process.
@@ -238,13 +238,118 @@ fn restore_with_rejects_mismatched_spec() {
     ingest_range(&mut original, 5, 0, 5_000);
     original.checkpoint_now(&cfg).expect("checkpoint");
 
-    let other = AlgoSpec::new(Algo::Hll, 2048).with_n_max(1e5).with_seed(3);
+    let other = AlgoSpec::new(Algo::Hll).memory_bits(2048).n_max(1e5).seed(3);
     let err = ShardedFlowEngine::restore_with(EngineConfig::new(other), &dir)
         .expect_err("HLL engine must not restore SMB state");
     assert!(err.to_string().contains("invalid parameter"), "{err}");
 
-    let reseeded = spec().with_seed(99);
+    let reseeded = spec().seed(99);
     assert!(ShardedFlowEngine::restore_with(EngineConfig::new(reseeded), &dir).is_err());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A deliberate tier mix: 60 singleton flows (small tier), 20 flows
+/// of 8 distinct items (array tier), 10 flows of 200 distinct items
+/// (materialized estimators). Mirrors the census test in the engine's
+/// unit suite.
+fn ingest_tier_mix(engine: &mut ShardedFlowEngine) {
+    for f in 0..60u64 {
+        engine.ingest(f, b"lonely");
+    }
+    for f in 60..80u64 {
+        for i in 0..8u32 {
+            engine.ingest(f, &(f as u32 * 1_000 + i).to_le_bytes());
+        }
+    }
+    for f in 80..90u64 {
+        for i in 0..200u32 {
+            engine.ingest(f, &(f as u32 * 1_000 + i).to_le_bytes());
+        }
+    }
+    engine.flush();
+}
+
+fn tier_census(engine: &ShardedFlowEngine) -> (usize, usize, usize) {
+    let t = engine.tier_stats();
+    (t.small, t.array, t.full)
+}
+
+/// Cells checkpoint *at their tier*: small and array flows round-trip
+/// as stored hashes, not prematurely materialized estimators, and the
+/// restored engine keeps promoting exactly like the original.
+#[test]
+fn tiered_cells_round_trip_their_tier_through_checkpoint() {
+    let dir = scratch("tier-roundtrip");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_tier_mix(&mut original);
+    assert_eq!(tier_census(&original), (60, 20, 10));
+    original.checkpoint_now(&cfg).expect("checkpoint");
+    let want = estimate_bits(&original);
+
+    let (restored, report) = ShardedFlowEngine::restore(&dir).expect("restore");
+    assert_eq!(report.flows, 90);
+    assert_eq!(estimate_bits(&restored), want, "restore must be bit-identical");
+    assert_eq!(
+        tier_census(&restored),
+        (60, 20, 10),
+        "restore must land every cell on its checkpointed tier"
+    );
+
+    // The restored engine crosses promotion boundaries exactly like
+    // the original: push a small flow to array, an array flow to full,
+    // and keep feeding a full flow.
+    let mut restored = restored;
+    for target in [&mut original, &mut restored] {
+        for (flow, items) in [(5u64, 4u32), (65, 12), (85, 100)] {
+            for i in 0..items {
+                target.ingest(flow, &(900_000 + flow as u32 * 1_000 + i).to_le_bytes());
+            }
+        }
+        target.flush();
+    }
+    assert_eq!(
+        estimate_bits(&restored),
+        estimate_bits(&original),
+        "post-restore ingest across promotion boundaries must track the original"
+    );
+    assert_eq!(tier_census(&restored), tier_census(&original));
+    let t = restored.tier_stats();
+    assert!(
+        t.promotions_to_array >= 1 && t.promotions_to_full >= 1,
+        "continued ingest must promote restored cells: {t:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A mixed-tier checkpoint restores into a different shard count with
+/// the tier census and every estimate intact.
+#[test]
+fn mixed_tier_checkpoint_repartitions_across_shard_counts() {
+    let dir = scratch("tier-repartition");
+    let cfg = config(&dir);
+    let mut original = engine(2);
+    ingest_tier_mix(&mut original);
+    original.checkpoint_now(&cfg).expect("checkpoint");
+    let want = estimate_bits(&original);
+
+    for shards in [3usize, 1] {
+        let econfig = EngineConfig::new(spec()).with_shards(shards);
+        let (restored, report) =
+            ShardedFlowEngine::restore_with(econfig, &dir).expect("restore");
+        assert_eq!(report.checkpoint_shards, 2);
+        assert_eq!(report.flows, 90);
+        assert_eq!(
+            estimate_bits(&restored),
+            want,
+            "{shards}-shard restore of a 2-shard mixed-tier checkpoint"
+        );
+        assert_eq!(
+            tier_census(&restored),
+            (60, 20, 10),
+            "re-partitioning must not disturb any cell's tier"
+        );
+    }
     let _ = fs::remove_dir_all(&dir);
 }
 

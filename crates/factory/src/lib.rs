@@ -29,7 +29,11 @@
 //! use smb_factory::{Algo, AlgoSpec};
 //! use smb_core::CardinalityEstimator;
 //!
-//! let mut est = AlgoSpec::new(Algo::Smb, 5000).with_seed(7).build().unwrap();
+//! let mut est = AlgoSpec::new(Algo::Smb)
+//!     .memory_bits(5000)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
 //! for i in 0..10_000u32 {
 //!     est.record(&i.to_le_bytes());
 //! }
@@ -172,28 +176,67 @@ pub struct AlgoSpec {
     pub seed: u64,
 }
 
+/// The builder's default memory budget, in bits.
+pub const DEFAULT_MEMORY_BITS: usize = 2048;
+
+/// The builder's default expected maximum stream cardinality.
+pub const DEFAULT_N_MAX: f64 = 1e7;
+
 impl AlgoSpec {
-    /// A spec with the workspace defaults: tuned for streams up to
-    /// `1e7`, seed 0.
-    pub fn new(algo: Algo, memory_bits: usize) -> Self {
+    /// Start a spec for `algo` with the workspace defaults
+    /// ([`DEFAULT_MEMORY_BITS`] bits, tuned for streams up to
+    /// [`DEFAULT_N_MAX`], seed 0) and refine it with the chainable
+    /// setters:
+    ///
+    /// ```
+    /// use smb_factory::{Algo, AlgoSpec};
+    ///
+    /// let spec = AlgoSpec::new(Algo::Smb)
+    ///     .memory_bits(4096)
+    ///     .n_max(1e6)
+    ///     .seed(42);
+    /// assert_eq!(spec.memory_bits, 4096);
+    /// ```
+    pub fn new(algo: Algo) -> Self {
         AlgoSpec {
             algo,
-            memory_bits,
-            n_max: 1e7,
+            memory_bits: DEFAULT_MEMORY_BITS,
+            n_max: DEFAULT_N_MAX,
             seed: 0,
         }
     }
 
-    /// Replace the expected maximum cardinality.
-    pub fn with_n_max(mut self, n_max: f64) -> Self {
+    /// Set the memory budget in bits (the paper's `m`).
+    pub fn memory_bits(mut self, memory_bits: usize) -> Self {
+        self.memory_bits = memory_bits;
+        self
+    }
+
+    /// Set the expected maximum cardinality the parameters are tuned
+    /// for (SMB's threshold search and MRB's `k` rule consume this).
+    pub fn n_max(mut self, n_max: f64) -> Self {
         self.n_max = n_max;
         self
     }
 
-    /// Replace the hash seed.
-    pub fn with_seed(mut self, seed: u64) -> Self {
+    /// Set the hash seed.
+    pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Replace the expected maximum cardinality.
+    #[deprecated(note = "use the n_max(..) builder setter")]
+    #[doc(hidden)]
+    pub fn with_n_max(self, n_max: f64) -> Self {
+        self.n_max(n_max)
+    }
+
+    /// Replace the hash seed.
+    #[deprecated(note = "use the seed(..) builder setter")]
+    #[doc(hidden)]
+    pub fn with_seed(self, seed: u64) -> Self {
+        self.seed(seed)
     }
 
     /// The hash scheme estimators built from this spec record under.
@@ -221,14 +264,14 @@ impl AlgoSpec {
 /// ```
 /// use smb_factory::{build_estimator, Algo, AlgoSpec};
 ///
-/// let spec = AlgoSpec::new(Algo::Smb, 4096).with_n_max(1e5).with_seed(1);
+/// let spec = AlgoSpec::new(Algo::Smb).memory_bits(4096).n_max(1e5).seed(1);
 /// let mut est = build_estimator(spec).unwrap();
 /// for i in 0..5_000u32 {
 ///     est.record(&i.to_le_bytes());
 /// }
 /// let estimate = est.estimate();
 /// assert!((estimate - 5_000.0).abs() / 5_000.0 < 0.2, "{estimate}");
-/// assert!(build_estimator(AlgoSpec::new(Algo::Smb, 1)).is_err());
+/// assert!(build_estimator(AlgoSpec::new(Algo::Smb).memory_bits(1)).is_err());
 /// ```
 ///
 /// # Errors
@@ -296,9 +339,10 @@ mod tests {
     #[test]
     fn all_algos_build_and_record() {
         for algo in ALL_ALGOS {
-            let mut est = AlgoSpec::new(algo, 5000)
-                .with_n_max(1e6)
-                .with_seed(1)
+            let mut est = AlgoSpec::new(algo)
+                .memory_bits(5000)
+                .n_max(1e6)
+                .seed(1)
                 .build()
                 .expect("valid spec");
             for i in 0..1000u32 {
@@ -315,7 +359,7 @@ mod tests {
 
     #[test]
     fn built_estimators_are_send() {
-        let est = AlgoSpec::new(Algo::Smb, 5000).build().unwrap();
+        let est = AlgoSpec::new(Algo::Smb).memory_bits(5000).build().unwrap();
         let handle = std::thread::spawn(move || est.memory_bits());
         assert_eq!(handle.join().unwrap(), 5000);
     }
@@ -332,12 +376,12 @@ mod tests {
 
     #[test]
     fn invalid_budget_is_an_error_not_a_panic() {
-        assert!(AlgoSpec::new(Algo::Smb, 0).build().is_err());
+        assert!(AlgoSpec::new(Algo::Smb).memory_bits(0).build().is_err());
     }
 
     #[test]
     fn spec_scheme_matches_built_estimator() {
-        let spec = AlgoSpec::new(Algo::Smb, 5000).with_seed(99);
+        let spec = AlgoSpec::new(Algo::Smb).memory_bits(5000).seed(99);
         let est = spec.build().unwrap();
         assert_eq!(est.scheme(), spec.scheme());
     }
@@ -346,8 +390,8 @@ mod tests {
     fn observed_smb_reports_morphs() {
         let collector = smb_core::MorphCollector::shared();
         let handle = ObserverHandle::new(collector.clone());
-        let mut est = AlgoSpec::new(Algo::Smb, 2048)
-            .with_n_max(1e5)
+        let mut est = AlgoSpec::new(Algo::Smb)
+            .n_max(1e5)
             .build_observed(Some(handle))
             .expect("valid spec");
         for i in 0..60_000u64 {
@@ -360,9 +404,17 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_with_setters_still_work_one_release() {
+        let old = AlgoSpec::new(Algo::Smb).with_n_max(1e5).with_seed(3);
+        let new = AlgoSpec::new(Algo::Smb).n_max(1e5).seed(3);
+        assert_eq!(old, new);
+    }
+
+    #[test]
     fn build_observed_without_observer_matches_build() {
         for algo in ALL_ALGOS {
-            let spec = AlgoSpec::new(algo, 5000).with_n_max(1e6).with_seed(1);
+            let spec = AlgoSpec::new(algo).memory_bits(5000).n_max(1e6).seed(1);
             let mut a = spec.build().expect("valid spec");
             let mut b = spec.build_observed(None).expect("valid spec");
             for i in 0..2000u32 {

@@ -60,7 +60,7 @@ impl Snapshot for AlgoSpec {
 /// use smb_core::CardinalityEstimator;
 /// use smb_factory::{restore_estimator, Algo, AlgoSpec};
 ///
-/// let spec = AlgoSpec::new(Algo::Smb, 4096).with_seed(7);
+/// let spec = AlgoSpec::new(Algo::Smb).memory_bits(4096).seed(7);
 /// let mut live = spec.build().unwrap();
 /// for i in 0..5_000u32 {
 ///     live.record(&i.to_le_bytes());
@@ -122,7 +122,7 @@ mod tests {
     #[test]
     fn algo_spec_round_trips_through_json_string() {
         for algo in ALL_ALGOS {
-            let spec = AlgoSpec::new(algo, 4096).with_n_max(2.5e6).with_seed(42);
+            let spec = AlgoSpec::new(algo).memory_bits(4096).n_max(2.5e6).seed(42);
             let back = AlgoSpec::from_json_str(&spec.to_json_string()).expect("roundtrip");
             assert_eq!(back, spec);
         }
@@ -131,7 +131,7 @@ mod tests {
     #[test]
     fn every_algo_restores_bit_identical() {
         for algo in ALL_ALGOS {
-            let spec = AlgoSpec::new(algo, 5000).with_n_max(1e6).with_seed(3);
+            let spec = AlgoSpec::new(algo).memory_bits(5000).n_max(1e6).seed(3);
             let mut live = spec.build().expect("valid spec");
             for i in 0..3_000u32 {
                 live.record(&i.to_le_bytes());
@@ -162,23 +162,23 @@ mod tests {
 
     #[test]
     fn mismatched_seed_is_rejected() {
-        let spec = AlgoSpec::new(Algo::Smb, 4096).with_seed(1);
+        let spec = AlgoSpec::new(Algo::Smb).memory_bits(4096).seed(1);
         let state = spec.build().unwrap().snapshot_state().unwrap();
-        let wrong = spec.with_seed(2);
+        let wrong = spec.seed(2);
         assert!(restore_estimator(wrong, &state).is_err());
     }
 
     #[test]
     fn mismatched_memory_is_rejected() {
-        let spec = AlgoSpec::new(Algo::Bitmap, 4096);
+        let spec = AlgoSpec::new(Algo::Bitmap).memory_bits(4096);
         let state = spec.build().unwrap().snapshot_state().unwrap();
-        let wrong = AlgoSpec::new(Algo::Bitmap, 8192);
+        let wrong = AlgoSpec::new(Algo::Bitmap).memory_bits(8192);
         assert!(restore_estimator(wrong, &state).is_err());
     }
 
     #[test]
     fn garbage_state_is_an_error_not_a_panic() {
-        let spec = AlgoSpec::new(Algo::Hll, 4096);
+        let spec = AlgoSpec::new(Algo::Hll).memory_bits(4096);
         assert!(restore_estimator(spec, &Json::Null).is_err());
         assert!(restore_estimator(spec, &Json::Obj(vec![])).is_err());
     }

@@ -1,0 +1,154 @@
+//! The unified per-flow store seam.
+//!
+//! Everything that holds per-flow estimator state — today
+//! [`FlowTable`](crate::FlowTable), tomorrow eviction-aware or
+//! disk-backed variants — exposes one trait: [`FlowStore`]. The engine
+//! shard workers, the grouped batch recorder, checkpoint/restore and
+//! the CLI all consume this seam instead of reaching into a concrete
+//! table's estimators, so stores can tier, evict or reshape their
+//! storage without touching a single consumer.
+
+use smb_core::CardinalityEstimator;
+use smb_hash::ItemHash;
+
+use crate::flow_cell::{FlowCell, Tier};
+
+/// A point-in-time census of a store's tier occupancy plus lifetime
+/// promotion counters. Counts are maintained incrementally by the
+/// store (O(1) per operation), so reading them per batch is free —
+/// the engine mirrors them into per-shard telemetry gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Flows currently in the inline small tier.
+    pub small: usize,
+    /// Flows currently in the heap-array tier.
+    pub array: usize,
+    /// Flows with a materialized estimator.
+    pub full: usize,
+    /// Lifetime count of cells that outgrew the small tier.
+    pub promotions_to_array: u64,
+    /// Lifetime count of cells that materialized a real estimator.
+    pub promotions_to_full: u64,
+}
+
+impl TierStats {
+    /// Total flows across all tiers.
+    pub fn flows(&self) -> usize {
+        self.small + self.array + self.full
+    }
+
+    pub(crate) fn inc(&mut self, tier: Tier) {
+        match tier {
+            Tier::Small => self.small += 1,
+            Tier::Array => self.array += 1,
+            Tier::Full => self.full += 1,
+        }
+    }
+
+    pub(crate) fn dec(&mut self, tier: Tier) {
+        match tier {
+            Tier::Small => self.small -= 1,
+            Tier::Array => self.array -= 1,
+            Tier::Full => self.full -= 1,
+        }
+    }
+
+    /// Account one cell moving `before → after`. `promotions_to_array`
+    /// counts cells leaving the small tier, `promotions_to_full` cells
+    /// materializing — a direct Small→Full jump (forced
+    /// materialization) bumps both, keeping each counter monotone in
+    /// its own meaning.
+    pub(crate) fn transition(&mut self, before: Tier, after: Tier) {
+        if before == after {
+            return;
+        }
+        self.dec(before);
+        self.inc(after);
+        if before == Tier::Small && after >= Tier::Array {
+            self.promotions_to_array += 1;
+        }
+        if before <= Tier::Array && after == Tier::Full {
+            self.promotions_to_full += 1;
+        }
+    }
+
+    /// Zero the occupancy counts (clear/drain); promotion counters are
+    /// lifetime telemetry and survive.
+    pub(crate) fn reset_counts(&mut self) {
+        self.small = 0;
+        self.array = 0;
+        self.full = 0;
+    }
+}
+
+/// The store seam: insert, record, estimate, iterate, drain, snapshot
+/// and account memory for per-flow estimator state, without exposing
+/// how (or whether) each flow's estimator is materialized.
+///
+/// Hashes passed to the record methods **must** come from the scheme
+/// of the estimator the store would build for that flow — the engine
+/// guarantees this by deriving one scheme from its `AlgoSpec` and
+/// hashing once at the producer.
+pub trait FlowStore {
+    /// The estimator type this store materializes for hot flows.
+    type Estimator: CardinalityEstimator;
+
+    /// Pre-size for `n` flows so steady-state ingest never rehashes.
+    fn reserve(&mut self, n: usize);
+
+    /// Record one pre-computed item hash under `flow`.
+    fn record_hash(&mut self, flow: u64, hash: ItemHash);
+
+    /// Record a batch of pre-computed hashes under `flow` — one flow
+    /// resolution for the whole run.
+    fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]);
+
+    /// Place a cell directly (restore path), replacing and returning
+    /// any previous cell for `flow`.
+    fn insert_cell(
+        &mut self,
+        flow: u64,
+        cell: FlowCell<Self::Estimator>,
+    ) -> Option<FlowCell<Self::Estimator>>;
+
+    /// The flow's cardinality estimate; `None` if never seen.
+    /// Bit-identical to an always-materialized store.
+    fn estimate(&self, flow: u64) -> Option<f64>;
+
+    /// Number of flows tracked.
+    fn flow_count(&self) -> usize;
+
+    /// Iterate `(flow, cell)` pairs in unspecified order.
+    fn cells(&self) -> Box<dyn Iterator<Item = (u64, &FlowCell<Self::Estimator>)> + '_>;
+
+    /// Remove and return every `(flow, cell)` pair, leaving the store
+    /// empty but reusable.
+    fn drain_cells(&mut self) -> Vec<(u64, FlowCell<Self::Estimator>)>;
+
+    /// All `(flow, estimate)` pairs in unspecified order.
+    fn estimates_vec(&self) -> Vec<(u64, f64)>;
+
+    /// Flows whose estimate is at least `threshold`, sorted by
+    /// (estimate descending, flow ascending).
+    fn flows_over(&self, threshold: f64) -> Vec<(u64, f64)>;
+
+    /// Resident bytes: slot storage plus every cell's heap state.
+    fn memory_bytes(&self) -> usize;
+
+    /// Logical memory in bits (the paper's accounting): estimator
+    /// `memory_bits` once materialized, 64 bits per stored hash before.
+    fn memory_bits(&self) -> usize;
+
+    /// Tier occupancy and promotion counters.
+    fn tier_stats(&self) -> TierStats;
+
+    /// Drop all flows.
+    fn clear(&mut self);
+
+    /// Serialize every cell: `(flow, state)` pairs, where small/array
+    /// tiers carry a `{"tier", "hashes"}` wrapper and materialized
+    /// cells carry the estimator's own state (`None` when the
+    /// estimator does not support snapshots).
+    #[cfg(feature = "snapshot")]
+    fn snapshot_cells(&self) -> Vec<(u64, Option<smb_devtools::Json>)>;
+}

@@ -7,6 +7,25 @@
 //! hash scheme derived from the table seed so experiments are
 //! reproducible.
 //!
+//! The table has two storage modes:
+//!
+//! * **Eager** ([`FlowTable::new`] / [`FlowTable::with_factory`]) —
+//!   every flow materializes its estimator on first sight, exactly as
+//!   before tiering existed. Factories may derive per-flow schemes;
+//!   internal estimator state is directly observable via [`get`].
+//! * **Tiered** ([`FlowTable::tiered`] /
+//!   [`FlowTable::with_factory_tiered`]) — flows live in a
+//!   [`FlowCell`] that starts as two inline machine words and only
+//!   materializes a real estimator past [`ARRAY_CAP`] distinct items,
+//!   with promotion by exact hash replay so every estimate is
+//!   bit-identical to the eager mode. Tiered tables carry the one
+//!   shared [`HashScheme`] all their estimators use (the engine's
+//!   configuration), which also serves the byte-level [`record`] path.
+//!
+//! [`get`]: FlowTable::get
+//! [`record`]: FlowTable::record
+//! [`ARRAY_CAP`]: crate::flow_cell::ARRAY_CAP
+//!
 //! The table is generic over its factory type `F` (defaulting to a
 //! boxed closure). Notably the factory carries **no `Send` bound**: a
 //! table used on one thread may capture non-`Send` state. A table only
@@ -15,8 +34,10 @@
 //! rather than imposing it on every single-threaded caller.
 
 use smb_core::CardinalityEstimator;
-use smb_hash::ItemHash;
+use smb_hash::{HashScheme, ItemHash};
 
+use crate::flow_cell::{FlowCell, Tier};
+use crate::flow_store::{FlowStore, TierStats};
 use crate::open_table::OpenTable;
 
 /// The default factory representation: a boxed, thread-local closure.
@@ -24,37 +45,74 @@ pub type BoxedFactory<E> = Box<dyn Fn(u64) -> E>;
 
 /// A map from flow key to its own estimator instance.
 ///
-/// Storage is the in-tree open-addressed [`OpenTable`]: flow keys are
-/// already uniform 64-bit hashes, so the record path pays one cheap
-/// integer mix and a linear probe instead of a full SipHash pass per
-/// lookup.
+/// Storage is the in-tree open-addressed [`OpenTable`] over tiered
+/// [`FlowCell`]s: flow keys are already uniform 64-bit hashes, so the
+/// record path pays one cheap integer mix and a linear probe instead
+/// of a full SipHash pass per lookup, and (in tiered mode) tiny flows
+/// pay two inline words instead of a full estimator.
 pub struct FlowTable<E: CardinalityEstimator, F = BoxedFactory<E>> {
-    flows: OpenTable<E>,
+    flows: OpenTable<FlowCell<E>>,
     factory: F,
+    /// `Some` in tiered mode: the one scheme shared by every estimator
+    /// the factory builds, used to hash byte items and to justify
+    /// tiering pre-hashed input.
+    scheme: Option<HashScheme>,
+    stats: TierStats,
 }
 
 impl<E: CardinalityEstimator> FlowTable<E> {
-    /// Create a table whose estimators are built by `factory`
-    /// (receiving the flow key, e.g. to derive per-flow seeds). The
-    /// closure is boxed; use [`FlowTable::with_factory`] to keep a
-    /// concrete factory type (required for a `Send` table).
+    /// Create an **eager** table whose estimators are built by
+    /// `factory` (receiving the flow key, e.g. to derive per-flow
+    /// seeds). Every flow materializes on first sight. The closure is
+    /// boxed; use [`FlowTable::with_factory`] to keep a concrete
+    /// factory type (required for a `Send` table).
     pub fn new(factory: impl Fn(u64) -> E + 'static) -> Self {
         FlowTable {
             flows: OpenTable::new(),
             factory: Box::new(factory),
+            scheme: None,
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Create a **tiered** table: flows start as inline hash cells and
+    /// materialize through `factory` only past the array tier.
+    /// `scheme` must be the scheme of every estimator `factory`
+    /// builds — sharing one scheme across flows is what makes stored
+    /// raw hashes replayable. The closure is boxed; use
+    /// [`FlowTable::with_factory_tiered`] for a `Send` table.
+    pub fn tiered(scheme: HashScheme, factory: impl Fn(u64) -> E + 'static) -> Self {
+        FlowTable {
+            flows: OpenTable::new(),
+            factory: Box::new(factory),
+            scheme: Some(scheme),
+            stats: TierStats::default(),
         }
     }
 }
 
 impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
-    /// Create a table with a concrete factory type. The table is
-    /// `Send` exactly when `E` and `F` are, so multi-threaded owners
-    /// (the engine's shards) get the bound they need without it
+    /// Create an eager table with a concrete factory type. The table
+    /// is `Send` exactly when `E` and `F` are, so multi-threaded
+    /// owners (the engine's shards) get the bound they need without it
     /// leaking into single-threaded use.
     pub fn with_factory(factory: F) -> Self {
         FlowTable {
             flows: OpenTable::new(),
             factory,
+            scheme: None,
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Create a tiered table with a concrete factory type (see
+    /// [`FlowTable::tiered`] for the scheme contract).
+    pub fn with_factory_tiered(scheme: HashScheme, factory: F) -> Self {
+        FlowTable {
+            flows: OpenTable::new(),
+            factory,
+            scheme: Some(scheme),
+            stats: TierStats::default(),
         }
     }
 
@@ -65,13 +123,30 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
         self.flows.reserve(n);
     }
 
-    /// Record `item` under `flow`, creating the flow's estimator on
-    /// first sight.
+    /// Record `item` under `flow`, creating the flow's cell on first
+    /// sight. Tiered tables hash through their shared scheme and feed
+    /// the tier ladder; eager tables delegate hashing to the flow's
+    /// own estimator.
     #[inline]
     pub fn record(&mut self, flow: u64, item: &[u8]) {
-        self.flows
-            .get_or_insert_with(flow, &self.factory)
-            .record(item);
+        match self.scheme {
+            Some(scheme) => self.record_hash(flow, scheme.item_hash(item)),
+            None => {
+                let FlowTable {
+                    flows,
+                    factory,
+                    stats,
+                    ..
+                } = self;
+                let cell = flows.get_or_insert_with(flow, |f| {
+                    stats.inc(Tier::Full);
+                    FlowCell::from_estimator(factory(f))
+                });
+                let before = cell.tier();
+                cell.force_estimator(|| factory(flow)).record(item);
+                stats.transition(before, Tier::Full);
+            }
+        }
     }
 
     /// Record a pre-computed hash under `flow`. The hash **must** come
@@ -80,53 +155,140 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
     /// across all flows).
     #[inline]
     pub fn record_hash(&mut self, flow: u64, hash: ItemHash) {
-        self.flows
-            .get_or_insert_with(flow, &self.factory)
-            .record_hash(hash);
+        let tiered = self.scheme.is_some();
+        let FlowTable {
+            flows,
+            factory,
+            stats,
+            ..
+        } = self;
+        if tiered {
+            let cell = flows.get_or_insert_with(flow, |_| {
+                stats.inc(Tier::Small);
+                FlowCell::new()
+            });
+            let before = cell.tier();
+            cell.record_hash(hash, || factory(flow));
+            stats.transition(before, cell.tier());
+        } else {
+            let cell = flows.get_or_insert_with(flow, |f| {
+                stats.inc(Tier::Full);
+                FlowCell::from_estimator(factory(f))
+            });
+            let before = cell.tier();
+            cell.force_estimator(|| factory(flow)).record_hash(hash);
+            stats.transition(before, Tier::Full);
+        }
     }
 
-    /// Record a batch of pre-computed hashes under `flow` through the
-    /// estimator's batched path — one table lookup for the whole
-    /// batch instead of one per item.
+    /// Record a batch of pre-computed hashes under `flow` — one table
+    /// lookup for the whole batch, and (once materialized) one call
+    /// through the estimator's batched path.
     #[inline]
     pub fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]) {
-        self.flows
-            .get_or_insert_with(flow, &self.factory)
-            .record_hashes(hashes);
+        let tiered = self.scheme.is_some();
+        let FlowTable {
+            flows,
+            factory,
+            stats,
+            ..
+        } = self;
+        if tiered {
+            let cell = flows.get_or_insert_with(flow, |_| {
+                stats.inc(Tier::Small);
+                FlowCell::new()
+            });
+            let before = cell.tier();
+            cell.record_hashes(hashes, || factory(flow));
+            stats.transition(before, cell.tier());
+        } else {
+            let cell = flows.get_or_insert_with(flow, |f| {
+                stats.inc(Tier::Full);
+                FlowCell::from_estimator(factory(f))
+            });
+            let before = cell.tier();
+            cell.force_estimator(|| factory(flow)).record_hashes(hashes);
+            stats.transition(before, Tier::Full);
+        }
     }
 
-    /// Mutably borrow `flow`'s estimator, creating it on first sight —
-    /// lets a grouped caller resolve the estimator once and record a
-    /// whole run of items against it.
-    #[inline]
+    /// Mutably borrow `flow`'s estimator, creating it on first sight.
+    ///
+    /// This force-materializes the flow (replaying any tiered hashes
+    /// exactly), which defeats the point of tiering for tiny flows —
+    /// record through the table or the [`FlowStore`] seam instead.
+    #[deprecated(
+        note = "record through the table or the FlowStore trait; \
+                direct estimator access force-materializes the flow"
+    )]
+    #[doc(hidden)]
     pub fn estimator_mut(&mut self, flow: u64) -> &mut E {
-        self.flows.get_or_insert_with(flow, &self.factory)
+        let FlowTable {
+            flows,
+            factory,
+            stats,
+            ..
+        } = self;
+        let cell = flows.get_or_insert_with(flow, |f| {
+            stats.inc(Tier::Full);
+            FlowCell::from_estimator(factory(f))
+        });
+        let before = cell.tier();
+        let est = cell.force_estimator(|| factory(flow));
+        stats.transition(before, Tier::Full);
+        est
     }
 
     /// Estimate the cardinality of `flow`; `None` if never seen.
+    /// Bit-identical across modes: unmaterialized cells replay their
+    /// stored hashes through a factory-built probe.
     pub fn estimate(&self, flow: u64) -> Option<f64> {
-        self.flows.get(flow).map(|e| e.estimate())
+        self.flows
+            .get(flow)
+            .map(|cell| cell.estimate(|| (self.factory)(flow)))
     }
 
-    /// Borrow a flow's estimator.
+    /// Borrow a flow's **materialized** estimator. `None` when the
+    /// flow is absent *or* still in an inline tier (eager tables
+    /// materialize everything, so there `None` simply means absent).
+    /// Use [`FlowTable::cell`] for a tier-aware view.
     pub fn get(&self, flow: u64) -> Option<&E> {
+        self.flows.get(flow).and_then(FlowCell::estimator)
+    }
+
+    /// Borrow a flow's cell, whatever its tier.
+    pub fn cell(&self, flow: u64) -> Option<&FlowCell<E>> {
         self.flows.get(flow)
     }
 
     /// Insert `flow`'s estimator directly, replacing and returning any
-    /// previous one. The engine's restore path places estimators
-    /// rebuilt from a checkpoint with this instead of routing them
-    /// through the factory (which only knows how to build *empty*
-    /// estimators).
+    /// previous one (materializing it if the flow was tiered). The
+    /// engine's restore path places estimators rebuilt from a
+    /// checkpoint with this instead of routing them through the
+    /// factory (which only knows how to build *empty* estimators).
     pub fn insert(&mut self, flow: u64, estimator: E) -> Option<E> {
-        self.flows.insert(flow, estimator)
+        let old = self.insert_cell(flow, FlowCell::from_estimator(estimator))?;
+        Some(old.into_estimator(|| (self.factory)(flow)))
     }
 
-    /// Remove `flow` from the table, returning its estimator (e.g. for
-    /// eviction of idle flows). Backward-shift deletion: no tombstones
-    /// are left to slow later probes.
+    /// Place a cell directly at whatever tier it carries (checkpoint
+    /// restore), replacing and returning any previous cell.
+    pub fn insert_cell(&mut self, flow: u64, cell: FlowCell<E>) -> Option<FlowCell<E>> {
+        self.stats.inc(cell.tier());
+        let old = self.flows.insert(flow, cell);
+        if let Some(old) = &old {
+            self.stats.dec(old.tier());
+        }
+        old
+    }
+
+    /// Remove `flow` from the table, returning its estimator
+    /// materialized (e.g. for eviction of idle flows). Backward-shift
+    /// deletion: no tombstones are left to slow later probes.
     pub fn remove(&mut self, flow: u64) -> Option<E> {
-        self.flows.remove(flow)
+        let cell = self.flows.remove(flow)?;
+        self.stats.dec(cell.tier());
+        Some(cell.into_estimator(|| (self.factory)(flow)))
     }
 
     /// Number of flows tracked.
@@ -139,22 +301,51 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
         self.flows.is_empty()
     }
 
-    /// Iterate `(flow, estimator)` pairs in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
+    /// Iterate `(flow, cell)` pairs in unspecified order.
+    pub fn cells(&self) -> impl Iterator<Item = (u64, &FlowCell<E>)> {
         self.flows.iter()
     }
 
-    /// Drain the table: remove and yield every `(flow, estimator)`
-    /// pair, leaving the table empty (the factory is retained). The
-    /// engine uses this to hand shard results back to the caller
-    /// without cloning estimators.
-    pub fn drain(&mut self) -> impl Iterator<Item = (u64, E)> + '_ {
-        self.flows.drain()
+    /// Iterate `(flow, estimator)` pairs for **materialized** flows
+    /// only — inline-tier flows are skipped. Eager tables materialize
+    /// everything, so there this is the old full view.
+    #[deprecated(note = "use cells(); this view skips unmaterialized flows")]
+    #[doc(hidden)]
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &E)> {
+        self.flows
+            .iter()
+            .filter_map(|(flow, cell)| cell.estimator().map(|est| (flow, est)))
     }
 
-    /// Iterate `(flow, estimate)` pairs.
+    /// Remove and return every `(flow, cell)` pair, leaving the table
+    /// empty but reusable (the factory is retained). Promotion
+    /// counters survive; tier occupancy resets.
+    pub fn drain_cells(&mut self) -> Vec<(u64, FlowCell<E>)> {
+        let out: Vec<_> = self.flows.drain().collect();
+        self.stats.reset_counts();
+        out
+    }
+
+    /// Drain the table, materializing every flow's estimator on the
+    /// way out.
+    #[deprecated(
+        note = "use drain_cells(); materializing every flow defeats tiering"
+    )]
+    #[doc(hidden)]
+    pub fn drain(&mut self) -> impl Iterator<Item = (u64, E)> + '_ {
+        let cells = self.drain_cells();
+        let factory = &self.factory;
+        cells
+            .into_iter()
+            .map(move |(flow, cell)| (flow, cell.into_estimator(|| factory(flow))))
+    }
+
+    /// Iterate `(flow, estimate)` pairs. Estimates from inline tiers
+    /// come from probe replay and are bit-identical to the eager mode.
     pub fn estimates(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
-        self.flows.iter().map(|(k, e)| (k, e.estimate()))
+        self.flows
+            .iter()
+            .map(move |(flow, cell)| (flow, cell.estimate(|| (self.factory)(flow))))
     }
 
     /// Flows whose estimate is at least `threshold` (the scan/DDoS
@@ -175,14 +366,107 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
         out
     }
 
-    /// Total memory across all per-flow estimators, in bits.
+    /// Total logical memory across all flows, in bits: estimator
+    /// accounting once materialized, 64 bits per stored hash before.
     pub fn total_memory_bits(&self) -> usize {
-        self.flows.iter().map(|(_, e)| e.memory_bits()).sum()
+        self.flows.iter().map(|(_, cell)| cell.memory_bits()).sum()
     }
 
-    /// Drop all flows.
+    /// Resident bytes: the open-addressed slot arrays (key + probe
+    /// distance + cell, across the full capacity) plus every cell's
+    /// heap state. This is what the "bytes per flow" bench gate
+    /// measures.
+    pub fn memory_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<u64>()
+            + std::mem::size_of::<u8>()
+            + std::mem::size_of::<Option<FlowCell<E>>>();
+        std::mem::size_of::<Self>()
+            + self.flows.capacity() * slot
+            + self
+                .flows
+                .iter()
+                .map(|(_, cell)| cell.memory_bytes())
+                .sum::<usize>()
+    }
+
+    /// Tier occupancy and lifetime promotion counters.
+    pub fn tier_stats(&self) -> TierStats {
+        self.stats
+    }
+
+    /// Drop all flows. Promotion counters survive (they are lifetime
+    /// telemetry); tier occupancy resets.
     pub fn clear(&mut self) {
         self.flows.clear();
+        self.stats.reset_counts();
+    }
+}
+
+impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowStore for FlowTable<E, F> {
+    type Estimator = E;
+
+    fn reserve(&mut self, n: usize) {
+        FlowTable::reserve(self, n);
+    }
+
+    fn record_hash(&mut self, flow: u64, hash: ItemHash) {
+        FlowTable::record_hash(self, flow, hash);
+    }
+
+    fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]) {
+        FlowTable::record_hashes(self, flow, hashes);
+    }
+
+    fn insert_cell(&mut self, flow: u64, cell: FlowCell<E>) -> Option<FlowCell<E>> {
+        FlowTable::insert_cell(self, flow, cell)
+    }
+
+    fn estimate(&self, flow: u64) -> Option<f64> {
+        FlowTable::estimate(self, flow)
+    }
+
+    fn flow_count(&self) -> usize {
+        self.len()
+    }
+
+    fn cells(&self) -> Box<dyn Iterator<Item = (u64, &FlowCell<E>)> + '_> {
+        Box::new(FlowTable::cells(self))
+    }
+
+    fn drain_cells(&mut self) -> Vec<(u64, FlowCell<E>)> {
+        FlowTable::drain_cells(self)
+    }
+
+    fn estimates_vec(&self) -> Vec<(u64, f64)> {
+        self.estimates().collect()
+    }
+
+    fn flows_over(&self, threshold: f64) -> Vec<(u64, f64)> {
+        FlowTable::flows_over(self, threshold)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        FlowTable::memory_bytes(self)
+    }
+
+    fn memory_bits(&self) -> usize {
+        self.total_memory_bits()
+    }
+
+    fn tier_stats(&self) -> TierStats {
+        FlowTable::tier_stats(self)
+    }
+
+    fn clear(&mut self) {
+        FlowTable::clear(self);
+    }
+
+    #[cfg(feature = "snapshot")]
+    fn snapshot_cells(&self) -> Vec<(u64, Option<smb_devtools::Json>)> {
+        self.flows
+            .iter()
+            .map(|(flow, cell)| (flow, cell.snapshot_state()))
+            .collect()
     }
 }
 
@@ -190,6 +474,7 @@ impl<E: CardinalityEstimator, F> std::fmt::Debug for FlowTable<E, F> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlowTable")
             .field("flows", &self.flows.len())
+            .field("tiered", &self.scheme.is_some())
             .finish()
     }
 }
@@ -203,6 +488,13 @@ mod tests {
     fn table() -> FlowTable<Smb> {
         FlowTable::new(|flow| {
             Smb::with_scheme(2048, 128, HashScheme::with_seed(flow)).expect("valid params")
+        })
+    }
+
+    fn tiered_table() -> FlowTable<Smb> {
+        let scheme = HashScheme::with_seed(5);
+        FlowTable::tiered(scheme, move |_| {
+            Smb::with_scheme(2048, 128, scheme).expect("valid params")
         })
     }
 
@@ -371,6 +663,123 @@ mod tests {
     }
 
     #[test]
+    fn tiered_estimates_match_eager_estimates() {
+        let scheme = HashScheme::with_seed(5);
+        let mut eager: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        let mut tiered = tiered_table();
+        for i in 0..3000u32 {
+            // Flow 0 stays inline (one distinct item), flow 1 promotes
+            // to array, flow 2 materializes; repeats exercise dedup.
+            let flow = (i % 3) as u64;
+            let n = match flow {
+                0 => 0,
+                1 => i % 10,
+                _ => i,
+            };
+            let item = n.to_le_bytes();
+            eager.record(flow, &item);
+            tiered.record(flow, &item);
+        }
+        assert_eq!(tiered.tier_stats().small, 1);
+        assert_eq!(tiered.tier_stats().array, 1);
+        assert_eq!(tiered.tier_stats().full, 1);
+        for flow in 0..3u64 {
+            assert_eq!(
+                eager.estimate(flow).map(f64::to_bits),
+                tiered.estimate(flow).map(f64::to_bits),
+                "flow {flow}"
+            );
+        }
+    }
+
+    #[test]
+    fn tier_stats_track_promotions_and_occupancy() {
+        let mut t = tiered_table();
+        let scheme = HashScheme::with_seed(5);
+        // One flow all the way to full.
+        for i in 0..100u32 {
+            t.record_hash(1, scheme.item_hash(&i.to_le_bytes()));
+        }
+        // One flow to array, one left small.
+        for i in 0..5u32 {
+            t.record_hash(2, scheme.item_hash(&i.to_le_bytes()));
+        }
+        t.record_hash(3, scheme.item_hash(b"x"));
+        let s = t.tier_stats();
+        assert_eq!((s.small, s.array, s.full), (1, 1, 1));
+        assert_eq!(s.promotions_to_array, 2);
+        assert_eq!(s.promotions_to_full, 1);
+        assert_eq!(s.flows(), t.len());
+        // Removal and clear keep occupancy honest, counters monotone.
+        t.remove(2);
+        assert_eq!(t.tier_stats().array, 0);
+        t.clear();
+        let s = t.tier_stats();
+        assert_eq!((s.small, s.array, s.full), (0, 0, 0));
+        assert_eq!(s.promotions_to_array, 2);
+        assert_eq!(s.promotions_to_full, 1);
+    }
+
+    #[test]
+    fn tiered_memory_stays_small_for_tiny_flows() {
+        let mut tiered = tiered_table();
+        let scheme = HashScheme::with_seed(5);
+        for flow in 0..1000u64 {
+            tiered.record_hash(flow, scheme.item_hash(&flow.to_le_bytes()));
+        }
+        let bytes_per_flow = tiered.memory_bytes() / tiered.len();
+        assert!(
+            bytes_per_flow <= 64,
+            "tiny flows cost {bytes_per_flow} bytes each"
+        );
+        // The same population materialized eagerly costs at least the
+        // estimator state (2048 bits = 256 bytes) per flow.
+        let mut eager: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        for flow in 0..1000u64 {
+            eager.record_hash(flow, scheme.item_hash(&flow.to_le_bytes()));
+        }
+        assert!(eager.memory_bytes() / eager.len() >= 256);
+    }
+
+    #[test]
+    fn flow_store_seam_covers_the_table() {
+        fn exercise<S: FlowStore>(store: &mut S, scheme: HashScheme) {
+            store.reserve(16);
+            let hashes: Vec<_> = (0..40u32)
+                .map(|i| scheme.item_hash(&i.to_le_bytes()))
+                .collect();
+            store.record_hash(7, hashes[0]);
+            store.record_hashes(8, &hashes);
+            assert_eq!(store.flow_count(), 2);
+            assert!(store.estimate(7).is_some());
+            assert!(store.estimate(9).is_none());
+            assert_eq!(store.cells().count(), 2);
+            assert!(store.memory_bytes() > 0);
+            assert!(store.memory_bits() > 0);
+            let over = store.flows_over(0.0);
+            assert_eq!(over.len(), 2);
+            assert_eq!(store.estimates_vec().len(), 2);
+            assert_eq!(store.tier_stats().flows(), 2);
+            let cells = store.drain_cells();
+            assert_eq!(cells.len(), 2);
+            assert_eq!(store.flow_count(), 0);
+            for (flow, cell) in cells {
+                assert!(store.insert_cell(flow, cell).is_none());
+            }
+            assert_eq!(store.flow_count(), 2);
+            store.clear();
+            assert_eq!(store.flow_count(), 0);
+        }
+        let scheme = HashScheme::with_seed(5);
+        exercise(&mut tiered_table(), scheme);
+        let mut eager: FlowTable<Smb> =
+            FlowTable::new(move |_| Smb::with_scheme(2048, 128, scheme).unwrap());
+        exercise(&mut eager, scheme);
+    }
+
+    #[test]
     fn non_send_factory_is_accepted() {
         // The factory captures an Rc, which is !Send — fine for a
         // thread-local table.
@@ -389,21 +798,45 @@ mod tests {
             Smb::with_scheme(2048, 128, HashScheme::with_seed(flow)).unwrap()
         });
         assert_send(&t);
+        let scheme = HashScheme::with_seed(1);
+        let t2 = FlowTable::with_factory_tiered(scheme, move |_: u64| {
+            Smb::with_scheme(2048, 128, scheme).unwrap()
+        });
+        assert_send(&t2);
     }
 
     #[test]
-    fn iter_and_drain() {
+    fn cells_and_drain_cells() {
         let mut t = table();
         t.record(7, b"a");
         t.record(8, b"b");
-        let mut seen: Vec<u64> = t.iter().map(|(k, _)| k).collect();
+        let mut seen: Vec<u64> = t.cells().map(|(k, _)| k).collect();
         seen.sort_unstable();
         assert_eq!(seen, vec![7, 8]);
-        let drained: Vec<(u64, Smb)> = t.drain().collect();
+        let drained = t.drain_cells();
         assert_eq!(drained.len(), 2);
         assert!(t.is_empty());
         // The factory survives a drain: the table is still usable.
         t.record(9, b"c");
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work_one_release() {
+        // estimator_mut / iter / drain are shimmed for one release so
+        // external callers migrate cleanly; pin their behavior.
+        let mut t = tiered_table();
+        let scheme = HashScheme::with_seed(5);
+        t.record_hash(3, scheme.item_hash(b"x"));
+        let before = t.estimate(3).unwrap();
+        // Force-materialization must not change the estimate.
+        let est = t.estimator_mut(3);
+        assert_eq!(est.estimate(), before);
+        assert_eq!(t.cell(3).unwrap().estimator().map(|e| e.estimate()), Some(before));
+        assert_eq!(t.iter().count(), 1);
+        let drained: Vec<(u64, Smb)> = t.drain().collect();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].1.estimate(), before);
     }
 }

@@ -8,7 +8,15 @@
 //! §II-C claim that SMB slots into sketch frameworks as a plug-in:
 //!
 //! * [`flow_table::FlowTable`] — one estimator per flow key, created on
-//!   demand from a factory; items are hashed once and fanned out.
+//!   demand from a factory; items are hashed once and fanned out. In
+//!   tiered mode each flow lives in a [`flow_cell::FlowCell`] that
+//!   starts as two inline machine words and only materializes a real
+//!   estimator when the flow proves it needs one.
+//! * [`flow_cell::FlowCell`] — the tiered per-flow cell
+//!   (Small → Array → Full) with exact, replay-based promotion.
+//! * [`flow_store::FlowStore`] — the unified store seam every per-flow
+//!   consumer (engine workers, grouped recording, checkpoint/restore,
+//!   CLI) programs against.
 //! * [`open_table::OpenTable`] — the open-addressed (robin-hood,
 //!   backward-shift-deleting) map that backs [`flow_table::FlowTable`],
 //!   keyed by pre-hashed 64-bit flow ids.
@@ -31,6 +39,8 @@
 
 pub mod array;
 pub mod detector;
+pub mod flow_cell;
+pub mod flow_store;
 pub mod flow_table;
 pub mod open_table;
 pub mod virtual_registers;
@@ -38,6 +48,8 @@ pub mod window;
 
 pub use array::EstimatorArray;
 pub use detector::ThresholdDetector;
+pub use flow_cell::{FlowCell, Tier, ARRAY_CAP, SMALL_CAP};
+pub use flow_store::{FlowStore, TierStats};
 pub use flow_table::FlowTable;
 pub use open_table::OpenTable;
 pub use virtual_registers::VirtualRegisterSketch;

@@ -151,7 +151,11 @@ fn flow_table_matches_hashmap_backed_reference_under_random_sequences() {
                     reference.clear();
                 }
                 _ => {
-                    let mut drained: Vec<(u64, Smb)> = table.drain().collect();
+                    let mut drained: Vec<(u64, Smb)> = table
+                        .drain_cells()
+                        .into_iter()
+                        .map(|(flow, cell)| (flow, cell.into_estimator(|| factory(flow))))
+                        .collect();
                     drained.sort_unstable_by_key(|&(flow, _)| flow);
                     let mut expected: Vec<(u64, Smb)> =
                         reference.drain().collect();

@@ -11,14 +11,14 @@
 //! cargo run --release --example engine_pipeline
 //! ```
 
-use smb::engine::{EngineConfig, ShardedFlowEngine};
+use smb::engine::{EngineConfig, EngineQuery, ShardedFlowEngine};
 use smb::factory::{Algo, AlgoSpec};
 use smb::stream::TraceConfig;
 
 fn main() {
     // One spec describes every per-flow estimator: algorithm, memory
     // budget, design cardinality, hash seed.
-    let spec = AlgoSpec::new(Algo::Smb, 2048).with_n_max(1e5).with_seed(7);
+    let spec = AlgoSpec::new(Algo::Smb).memory_bits(2048).n_max(1e5).seed(7);
 
     let trace = TraceConfig::tiny(7).build();
 
@@ -32,7 +32,12 @@ fn main() {
         }
         engine.flush();
 
-        let top = engine.snapshot_top_k(5);
+        // One multi-facet query sweeps every shard once: top-k, flow
+        // count, resident bytes, and the tier census together.
+        let answers = engine.run_query(
+            &EngineQuery::new().with_top_k(5).with_flow_count().with_memory_bytes(),
+        );
+        let top = answers.top_k.expect("top_k was requested");
         println!("-- {shards} shard(s) --");
         for (flow, est) in &top {
             let exact = trace.ground_truth(*flow as u32);
@@ -40,10 +45,16 @@ fn main() {
         }
         let stats = engine.stats();
         println!(
-            "  {} items over {} flows, imbalance {:.2}\n",
+            "  {} items over {} flows ({} resident bytes), imbalance {:.2}",
             stats.total_recorded(),
-            stats.total_flows(),
+            answers.flow_count.unwrap_or(0),
+            answers.memory_bytes.unwrap_or(0),
             stats.shard_imbalance()
+        );
+        let tiers = answers.tier_stats;
+        println!(
+            "  tiers: {} small / {} array / {} full\n",
+            tiers.small, tiers.array, tiers.full
         );
         tables.push(top);
     }

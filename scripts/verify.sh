@@ -38,6 +38,14 @@ step "kernel equivalence gates (offline): open-table differential + morph bounda
 cargo test -q --offline -p smb-sketch --test differential
 cargo test -q --offline -p smb-core batched_matches_sequential
 
+step "tier equivalence gates (offline): tiered cells vs eager estimators"
+# The FlowCell tier ladder (inline -> array -> materialized) must be
+# estimate-invisible: bit-identical to an always-materialized table at
+# every promotion boundary, under random chunkings and duplicate-heavy
+# streams — and every tier must round-trip its checkpoint state.
+cargo test -q --offline -p smb-sketch --test tiering
+cargo test -q --offline -p smb-sketch --features snapshot --test tiering
+
 step "concurrency stress suites (offline): seeded schedules, reproducible"
 # The lock-free ConcurrentSmb/AtomicBitVec path is gated by the seeded
 # stress! harness: two pinned seeds replay fixed regression schedules
@@ -163,7 +171,8 @@ step "smoke ingest bench (offline): kernel old-vs-new + engine throughput JSON"
 SMB_BENCH_SMOKE=1 SMB_BENCH_JSON="$PWD/BENCH_ingest.json" cargo bench -p smb-bench --bench ingest --offline
 for needle in 'engine/shards=4' 'kernel/old-hashmap-per-item' 'kernel/new-grouped-openaddr' \
               'kernel_speedup_single_flow' 'kernel_speedup_1k_flows' 'telemetry_overhead_pct' \
-              'ingest/mpsc/producers=' 'mpsc_items_per_sec_producers_1' 'mpsc_scaling_producers_4'; do
+              'ingest/mpsc/producers=' 'mpsc_items_per_sec_producers_1' 'mpsc_scaling_producers_4' \
+              'memory_per_flow_tiered_bytes' 'memory_per_flow_boxed_bytes'; do
     if ! grep -q "$needle" BENCH_ingest.json; then
         echo "FAIL: BENCH_ingest.json is missing: $needle" >&2
         exit 1
@@ -195,6 +204,16 @@ tel = extra["telemetry_overhead_pct"]
 print(f"telemetry_overhead_pct: {tel:.1f}% (target <= 5%, hard ceiling 20%)")
 if not tel <= 20.0:
     raise SystemExit(f"FAIL: telemetry overhead {tel:.1f}% exceeds the 20% ceiling")
+# Tiering memory gate: one million Zipf flows must average at most
+# 64 resident bytes per flow on the tiered path, and the tiered path
+# must actually beat the boxed always-materialized baseline.
+tiered = extra["memory_per_flow_tiered_bytes"]
+boxed = extra["memory_per_flow_boxed_bytes"]
+print(f"memory_per_flow: tiered {tiered:.1f} B/flow vs boxed {boxed:.1f} B/flow (gate <= 64)")
+if not tiered <= 64.0:
+    raise SystemExit(f"FAIL: tiered memory {tiered:.1f} B/flow exceeds the 64 B gate")
+if not tiered < boxed:
+    raise SystemExit(f"FAIL: tiered ({tiered:.1f} B) does not beat boxed ({boxed:.1f} B)")
 # The MPSC sweep shares one core between producers and shard workers,
 # so it measures producer-path overhead, not speedup: no floor, but
 # the numbers must exist and be positive for every swept count.
