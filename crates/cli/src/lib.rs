@@ -20,7 +20,7 @@ use smb_factory::{Algo, AlgoSpec};
 use smb_hash::HashScheme;
 use smb_sketch::FlowTable;
 use smb_stream::{ExactCounter, TraceConfig};
-use smb_telemetry::{morph_event_to_json, ExportFormat, Reporter};
+use smb_telemetry::{morph_event_to_json, ExportFormat, FlightRecorder, Reporter};
 
 /// `count` subcommand configuration.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +66,10 @@ pub struct ServeConfig {
     /// Expected distinct-flow count; pre-sizes shard tables (0 = grow
     /// on demand).
     pub expected_flows: usize,
+    /// Record pipeline-stage spans for one in every this many batches
+    /// into the `engine_stage_duration_ns` histograms (0 = tracing
+    /// off, 1 = every batch). Visible through `--metrics`.
+    pub trace_sample: u32,
     /// Only report flows with estimates at least this large.
     pub threshold: f64,
     /// Report at most this many flows (largest first).
@@ -112,6 +116,26 @@ pub struct MorphlogConfig {
     pub memory_bits: usize,
     /// Expected maximum cardinality (tunes the morph threshold `T`).
     pub n_max: f64,
+    /// Instead of streaming every morph as it happens, retain only the
+    /// last N lifecycle events in a flight-recorder ring and emit them
+    /// at end-of-input (`--last N`).
+    pub last: Option<usize>,
+}
+
+/// `doctor` subcommand configuration.
+#[derive(Debug, Clone)]
+pub struct DoctorConfig {
+    /// Per-flow memory budget in bits.
+    pub memory_bits: usize,
+    /// Worker shard count (0 = one per core).
+    pub shards: usize,
+    /// Items per dispatch batch.
+    pub batch: usize,
+    /// Hot flows to include in the morph-cadence section.
+    pub top: usize,
+    /// Also write one checkpoint epoch under this directory and report
+    /// it in the snapshot's `checkpoint` section.
+    pub checkpoint_dir: Option<PathBuf>,
 }
 
 /// A parsed command line.
@@ -131,6 +155,10 @@ pub enum Command {
     Trace(TraceCliConfig),
     /// Stream SMB morph events over stdin lines as JSON lines.
     Morphlog(MorphlogConfig),
+    /// Ingest `flow<TAB>item` lines and emit one diagnostic JSON
+    /// snapshot (tier census, queue depths, morph cadence, flight
+    /// recorder window, stage timings).
+    Doctor(DoctorConfig),
 }
 
 fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
@@ -202,6 +230,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 queue_batches: 8,
                 policy: BackpressurePolicy::Block,
                 expected_flows: 0,
+                trace_sample: 0,
                 threshold: 0.0,
                 top: 20,
                 metrics: None,
@@ -226,6 +255,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--expected-flows" => {
                         cfg.expected_flows = parse_num(args, &mut i, "--expected-flows")?
+                    }
+                    "--trace-sample" => {
+                        cfg.trace_sample = parse_num(args, &mut i, "--trace-sample")?
                     }
                     "--threshold" => cfg.threshold = parse_num(args, &mut i, "--threshold")?,
                     "--top" => cfg.top = parse_num(args, &mut i, "--top")?,
@@ -298,17 +330,50 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut cfg = MorphlogConfig {
                 memory_bits: 8192,
                 n_max: 1e6,
+                last: None,
             };
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
                     "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
                     "--n-max" => cfg.n_max = parse_num(args, &mut i, "--n-max")?,
+                    "--last" => {
+                        let n: usize = parse_num(args, &mut i, "--last")?;
+                        if n == 0 {
+                            return Err("--last must be at least 1".into());
+                        }
+                        cfg.last = Some(n);
+                    }
                     other => return Err(format!("unknown option `{other}` for morphlog")),
                 }
                 i += 1;
             }
             Ok(Command::Morphlog(cfg))
+        }
+        "doctor" => {
+            let mut cfg = DoctorConfig {
+                memory_bits: 2048,
+                shards: 0,
+                batch: 256,
+                top: 5,
+                checkpoint_dir: None,
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--memory-bits" => cfg.memory_bits = parse_num(args, &mut i, "--memory-bits")?,
+                    "--shards" => cfg.shards = parse_num(args, &mut i, "--shards")?,
+                    "--batch" => cfg.batch = parse_num(args, &mut i, "--batch")?,
+                    "--top" => cfg.top = parse_num(args, &mut i, "--top")?,
+                    "--checkpoint-dir" => {
+                        cfg.checkpoint_dir =
+                            Some(PathBuf::from(take_value(args, &mut i, "--checkpoint-dir")?));
+                    }
+                    other => return Err(format!("unknown option `{other}` for doctor")),
+                }
+                i += 1;
+            }
+            Ok(Command::Doctor(cfg))
         }
         "trace" => {
             let mut cfg = TraceCliConfig {
@@ -428,7 +493,8 @@ pub fn run_serve(
         .with_batch(cfg.batch)
         .with_queue_batches(cfg.queue_batches)
         .with_policy(cfg.policy)
-        .with_expected_flows(cfg.expected_flows);
+        .with_expected_flows(cfg.expected_flows)
+        .with_trace_sample(cfg.trace_sample);
     if cfg.shards > 0 {
         config = config.with_shards(cfg.shards);
     }
@@ -612,6 +678,9 @@ pub fn run_morphlog(
     lines: &mut dyn Iterator<Item = String>,
     out: &mut dyn Write,
 ) -> Result<(), String> {
+    if let Some(n) = cfg.last {
+        return run_morphlog_window(cfg, n, lines, out);
+    }
     let collector = MorphCollector::shared();
     let mut est = AlgoSpec::new(Algo::Smb)
         .memory_bits(cfg.memory_bits)
@@ -648,6 +717,283 @@ pub fn run_morphlog(
     ]);
     writeln!(out, "{}", summary.to_string()).map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// The `morphlog --last N` mode: record everything through a
+/// [`FlightRecorder`] ring of capacity N and dump only the retained
+/// window at end-of-input — the CLI face of the engine's flight
+/// recorder, for "what just happened" forensics on long streams where
+/// streaming every morph would drown the terminal.
+fn run_morphlog_window(
+    cfg: MorphlogConfig,
+    n: usize,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use smb_devtools::Json;
+    let recorder = FlightRecorder::new(n);
+    let mut est = AlgoSpec::new(Algo::Smb)
+        .memory_bits(cfg.memory_bits)
+        .n_max(cfg.n_max)
+        .build_observed(Some(recorder.clone().into_handle()))
+        .map_err(|e| e.to_string())?;
+    let mut items = 0u64;
+    for line in lines {
+        est.record(line.as_bytes());
+        items += 1;
+    }
+    for event in recorder.recent(n) {
+        let mut obj = vec![("event".to_string(), Json::str("flight"))];
+        if let Json::Obj(fields) = event.to_json() {
+            obj.extend(fields);
+        }
+        writeln!(out, "{}", Json::Obj(obj).to_string()).map_err(|e| e.to_string())?;
+    }
+    let summary = Json::Obj(vec![
+        ("event".to_string(), Json::str("final")),
+        ("items_total".to_string(), Json::Int(items as i128)),
+        ("estimate".to_string(), Json::Float(est.estimate())),
+        ("saturated".to_string(), Json::Bool(est.is_saturated())),
+        ("memory_bits".to_string(), Json::Int(est.memory_bits() as i128)),
+        (
+            "events_recorded".to_string(),
+            Json::Int(recorder.recorded_total() as i128),
+        ),
+        ("window".to_string(), Json::Int(recorder.len() as i128)),
+    ]);
+    writeln!(out, "{}", summary.to_string()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// How many flight-recorder events a doctor snapshot includes.
+const DOCTOR_FLIGHT_WINDOW: usize = 32;
+
+/// Run `doctor`: ingest `flow<TAB>item` lines through a fully
+/// instrumented engine (stage tracing on every batch) and emit ONE
+/// diagnostic JSON document — tier census, per-shard queue depths,
+/// producer counters, morph cadence with the hottest flows, the last
+/// flight-recorder window, pipeline-stage timings, and checkpoint
+/// status. One object on one line; pipe it into `jq`.
+pub fn run_doctor(
+    cfg: DoctorConfig,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use smb_devtools::Json;
+
+    let spec = AlgoSpec::new(Algo::Smb).memory_bits(cfg.memory_bits).n_max(1e6);
+    let mut config = EngineConfig::new(spec)
+        .with_batch(cfg.batch)
+        .with_trace_sample(1);
+    if cfg.shards > 0 {
+        config = config.with_shards(cfg.shards);
+    }
+    let mut engine = ShardedFlowEngine::new(config).map_err(|e| e.to_string())?;
+
+    // Ingest through a producer handle so the per-producer counters
+    // show up in the report (the engine's own front-end carries none).
+    let mut skipped = 0u64;
+    let mut producer = engine.producer_handle();
+    for line in lines {
+        match parse_flow_line(&line) {
+            Some((key, item)) => producer.ingest(key, item.as_bytes()),
+            None => skipped += 1,
+        }
+    }
+    producer.flush();
+    let pstats = producer.stats();
+    drop(producer);
+    engine.flush();
+
+    // Checkpoint before snapshotting so the epoch's lifecycle event is
+    // part of the reported flight window.
+    let checkpoint = match &cfg.checkpoint_dir {
+        Some(dir) => {
+            let epoch = engine
+                .checkpoint_now(&CheckpointConfig::new(dir))
+                .map_err(|e| e.to_string())?;
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(true)),
+                ("dir".into(), Json::str(dir.display().to_string())),
+                ("epoch".into(), Json::Int(epoch as i128)),
+            ])
+        }
+        None => Json::Obj(vec![("enabled".into(), Json::Bool(false))]),
+    };
+
+    let answers = engine
+        .query_handle()
+        .run(&EngineQuery::new().with_top_k(cfg.top).with_flow_count());
+    let stats = engine.stats();
+    let snap = engine.metrics_snapshot();
+
+    let tiers = answers.tier_stats;
+    let tier_census = Json::Obj(vec![
+        ("small".into(), Json::Int(tiers.small as i128)),
+        ("array".into(), Json::Int(tiers.array as i128)),
+        ("full".into(), Json::Int(tiers.full as i128)),
+        (
+            "promotions_to_array".into(),
+            Json::Int(tiers.promotions_to_array as i128),
+        ),
+        (
+            "promotions_to_full".into(),
+            Json::Int(tiers.promotions_to_full as i128),
+        ),
+    ]);
+
+    let queue_depths = Json::Arr(
+        stats
+            .shards
+            .iter()
+            .map(|s| {
+                let shard = s.shard.to_string();
+                let depth = snap
+                    .get("engine_queue_depth", &[("shard", shard.as_str())])
+                    .and_then(|v| v.as_gauge())
+                    .unwrap_or_default();
+                Json::Obj(vec![
+                    ("shard".into(), Json::Int(s.shard as i128)),
+                    ("depth".into(), Json::Int(depth as i128)),
+                    ("batches_sent".into(), Json::Int(s.batches_sent as i128)),
+                    (
+                        "batches_processed".into(),
+                        Json::Int(s.batches_processed as i128),
+                    ),
+                    ("items_enqueued".into(), Json::Int(s.items_enqueued as i128)),
+                    ("dropped_items".into(), Json::Int(s.dropped_items as i128)),
+                ])
+            })
+            .collect(),
+    );
+
+    let producer_counters = Json::Obj(vec![
+        ("producer".into(), Json::Int(pstats.producer as i128)),
+        ("items".into(), Json::Int(pstats.items as i128)),
+        ("batches".into(), Json::Int(pstats.batches as i128)),
+        (
+            "queue_full_events".into(),
+            Json::Int(pstats.queue_full_events as i128),
+        ),
+        ("dropped_items".into(), Json::Int(pstats.dropped_items as i128)),
+    ]);
+
+    let cadence = snap
+        .get("smb_items_between_morphs", &[])
+        .and_then(|v| v.as_histogram())
+        .map(|h| {
+            Json::Obj(vec![
+                ("count".into(), Json::Int(h.count as i128)),
+                ("p50".into(), Json::Float(h.p50)),
+                ("p95".into(), Json::Float(h.p95)),
+            ])
+        })
+        .unwrap_or(Json::Null);
+
+    let hot_flows = Json::Arr(
+        answers
+            .top_k
+            .unwrap_or_default()
+            .iter()
+            .map(|&(flow, est)| {
+                Json::Obj(vec![
+                    ("flow".into(), Json::str(format!("{flow:016x}"))),
+                    ("estimate".into(), Json::Float(est)),
+                ])
+            })
+            .collect(),
+    );
+
+    let morph = Json::Obj(vec![
+        (
+            "events_total".into(),
+            Json::Int(snap.counter_total("smb_morph_events_total") as i128),
+        ),
+        (
+            "cleared_total".into(),
+            Json::Int(snap.counter_total("smb_cleared_total") as i128),
+        ),
+        (
+            "saturated_total".into(),
+            Json::Int(snap.counter_total("smb_saturated_total") as i128),
+        ),
+        ("items_between_morphs".into(), cadence),
+        ("hot_flows".into(), hot_flows),
+    ]);
+
+    let (flight, flight_window) = match engine.flight_recorder() {
+        Some(rec) => (
+            Json::Obj(vec![
+                (
+                    "recorded_total".into(),
+                    Json::Int(rec.recorded_total() as i128),
+                ),
+                ("capacity".into(), Json::Int(rec.capacity() as i128)),
+            ]),
+            Json::Arr(
+                rec.recent(DOCTOR_FLIGHT_WINDOW)
+                    .iter()
+                    .map(|e| e.to_json())
+                    .collect(),
+            ),
+        ),
+        None => (Json::Null, Json::Arr(Vec::new())),
+    };
+
+    let stage_ns = Json::Arr(
+        snap.metrics
+            .iter()
+            .filter(|m| m.name == "engine_stage_duration_ns")
+            .flat_map(|m| &m.series)
+            .filter_map(|s| {
+                let h = s.value.as_histogram()?;
+                let label = |key: &str| {
+                    s.labels
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| v.clone())
+                        .unwrap_or_default()
+                };
+                Some(Json::Obj(vec![
+                    ("shard".into(), Json::str(label("shard"))),
+                    ("stage".into(), Json::str(label("stage"))),
+                    ("count".into(), Json::Int(h.count as i128)),
+                    ("p50_ns".into(), Json::Float(h.p50)),
+                    ("p95_ns".into(), Json::Float(h.p95)),
+                ]))
+            })
+            .collect(),
+    );
+
+    let doc = Json::Obj(vec![
+        ("doctor".into(), Json::str("smbcount")),
+        (
+            "items_enqueued".into(),
+            Json::Int(stats.total_enqueued() as i128),
+        ),
+        (
+            "items_recorded".into(),
+            Json::Int(stats.total_recorded() as i128),
+        ),
+        (
+            "items_dropped".into(),
+            Json::Int(stats.total_dropped() as i128),
+        ),
+        ("skipped_lines".into(), Json::Int(skipped as i128)),
+        (
+            "flows".into(),
+            Json::Int(answers.flow_count.unwrap_or(0) as i128),
+        ),
+        ("tier_census".into(), tier_census),
+        ("queue_depths".into(), queue_depths),
+        ("producer_counters".into(), producer_counters),
+        ("morph".into(), morph),
+        ("flight".into(), flight),
+        ("flight_window".into(), flight_window),
+        ("stage_ns".into(), stage_ns),
+        ("checkpoint".into(), checkpoint),
+    ]);
+    writeln!(out, "{}", doc.to_string()).map_err(|e| e.to_string())
 }
 
 /// Run `trace`: emit `flow<TAB>item` lines of a synthetic trace.
@@ -691,7 +1037,7 @@ mod tests {
         let Ok(Command::Serve(c)) = parse_args(&s(&[
             "serve", "--algo", "hll", "--shards", "4", "--batch", "128", "--queue", "2",
             "--policy", "drop", "--expected-flows", "5000", "--memory-bits", "4096",
-            "--top", "3",
+            "--top", "3", "--trace-sample", "8",
         ])) else {
             panic!("expected serve")
         };
@@ -703,7 +1049,13 @@ mod tests {
         assert_eq!(c.expected_flows, 5000);
         assert_eq!(c.memory_bits, 4096);
         assert_eq!(c.top, 3);
+        assert_eq!(c.trace_sample, 8);
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve"])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.trace_sample, 0, "tracing is off by default");
         assert!(parse_args(&s(&["serve", "--policy", "explode"])).is_err());
+        assert!(parse_args(&s(&["serve", "--trace-sample", "lots"])).is_err());
         assert!(parse_args(&s(&["serve", "--wat"])).is_err());
     }
 
@@ -733,6 +1085,7 @@ mod tests {
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 0,
             threshold: 0.0,
             top: 5,
             metrics: None,
@@ -881,6 +1234,7 @@ mod tests {
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 0,
             threshold: 0.0,
             top: 5,
             metrics: None,
@@ -935,7 +1289,39 @@ mod tests {
         };
         assert_eq!(c.memory_bits, 4096);
         assert_eq!(c.n_max, 50_000.0);
+        assert_eq!(c.last, None, "default streams every morph");
+        let Ok(Command::Morphlog(c)) = parse_args(&s(&["morphlog", "--last", "16"])) else {
+            panic!("expected morphlog")
+        };
+        assert_eq!(c.last, Some(16));
+        assert!(parse_args(&s(&["morphlog", "--last", "0"])).is_err());
+        assert!(parse_args(&s(&["morphlog", "--last"])).is_err());
         assert!(parse_args(&s(&["morphlog", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn parse_doctor_flags() {
+        let Ok(Command::Doctor(c)) = parse_args(&s(&["doctor"])) else {
+            panic!("expected doctor")
+        };
+        assert_eq!(c.memory_bits, 2048);
+        assert_eq!(c.shards, 0, "default is one shard per core");
+        assert_eq!(c.batch, 256);
+        assert_eq!(c.top, 5);
+        assert_eq!(c.checkpoint_dir, None);
+        let Ok(Command::Doctor(c)) = parse_args(&s(&[
+            "doctor", "--memory-bits", "4096", "--shards", "2", "--batch", "32",
+            "--top", "3", "--checkpoint-dir", "/tmp/ck",
+        ])) else {
+            panic!("expected doctor")
+        };
+        assert_eq!(c.memory_bits, 4096);
+        assert_eq!(c.shards, 2);
+        assert_eq!(c.batch, 32);
+        assert_eq!(c.top, 3);
+        assert_eq!(c.checkpoint_dir.as_deref(), Some(std::path::Path::new("/tmp/ck")));
+        assert!(parse_args(&s(&["doctor", "--wat"])).is_err());
+        assert!(parse_args(&s(&["doctor", "--shards"])).is_err());
     }
 
     #[test]
@@ -949,6 +1335,7 @@ mod tests {
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 1,
             threshold: 0.0,
             top: 5,
             metrics: Some(ExportFormat::Prometheus),
@@ -968,6 +1355,14 @@ mod tests {
         assert!(text.contains("engine_items_enqueued_total{shard=\"0\"}"), "{text}");
         assert!(text.contains("engine_batch_occupancy_bucket"), "{text}");
         assert!(text.contains("smb_morph_events_total"), "{text}");
+        // --trace-sample 1 fills the per-stage histograms, and the
+        // flight-recorder gauges ride along with engine telemetry.
+        assert!(
+            text.contains("engine_stage_duration_ns_bucket{shard=\"0\",stage=\"record_batch\""),
+            "{text}"
+        );
+        assert!(text.contains("smb_flight_events_total"), "{text}");
+        assert!(text.contains("smb_flight_capacity"), "{text}");
     }
 
     #[test]
@@ -986,6 +1381,7 @@ mod tests {
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 0,
             threshold: 0.0,
             top: 5,
             metrics: Some(ExportFormat::Json),
@@ -1016,6 +1412,7 @@ mod tests {
         let cfg = MorphlogConfig {
             memory_bits: 2048,
             n_max: 1e5,
+            last: None,
         };
         let mut lines = (0..50_000u32).map(|i| format!("item-{i}"));
         let mut out = Vec::new();
@@ -1047,6 +1444,154 @@ mod tests {
         assert!(morphs > 0, "50k items over 2048 bits must morph: {text}");
         assert_eq!(finals, 1);
         assert!(text.lines().last().unwrap().contains("final"));
+    }
+
+    #[test]
+    fn morphlog_last_emits_only_the_final_window() {
+        let cfg = MorphlogConfig {
+            memory_bits: 2048,
+            n_max: 1e5,
+            last: Some(5),
+        };
+        let mut lines = (0..50_000u32).map(|i| format!("item-{i}"));
+        let mut out = Vec::new();
+        run_morphlog(cfg, &mut lines, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6, "5 flight events + 1 final: {text}");
+        let mut last_round = None::<u64>;
+        for line in &lines[..5] {
+            let obj = smb_devtools::Json::parse(line).expect("each line is one JSON object");
+            assert_eq!(obj.field("event").unwrap().as_str().unwrap(), "flight");
+            assert_eq!(obj.field("kind").unwrap().as_str().unwrap(), "morph");
+            let round = obj.field("round").unwrap().as_u64().unwrap();
+            if let Some(p) = last_round {
+                assert_eq!(round, p + 1, "window preserves round order: {text}");
+            }
+            last_round = Some(round);
+        }
+        let summary = smb_devtools::Json::parse(lines[5]).unwrap();
+        assert_eq!(summary.field("event").unwrap().as_str().unwrap(), "final");
+        assert_eq!(summary.field("window").unwrap().as_u64().unwrap(), 5);
+        assert!(
+            summary.field("events_recorded").unwrap().as_u64().unwrap() > 5,
+            "50k items morph far more than 5 times: {text}"
+        );
+        // The retained rounds are the LAST ones, not the first.
+        assert!(last_round.unwrap() >= 5, "{text}");
+    }
+
+    #[test]
+    fn doctor_emits_one_parseable_snapshot() {
+        let cfg = DoctorConfig {
+            memory_bits: 2048,
+            shards: 2,
+            batch: 32,
+            top: 3,
+            checkpoint_dir: None,
+        };
+        let mut lines = Vec::new();
+        for i in 0..30_000u32 {
+            lines.push(format!("hot\t{i}"));
+        }
+        for f in 0..20u32 {
+            lines.push(format!("cold-{f}\tonly-item"));
+        }
+        lines.push("malformed".into());
+        let mut out = Vec::new();
+        run_doctor(cfg, &mut lines.into_iter(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1, "one JSON object on one line");
+        let doc = smb_devtools::Json::parse(&text).expect("doctor output parses");
+
+        assert_eq!(doc.field("skipped_lines").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(doc.field("items_recorded").unwrap().as_u64().unwrap(), 30_020);
+        assert_eq!(doc.field("flows").unwrap().as_u64().unwrap(), 21);
+
+        let tiers = doc.field("tier_census").unwrap();
+        assert!(
+            tiers.field("full").unwrap().as_u64().unwrap() >= 1,
+            "the hot flow must materialize a full estimator: {text}"
+        );
+        assert!(tiers.field("small").unwrap().as_u64().unwrap() >= 1, "{text}");
+
+        let queues = doc.field("queue_depths").unwrap().as_arr().unwrap();
+        assert_eq!(queues.len(), 2, "one entry per shard");
+        for q in queues {
+            assert_eq!(q.field("depth").unwrap().as_u64().unwrap(), 0, "drained after flush");
+            assert!(q.field("batches_sent").unwrap().as_u64().is_ok());
+        }
+
+        let producer = doc.field("producer_counters").unwrap();
+        assert_eq!(producer.field("items").unwrap().as_u64().unwrap(), 30_020);
+
+        let morph = doc.field("morph").unwrap();
+        let events = morph.field("events_total").unwrap().as_u64().unwrap();
+        assert!(events > 0, "30k items over 2048 bits must morph: {text}");
+        let hot = morph.field("hot_flows").unwrap().as_arr().unwrap();
+        assert!(!hot.is_empty() && hot.len() <= 3, "{text}");
+        assert!(hot[0].field("estimate").unwrap().as_f64().unwrap() > 10_000.0, "{text}");
+
+        let window = doc.field("flight_window").unwrap().as_arr().unwrap();
+        assert!(!window.is_empty(), "morphs land in the flight window: {text}");
+        assert_eq!(
+            window.last().unwrap().field("kind").unwrap().as_str().unwrap(),
+            "morph"
+        );
+        assert!(
+            doc.field("flight").unwrap().field("recorded_total").unwrap().as_u64().unwrap()
+                >= events,
+            "{text}"
+        );
+
+        let stages = doc.field("stage_ns").unwrap().as_arr().unwrap();
+        let stage_names: Vec<String> = stages
+            .iter()
+            .map(|s| s.field("stage").unwrap().as_str().unwrap().to_string())
+            .collect();
+        for needed in ["producer_hash", "enqueue", "queue_wait", "record_batch", "query_sweep"] {
+            assert!(stage_names.iter().any(|s| s == needed), "missing {needed}: {text}");
+        }
+        assert!(
+            stages
+                .iter()
+                .filter(|s| s.field("stage").unwrap().as_str().unwrap() == "record_batch")
+                .all(|s| s.field("count").unwrap().as_u64().unwrap() > 0),
+            "doctor traces every batch: {text}"
+        );
+
+        let ckpt = doc.field("checkpoint").unwrap();
+        assert!(matches!(ckpt.field("enabled").unwrap(), smb_devtools::Json::Bool(false)));
+    }
+
+    #[test]
+    fn doctor_checkpoint_dir_reports_the_epoch() {
+        let dir = std::env::temp_dir().join(format!(
+            "smbcount-doctor-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = DoctorConfig {
+            memory_bits: 2048,
+            shards: 1,
+            batch: 32,
+            top: 2,
+            checkpoint_dir: Some(dir.clone()),
+        };
+        let mut lines = (0..5_000u32).map(|i| format!("f\t{i}"));
+        let mut out = Vec::new();
+        run_doctor(cfg, &mut lines, &mut out).unwrap();
+        let doc = smb_devtools::Json::parse(&String::from_utf8(out).unwrap()).unwrap();
+        let ckpt = doc.field("checkpoint").unwrap();
+        assert!(matches!(ckpt.field("enabled").unwrap(), smb_devtools::Json::Bool(true)));
+        assert_eq!(ckpt.field("epoch").unwrap().as_u64().unwrap(), 0);
+        // The checkpoint itself is a lifecycle event in the window.
+        let window = doc.field("flight_window").unwrap().as_arr().unwrap();
+        assert!(window
+            .iter()
+            .any(|e| e.field("kind").unwrap().as_str().unwrap() == "checkpoint"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1148,6 +1693,7 @@ mod tests {
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 0,
             threshold: 100.0,
             top: 5,
             metrics: None,
@@ -1192,6 +1738,7 @@ mod tests {
             queue_batches: 4,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 0,
             threshold: 0.0,
             top: 5,
             metrics: None,

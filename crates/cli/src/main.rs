@@ -6,18 +6,26 @@
 //! smbcount flows [--memory-bits 2048] [--threshold N] [--top K]
 //!     read "flow<TAB>item" lines; print per-flow estimates
 //! smbcount serve [--algo A] [--shards N] [--producers P] [--batch B] [--queue Q]
-//!                [--policy block|drop]
+//!                [--policy block|drop] [--trace-sample N]
 //!                [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]
 //!                [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]
 //!                [--checkpoint-dir DIR] [--checkpoint-interval SECS]
 //!     sharded parallel flows mode: per-flow estimates + engine stats
 //!     (+ metrics snapshot in JSON or Prometheus text exposition,
+//!      + pipeline-stage tracing of every Nth batch,
 //!      + durable checkpoints and a final epoch on shutdown)
 //! smbcount restore --dir DIR [--top K] [--threshold N]
 //!     recover the newest consistent checkpoint epoch; print what was
 //!     restored and the recovered per-flow estimates
-//! smbcount morphlog [--memory-bits M] [--n-max N]
+//! smbcount morphlog [--memory-bits M] [--n-max N] [--last N]
 //!     stream SMB morph events over stdin lines as JSON lines
+//!     (--last N: dump only the last N events from a flight-recorder
+//!      ring at end-of-input instead of streaming)
+//! smbcount doctor [--memory-bits M] [--shards N] [--batch B] [--top K]
+//!                 [--checkpoint-dir DIR]
+//!     ingest "flow<TAB>item" lines and emit one diagnostic JSON
+//!     snapshot: tier census, queue depths, producer counters, morph
+//!     cadence, flight-recorder window, stage timings, checkpoint
 //! smbcount trace [--flows N] [--seed S]
 //!     emit a synthetic CAIDA-like trace as "flow<TAB>item" lines
 //! ```
@@ -25,7 +33,8 @@
 use std::io::{BufRead, BufWriter, Write};
 
 use smb_cli::{
-    parse_args, run_count, run_flows, run_morphlog, run_restore, run_serve, run_trace, Command,
+    parse_args, run_count, run_doctor, run_flows, run_morphlog, run_restore, run_serve, run_trace,
+    Command,
 };
 
 fn main() {
@@ -34,7 +43,9 @@ fn main() {
         Ok(c) => c,
         Err(msg) => {
             eprintln!("{msg}");
-            eprintln!("usage: smbcount <count|flows|serve|restore|trace> [options]   (see --help)");
+            eprintln!(
+                "usage: smbcount <count|flows|serve|restore|morphlog|doctor|trace> [options]   (see --help)"
+            );
             std::process::exit(2);
         }
     };
@@ -52,10 +63,12 @@ fn main() {
                  \x20 flows  [--memory-bits M] [--threshold N] [--top K]   per-flow estimates of 'flow<TAB>item' lines\n\
                  \x20 serve  [--algo A] [--shards N] [--producers P] [--batch B] [--queue Q] [--policy block|drop]\n\
                  \x20        [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
+                 \x20        [--trace-sample N]   record pipeline-stage spans for every Nth batch (0 = off)\n\
                  \x20        [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]   metrics export\n\
                  \x20        [--checkpoint-dir DIR] [--checkpoint-interval SECS]   durable checkpoints + final epoch\n\
                  \x20 restore  --dir DIR [--top K] [--threshold N]   recover the newest consistent checkpoint\n\
-                 \x20 morphlog  [--memory-bits M] [--n-max N]   stream SMB morph events as JSON lines\n\
+                 \x20 morphlog  [--memory-bits M] [--n-max N] [--last N]   stream SMB morph events as JSON lines (--last N: only the final flight-recorder window)\n\
+                 \x20 doctor  [--memory-bits M] [--shards N] [--batch B] [--top K] [--checkpoint-dir DIR]   one diagnostic JSON snapshot of 'flow<TAB>item' input\n\
                  \x20 trace  [--flows N] [--seed S]   generate a synthetic trace\n\n\
                  algorithms: smb mrb fm hll hllpp tailcut loglog superloglog kmv mincount bjkst bitmap"
             );
@@ -67,6 +80,9 @@ fn main() {
         Command::Restore(cfg) => run_restore(cfg, &mut out),
         Command::Morphlog(cfg) => {
             run_morphlog(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out)
+        }
+        Command::Doctor(cfg) => {
+            run_doctor(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out)
         }
         Command::Trace(cfg) => run_trace(cfg, &mut out),
     };

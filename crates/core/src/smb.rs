@@ -270,8 +270,13 @@ impl CardinalityEstimator for Smb {
             // Step 3: morph when the round's budget of fresh bits is
             // exhausted — unless this is already the final round, where
             // the logical bitmap is allowed to fill up (saturation).
-            if self.v >= self.t && self.r + 1 < self.max_rounds {
-                self.close_round();
+            // Branch on the round first: saturation can only happen in
+            // the final round, so the non-final fresh-bit path skips
+            // the saturation probe (and its observer check) entirely.
+            if self.r + 1 < self.max_rounds {
+                if self.v >= self.t {
+                    self.close_round();
+                }
             } else {
                 self.maybe_emit_saturated();
             }

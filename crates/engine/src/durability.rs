@@ -48,7 +48,9 @@ use smb_devtools::{Json, Snapshot};
 use smb_factory::{AlgoSpec, DynEstimator};
 use smb_hash::crc32::crc32;
 use smb_sketch::{FlowCell, FlowStore as _};
-use smb_telemetry::{Counter, Gauge, Histogram, Registry};
+use smb_telemetry::{
+    Counter, FlightEvent, FlightEventKind, FlightRecorder, Gauge, Histogram, Registry,
+};
 
 use crate::engine::ShardTable;
 
@@ -524,6 +526,7 @@ pub(crate) fn checkpoint_with_retries(
     spec: AlgoSpec,
     tables: &[Arc<Mutex<ShardTable>>],
     metrics: &CheckpointMetrics,
+    flight: Option<&FlightRecorder>,
 ) -> smb_core::Result<u64> {
     let epoch = alloc_epoch(&config.dir, counter);
     let mut attempt = 0u32;
@@ -537,6 +540,19 @@ pub(crate) fn checkpoint_with_retries(
                 metrics.bytes.record(bytes);
                 metrics.epoch.set(epoch as i64);
                 metrics.written.inc();
+                if let Some(flight) = flight {
+                    flight.record(FlightEvent {
+                        kind: FlightEventKind::Checkpoint,
+                        round: 0,
+                        fresh_bits: 0,
+                        logical_size: 0,
+                        // Field reuse: for checkpoint events `items`
+                        // carries the epoch number written.
+                        items: epoch,
+                        estimate: 0.0,
+                        at_ns: 0,
+                    });
+                }
                 prune_epochs(&config.dir, config.keep_epochs);
                 return Ok(epoch);
             }
@@ -573,6 +589,7 @@ impl Checkpointer {
         tables: Vec<Arc<Mutex<ShardTable>>>,
         metrics: Arc<CheckpointMetrics>,
         counter: Arc<Mutex<u64>>,
+        flight: Option<Arc<FlightRecorder>>,
     ) -> Self {
         let stop = Arc::new((Mutex::new(false), Condvar::new()));
         let thread_stop = Arc::clone(&stop);
@@ -609,6 +626,7 @@ impl Checkpointer {
                         spec,
                         &tables,
                         &metrics,
+                        flight.as_deref(),
                     );
                 }
             })

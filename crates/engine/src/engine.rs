@@ -34,18 +34,21 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use smb_core::CardinalityEstimator;
+use smb_core::{CardinalityEstimator, EstimatorEvent, ObserverHandle, SmbObserver as _};
 use smb_factory::{AlgoSpec, DynEstimator};
 use smb_hash::{mix, HashScheme, ItemHash};
 use smb_sketch::{FlowStore, FlowTable, TierStats};
-use smb_telemetry::{MetricsObserver, Registry, RegistrySnapshot};
+use smb_telemetry::{
+    BatchedMetricsObserver, FlightEvent, FlightEventKind, FlightRecorder, Histogram, Registry,
+    RegistrySnapshot,
+};
 
 use crate::channel::{bounded, Sender, TrySendError};
 use crate::durability::{
     checkpoint_with_retries, select_epoch, CheckpointConfig, CheckpointMetrics, Checkpointer,
     LoadedEpoch, RestoreReport,
 };
-use crate::stats::{EngineStats, ProducerMetrics, ProducerStats, ShardMetrics};
+use crate::stats::{EngineStats, ProducerMetrics, ProducerStats, ShardMetrics, STAGE_HELP};
 
 /// Factory shared by all shards; must be callable from worker threads.
 pub type EstimatorFactory = dyn Fn(u64) -> DynEstimator + Send + Sync;
@@ -57,7 +60,39 @@ pub type ShardTable = FlowTable<DynEstimator, Box<dyn Fn(u64) -> DynEstimator + 
 
 /// One (flow key, pre-computed hash) pair in flight.
 type Entry = (u64, ItemHash);
-type Batch = Vec<Entry>;
+
+/// Timestamps a traced batch carries across the pipeline. Only
+/// batches picked by the `trace_sample` knob allocate one, so the
+/// untraced hot path pays a single `Option` check per batch.
+#[derive(Debug, Clone, Copy)]
+struct BatchTrace {
+    /// When the batch's first item was staged — the start of the
+    /// `producer_hash` stage.
+    staged: Instant,
+    /// When the batch was offered to the shard queue, set just before
+    /// the (possibly blocking) send. The worker's `queue_wait` stage
+    /// is measured from here, so it deliberately includes time the
+    /// producer spent blocked on a full queue — that wait *is* queue
+    /// backpressure, the thing the stage exists to show.
+    offered: Option<Instant>,
+}
+
+/// The unit of transfer over a shard queue: staged entries plus the
+/// optional trace context.
+#[derive(Debug)]
+struct Batch {
+    entries: Vec<Entry>,
+    trace: Option<BatchTrace>,
+}
+
+impl Batch {
+    fn with_capacity(cap: usize) -> Self {
+        Batch {
+            entries: Vec::with_capacity(cap),
+            trace: None,
+        }
+    }
+}
 
 /// What to do when a shard's queue is full at dispatch time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -100,6 +135,12 @@ pub struct EngineConfig {
     /// at construction so steady-state ingest never rehashes
     /// mid-stream.
     pub expected_flows: usize,
+    /// Pipeline-stage trace sampling: every `trace_sample`-th batch
+    /// carries timestamps through producer-hash → enqueue →
+    /// queue-wait → record-batch, landing in the per-shard
+    /// `engine_stage_duration_ns{stage}` histograms. `0` (the
+    /// default) disables tracing entirely; `1` traces every batch.
+    pub trace_sample: u32,
 }
 
 impl EngineConfig {
@@ -117,6 +158,7 @@ impl EngineConfig {
             queue_batches: 8,
             policy: BackpressurePolicy::Block,
             expected_flows: 0,
+            trace_sample: 0,
         }
     }
 
@@ -148,6 +190,13 @@ impl EngineConfig {
     /// pre-sized up front (0 = unknown, grow on demand).
     pub fn with_expected_flows(mut self, expected_flows: usize) -> Self {
         self.expected_flows = expected_flows;
+        self
+    }
+
+    /// Trace one batch in `trace_sample` through the pipeline stages
+    /// (0 disables, 1 traces everything) — the `--trace-sample` knob.
+    pub fn with_trace_sample(mut self, trace_sample: u32) -> Self {
+        self.trace_sample = trace_sample;
         self
     }
 
@@ -412,13 +461,19 @@ pub struct QueryReport {
 #[derive(Clone)]
 pub struct QueryHandle {
     shards: Vec<Arc<Mutex<ShardTable>>>,
+    /// The `query_sweep` stage histogram
+    /// (`engine_stage_duration_ns{shard="all",stage="query_sweep"}`);
+    /// every full sweep records its wall time here.
+    sweep: Option<Arc<Histogram>>,
 }
 
 impl QueryHandle {
     /// Run `query`, locking each shard exactly once. Results reflect
     /// batches the workers have already processed; flush the engine
-    /// first for a read of everything ingested.
+    /// first for a read of everything ingested. The sweep's wall time
+    /// lands in `engine_stage_duration_ns{stage="query_sweep"}`.
     pub fn run(&self, query: &EngineQuery) -> QueryReport {
+        let start = Instant::now();
         let mut report = QueryReport::default();
         let estimate_shard = query
             .estimate
@@ -459,6 +514,9 @@ impl QueryHandle {
         if let Some(k) = query.top_k {
             top_k_in_place(&mut all, k);
             report.top_k = Some(all);
+        }
+        if let Some(sweep) = &self.sweep {
+            sweep.record(duration_ns(start.elapsed()));
         }
         report
     }
@@ -508,6 +566,54 @@ pub struct ShardedFlowEngine {
     /// Allocator for producer-handle ids, shared with every handle so
     /// clones made after the engine is gone still get unique ids.
     producer_ids: Arc<AtomicU32>,
+    /// Batches staged by the engine front-end, for trace sampling.
+    trace_seq: u64,
+    /// The `query_sweep` stage histogram
+    /// (`engine_stage_duration_ns{shard="all",stage="query_sweep"}`),
+    /// shared with every [`QueryHandle`].
+    query_sweep: Arc<Histogram>,
+    /// Estimator-event telemetry (engines built via
+    /// [`ShardedFlowEngine::new`] / restore): the batched observer the
+    /// workers flush plus the flight recorder. `None` for custom
+    /// factories ([`ShardedFlowEngine::with_factory`] /
+    /// [`ShardedFlowEngine::with_registry`]), where estimator
+    /// observation is the caller's business.
+    telemetry: Option<EngineTelemetry>,
+}
+
+/// How many lifecycle events the engine's flight recorder retains.
+const FLIGHT_CAPACITY: usize = 256;
+
+/// The estimator-event half of engine telemetry: one
+/// [`BatchedMetricsObserver`] (morph/clear/saturation counters folded
+/// thread-locally, flushed by each worker per batch) and one
+/// [`FlightRecorder`] (the last [`FLIGHT_CAPACITY`] lifecycle events),
+/// both behind a single composite [`ObserverHandle`] attached to every
+/// estimator the engine builds.
+struct EngineTelemetry {
+    batched: Arc<BatchedMetricsObserver>,
+    flight: Arc<FlightRecorder>,
+    handle: ObserverHandle,
+}
+
+impl EngineTelemetry {
+    fn register(registry: &Registry) -> Self {
+        let batched = BatchedMetricsObserver::register(registry, &[]);
+        let flight = FlightRecorder::registered(FLIGHT_CAPACITY, registry, &[]);
+        let handle = {
+            let batched = Arc::clone(&batched);
+            let flight = Arc::clone(&flight);
+            ObserverHandle::from_observer(move |event: EstimatorEvent<'_>| {
+                batched.on_event(event);
+                flight.on_event(event);
+            })
+        };
+        EngineTelemetry {
+            batched,
+            flight,
+            handle,
+        }
+    }
 }
 
 /// Salt decorrelating shard selection from the estimators' item hashing
@@ -559,10 +665,22 @@ fn deliver_batch(
     metrics: &ShardMetrics,
     tx: &Sender<Batch>,
     mode: DeliveryMode,
-    batch: Batch,
+    mut batch: Batch,
+    flight: Option<&FlightRecorder>,
 ) -> Delivery {
-    let n = batch.len() as u64;
+    let n = batch.entries.len() as u64;
     metrics.batch_occupancy.record(n);
+    // Traced batch: the producer_hash stage (staging the entries)
+    // ends here; stamp the queue offer before the possibly-blocking
+    // send so the worker can measure queue_wait from it.
+    let offered = batch.trace.as_mut().map(|trace| {
+        let now = Instant::now();
+        metrics
+            .stage_producer_hash
+            .record(duration_ns(now.duration_since(trace.staged)));
+        trace.offered = Some(now);
+        now
+    });
     let mut outcome = Delivery {
         delivered: false,
         queue_full: false,
@@ -593,6 +711,19 @@ fn deliver_batch(
                         }
                         BackpressurePolicy::DropNewest => {
                             metrics.dropped_items.add(n);
+                            if let Some(flight) = flight {
+                                flight.record(FlightEvent {
+                                    kind: FlightEventKind::DropBurst,
+                                    round: 0,
+                                    fresh_bits: 0,
+                                    logical_size: 0,
+                                    // Field reuse: for drop bursts
+                                    // `items` is the dropped count.
+                                    items: n,
+                                    estimate: 0.0,
+                                    at_ns: 0,
+                                });
+                            }
                         }
                     }
                 }
@@ -604,6 +735,9 @@ fn deliver_batch(
         }
     }
     if outcome.delivered {
+        if let Some(offered) = offered {
+            metrics.stage_enqueue.record(duration_ns(offered.elapsed()));
+        }
         metrics.queue_depth.add(1);
         metrics.batches_sent.add_release(1);
         metrics.items_enqueued.add(n);
@@ -611,26 +745,38 @@ fn deliver_batch(
     outcome
 }
 
+/// A span duration as saturating nanoseconds.
+#[inline]
+fn duration_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl ShardedFlowEngine {
     /// Spawn an engine whose per-flow estimators come from
     /// `config.spec`. Fails fast if the spec's parameters are invalid
     /// (workers never build a broken estimator mid-stream).
     ///
-    /// Estimators are built with a [`MetricsObserver`] attached, so
-    /// SMB morph/clear/saturation events land in the engine registry
+    /// Estimators are built with a [`BatchedMetricsObserver`] and the
+    /// engine's [`FlightRecorder`] attached, so SMB
+    /// morph/clear/saturation events land in the engine registry
     /// alongside the shard counters (engine-wide series — flows are
-    /// too numerous to label individually).
+    /// too numerous to label individually) and in the flight window
+    /// `smbcount doctor` dumps. The batched observer folds events into
+    /// thread-local deltas; each shard worker flushes them on every
+    /// batch boundary, so per-event cost is a thread-local write, not
+    /// an atomic RMW.
     pub fn new(config: EngineConfig) -> smb_core::Result<Self> {
         // Probe the spec once so errors surface here, not in a worker.
         config.spec.build()?;
         let spec = config.spec;
         let registry = Arc::new(Registry::new("smb_engine"));
-        let observer = MetricsObserver::register(&registry, &[]).into_handle();
+        let telemetry = EngineTelemetry::register(&registry);
+        let observer = telemetry.handle.clone();
         let factory: Arc<EstimatorFactory> = Arc::new(move |_flow| {
             spec.build_observed(Some(observer.clone()))
                 .expect("spec validated at engine construction")
         });
-        Self::with_registry(config, spec.scheme(), factory, registry)
+        Self::build(config, spec.scheme(), factory, registry, Some(telemetry))
     }
 
     /// Spawn an engine with a custom estimator factory. `scheme` must
@@ -652,6 +798,16 @@ impl ShardedFlowEngine {
         scheme: HashScheme,
         factory: Arc<EstimatorFactory>,
         registry: Arc<Registry>,
+    ) -> smb_core::Result<Self> {
+        Self::build(config, scheme, factory, registry, None)
+    }
+
+    fn build(
+        config: EngineConfig,
+        scheme: HashScheme,
+        factory: Arc<EstimatorFactory>,
+        registry: Arc<Registry>,
+        telemetry: Option<EngineTelemetry>,
     ) -> smb_core::Result<Self> {
         config.validate()?;
         let mut shards = Vec::with_capacity(config.shards);
@@ -676,6 +832,7 @@ impl ShardedFlowEngine {
             let table: Arc<Mutex<ShardTable>> = Arc::new(Mutex::new(shard_table));
             let worker_table = Arc::clone(&table);
             let worker_metrics = Arc::clone(&metrics);
+            let worker_observer = telemetry.as_ref().map(|t| Arc::clone(&t.batched));
             let worker = std::thread::Builder::new()
                 .name("smb-engine-shard".into())
                 .spawn(move || {
@@ -683,17 +840,32 @@ impl ShardedFlowEngine {
                     let mut last_tiers = TierStats::default();
                     while let Some(batch) = rx.recv() {
                         let start = Instant::now();
+                        if let Some(trace) = &batch.trace {
+                            if let Some(offered) = trace.offered {
+                                worker_metrics
+                                    .stage_queue_wait
+                                    .record(duration_ns(start.duration_since(offered)));
+                            }
+                        }
                         let mut table = worker_table.lock().expect("shard table lock");
-                        record_batch_grouped(&mut *table, &batch, &mut scratch);
+                        record_batch_grouped(&mut *table, &batch.entries, &mut scratch);
                         let flows = table.len() as i64;
                         let tiers = table.tier_stats();
                         drop(table);
+                        // Estimator events folded during this batch go
+                        // into the shared cells now, before the release
+                        // increment below publishes them to flush().
+                        if let Some(observer) = &worker_observer {
+                            observer.flush_local();
+                        }
                         worker_metrics.sync_tiers(&mut last_tiers, tiers);
-                        worker_metrics.record_latency.record(
-                            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
-                        );
+                        let elapsed = duration_ns(start.elapsed());
+                        worker_metrics.record_latency.record(elapsed);
+                        if batch.trace.is_some() {
+                            worker_metrics.stage_record_batch.record(elapsed);
+                        }
                         worker_metrics.flows.set(flows);
-                        worker_metrics.items_recorded.add(batch.len() as u64);
+                        worker_metrics.items_recorded.add(batch.entries.len() as u64);
                         worker_metrics.queue_depth.sub(1);
                         // Release publishes the table writes above to
                         // flush()'s acquire load.
@@ -709,8 +881,15 @@ impl ShardedFlowEngine {
             });
         }
         let checkpoint_metrics = Arc::new(CheckpointMetrics::register(&registry));
+        let query_sweep = registry.histogram_with(
+            "engine_stage_duration_ns",
+            STAGE_HELP,
+            &[("shard", "all"), ("stage", "query_sweep")],
+        );
         Ok(ShardedFlowEngine {
-            pending: vec![Vec::with_capacity(config.batch); config.shards],
+            pending: (0..config.shards)
+                .map(|_| Batch::with_capacity(config.batch))
+                .collect(),
             config,
             scheme,
             shards,
@@ -719,6 +898,9 @@ impl ShardedFlowEngine {
             next_epoch: Arc::new(Mutex::new(0)),
             checkpointer: None,
             producer_ids: Arc::new(AtomicU32::new(0)),
+            trace_seq: 0,
+            query_sweep,
+            telemetry,
         })
     }
 
@@ -751,8 +933,21 @@ impl ShardedFlowEngine {
     #[inline]
     pub fn ingest_hash(&mut self, flow: u64, hash: ItemHash) {
         let shard = self.shard_of(flow);
-        self.pending[shard].push((flow, hash));
-        if self.pending[shard].len() >= self.config.batch {
+        let pending = &mut self.pending[shard];
+        // Trace sampling is decided when a batch starts: the span must
+        // cover the whole producer_hash stage, i.e. from first staged
+        // item to queue offer.
+        if pending.entries.is_empty() && self.config.trace_sample != 0 {
+            self.trace_seq += 1;
+            if self.trace_seq % self.config.trace_sample as u64 == 0 {
+                pending.trace = Some(BatchTrace {
+                    staged: Instant::now(),
+                    offered: None,
+                });
+            }
+        }
+        pending.entries.push((flow, hash));
+        if pending.entries.len() >= self.config.batch {
             self.dispatch(shard);
         }
     }
@@ -769,9 +964,9 @@ impl ShardedFlowEngine {
     fn dispatch(&mut self, shard: usize) {
         let batch = std::mem::replace(
             &mut self.pending[shard],
-            Vec::with_capacity(self.config.batch),
+            Batch::with_capacity(self.config.batch),
         );
-        if batch.is_empty() {
+        if batch.entries.is_empty() {
             return;
         }
         let s = &self.shards[shard];
@@ -780,6 +975,7 @@ impl ShardedFlowEngine {
             &s.tx,
             DeliveryMode::Policy(self.config.policy),
             batch,
+            self.telemetry.as_ref().map(|t| &*t.flight),
         );
         if outcome.closed {
             unreachable!("engine closes queues only on drop");
@@ -819,11 +1015,16 @@ impl ShardedFlowEngine {
                 .iter()
                 .map(|s| (s.tx.clone(), Arc::clone(&s.metrics)))
                 .collect(),
-            pending: vec![Vec::with_capacity(self.config.batch); self.shards.len()],
+            pending: (0..self.shards.len())
+                .map(|_| Batch::with_capacity(self.config.batch))
+                .collect(),
             metrics: ProducerMetrics::register(&self.registry, id),
             id,
             ids: Arc::clone(&self.producer_ids),
             registry: Arc::clone(&self.registry),
+            trace_sample: self.config.trace_sample,
+            trace_seq: 0,
+            flight: self.telemetry.as_ref().map(|t| Arc::clone(&t.flight)),
         }
     }
 
@@ -845,15 +1046,21 @@ impl ShardedFlowEngine {
     pub fn flush(&mut self) {
         let _span = self.registry.timer("engine.flush");
         for shard in 0..self.shards.len() {
-            if self.pending[shard].is_empty() {
+            if self.pending[shard].entries.is_empty() {
                 continue;
             }
             let batch = std::mem::replace(
                 &mut self.pending[shard],
-                Vec::with_capacity(self.config.batch),
+                Batch::with_capacity(self.config.batch),
             );
             let s = &self.shards[shard];
-            let outcome = deliver_batch(&s.metrics, &s.tx, DeliveryMode::ForceBlock, batch);
+            let outcome = deliver_batch(
+                &s.metrics,
+                &s.tx,
+                DeliveryMode::ForceBlock,
+                batch,
+                self.telemetry.as_ref().map(|t| &*t.flight),
+            );
             if outcome.closed {
                 unreachable!("engine closes queues only on drop");
             }
@@ -893,6 +1100,7 @@ impl ShardedFlowEngine {
     pub fn query_handle(&self) -> QueryHandle {
         QueryHandle {
             shards: self.shards.iter().map(|s| Arc::clone(&s.table)).collect(),
+            sweep: Some(Arc::clone(&self.query_sweep)),
         }
     }
 
@@ -969,7 +1177,23 @@ impl ShardedFlowEngine {
             s.metrics.flows.set(flows);
             s.metrics.set_tier_gauges(tiers);
         }
+        // Fold in any estimator events this thread produced (e.g. a
+        // clear through a direct table handle); worker threads flush
+        // their own deltas on every batch boundary.
+        if let Some(telemetry) = &self.telemetry {
+            telemetry.batched.flush_local();
+        }
         self.registry.snapshot()
+    }
+
+    /// The engine's flight recorder — the last `FLIGHT_CAPACITY` (256)
+    /// morph / clear / saturation / checkpoint / drop-burst events,
+    /// for diagnostics (`smbcount doctor`, `morphlog --last`). `None`
+    /// for engines built with a custom factory
+    /// ([`ShardedFlowEngine::with_factory`] /
+    /// [`ShardedFlowEngine::with_registry`]).
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.telemetry.as_ref().map(|t| &t.flight)
     }
 
     /// Total memory held by per-flow estimator state across all
@@ -1043,6 +1267,7 @@ impl ShardedFlowEngine {
             tables,
             Arc::clone(&self.checkpoint_metrics),
             Arc::clone(&self.next_epoch),
+            self.telemetry.as_ref().map(|t| Arc::clone(&t.flight)),
         ));
         Ok(())
     }
@@ -1075,6 +1300,7 @@ impl ShardedFlowEngine {
             self.config.spec,
             &tables,
             &self.checkpoint_metrics,
+            self.telemetry.as_ref().map(|t| &*t.flight),
         )
     }
 
@@ -1131,12 +1357,17 @@ impl ShardedFlowEngine {
         mut report: RestoreReport,
     ) -> smb_core::Result<(Self, RestoreReport)> {
         let engine = Self::new(config)?;
-        // Reattach the engine's metrics observer to every restored
-        // estimator, so morph/saturation events keep flowing after
-        // recovery exactly as they did before the crash. Tiered cells
-        // come back unmaterialized and pick the observer up from the
-        // engine's factory if they ever promote.
-        let observer = MetricsObserver::register(&engine.registry, &[]).into_handle();
+        // Reattach the engine's own observer bundle (batched metrics +
+        // flight recorder) to every restored estimator, so
+        // morph/saturation events keep flowing after recovery exactly
+        // as they did before the crash. Tiered cells come back
+        // unmaterialized and pick the observer up from the engine's
+        // factory if they ever promote.
+        let observer = engine
+            .telemetry
+            .as_ref()
+            .map(|t| t.handle.clone())
+            .expect("Self::new always builds the telemetry bundle");
         let mut flows = 0u64;
         for (flow, state) in &loaded.flows {
             let mut cell = crate::durability::restore_cell(config.spec, state)?;
@@ -1185,6 +1416,7 @@ impl ShardedFlowEngine {
                 self.config.spec,
                 &tables,
                 &self.checkpoint_metrics,
+                self.telemetry.as_ref().map(|t| &*t.flight),
             );
         }
         let stats = self.stats();
@@ -1250,6 +1482,14 @@ pub struct EngineProducer {
     id: u32,
     ids: Arc<AtomicU32>,
     registry: Arc<Registry>,
+    /// The engine's `trace_sample` knob, applied independently to this
+    /// producer's own batch sequence.
+    trace_sample: u32,
+    /// Batches staged by this producer, for trace sampling.
+    trace_seq: u64,
+    /// The engine's flight recorder, for drop-burst events on this
+    /// producer's dispatch path.
+    flight: Option<Arc<FlightRecorder>>,
 }
 
 impl EngineProducer {
@@ -1281,8 +1521,18 @@ impl EngineProducer {
     #[inline]
     pub fn ingest_hash(&mut self, flow: u64, hash: ItemHash) {
         let shard = self.shard_of(flow);
-        self.pending[shard].push((flow, hash));
-        if self.pending[shard].len() >= self.batch {
+        let pending = &mut self.pending[shard];
+        if pending.entries.is_empty() && self.trace_sample != 0 {
+            self.trace_seq += 1;
+            if self.trace_seq % self.trace_sample as u64 == 0 {
+                pending.trace = Some(BatchTrace {
+                    staged: Instant::now(),
+                    offered: None,
+                });
+            }
+        }
+        pending.entries.push((flow, hash));
+        if pending.entries.len() >= self.batch {
             self.dispatch(shard, DeliveryMode::Policy(self.policy));
         }
     }
@@ -1300,7 +1550,7 @@ impl EngineProducer {
     /// Also runs on drop.
     pub fn flush(&mut self) {
         for shard in 0..self.shards.len() {
-            if !self.pending[shard].is_empty() {
+            if !self.pending[shard].entries.is_empty() {
                 self.dispatch(shard, DeliveryMode::ForceBlock);
             }
         }
@@ -1312,13 +1562,13 @@ impl EngineProducer {
     }
 
     fn dispatch(&mut self, shard: usize, mode: DeliveryMode) {
-        let batch = std::mem::replace(&mut self.pending[shard], Vec::with_capacity(self.batch));
-        if batch.is_empty() {
+        let batch = std::mem::replace(&mut self.pending[shard], Batch::with_capacity(self.batch));
+        if batch.entries.is_empty() {
             return;
         }
-        let n = batch.len() as u64;
+        let n = batch.entries.len() as u64;
         let (tx, metrics) = &self.shards[shard];
-        let outcome = deliver_batch(metrics, tx, mode, batch);
+        let outcome = deliver_batch(metrics, tx, mode, batch, self.flight.as_deref());
         if outcome.queue_full {
             self.metrics.queue_full.inc();
         }
@@ -1344,11 +1594,16 @@ impl Clone for EngineProducer {
             batch: self.batch,
             policy: self.policy,
             shards: self.shards.clone(),
-            pending: vec![Vec::with_capacity(self.batch); self.shards.len()],
+            pending: (0..self.shards.len())
+                .map(|_| Batch::with_capacity(self.batch))
+                .collect(),
             metrics: ProducerMetrics::register(&self.registry, id),
             id,
             ids: Arc::clone(&self.ids),
             registry: Arc::clone(&self.registry),
+            trace_sample: self.trace_sample,
+            trace_seq: 0,
+            flight: self.flight.clone(),
         }
     }
 }
@@ -1526,6 +1781,176 @@ mod tests {
             })
             .sum();
         assert!(latency > 0);
+    }
+
+    #[test]
+    fn trace_sampling_fills_stage_histograms() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec())
+                .with_shards(1)
+                .with_batch(32)
+                .with_trace_sample(1),
+        )
+        .unwrap();
+        for i in 0..5_000u32 {
+            engine.ingest(i as u64 % 7, &i.to_le_bytes());
+        }
+        engine.flush();
+        engine.query_handle().run(&EngineQuery::new().with_flow_count());
+        let snap = engine.metrics_snapshot();
+        for stage in ["producer_hash", "enqueue", "queue_wait", "record_batch"] {
+            let h = snap
+                .get("engine_stage_duration_ns", &[("shard", "0"), ("stage", stage)])
+                .unwrap_or_else(|| panic!("stage {stage} missing"))
+                .as_histogram()
+                .unwrap();
+            assert!(h.count > 0, "stage {stage} recorded no spans");
+        }
+        let sweep = snap
+            .get(
+                "engine_stage_duration_ns",
+                &[("shard", "all"), ("stage", "query_sweep")],
+            )
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        assert_eq!(sweep.count, 1, "one query sweep ran");
+    }
+
+    #[test]
+    fn tracing_off_by_default_records_no_stage_spans() {
+        let mut engine =
+            ShardedFlowEngine::new(EngineConfig::new(spec()).with_shards(1).with_batch(32))
+                .unwrap();
+        for i in 0..5_000u32 {
+            engine.ingest(i as u64 % 7, &i.to_le_bytes());
+        }
+        engine.flush();
+        let snap = engine.metrics_snapshot();
+        for stage in ["producer_hash", "enqueue", "queue_wait", "record_batch"] {
+            let h = snap
+                .get("engine_stage_duration_ns", &[("shard", "0"), ("stage", stage)])
+                .unwrap()
+                .as_histogram()
+                .unwrap();
+            assert_eq!(h.count, 0, "stage {stage} sampled with tracing off");
+        }
+    }
+
+    #[test]
+    fn trace_sampling_covers_producer_handles() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec())
+                .with_shards(1)
+                .with_batch(32)
+                .with_trace_sample(4),
+        )
+        .unwrap();
+        let producer = engine.producer_handle();
+        std::thread::scope(|s| {
+            for t in 0u64..2 {
+                let mut p = producer.clone();
+                s.spawn(move || {
+                    for i in 0..4_000u32 {
+                        p.ingest(t, &i.to_le_bytes());
+                    }
+                });
+            }
+        });
+        drop(producer);
+        engine.flush();
+        let snap = engine.metrics_snapshot();
+        let staged = snap
+            .get(
+                "engine_stage_duration_ns",
+                &[("shard", "0"), ("stage", "producer_hash")],
+            )
+            .unwrap()
+            .as_histogram()
+            .unwrap();
+        // 2 producers × 4000 items / 32 per batch = 250 batches; 1/4
+        // sampling must trace roughly a quarter of them.
+        assert!(staged.count >= 30, "only {} traced batches", staged.count);
+        assert!(staged.count <= 80, "{} traced batches", staged.count);
+    }
+
+    #[test]
+    fn flight_recorder_captures_lifecycle_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "smb-flight-engine-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Block policy: nothing is dropped, so the window holds every
+        // lifecycle event (2 flows morph far fewer than 256 times) and
+        // the assertions are schedule-independent.
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec())
+                .with_shards(1)
+                .with_batch(8)
+                .with_queue_batches(1)
+                .with_policy(BackpressurePolicy::Block),
+        )
+        .unwrap();
+        for i in 0..200_000u32 {
+            engine.ingest(i as u64 % 2, &i.to_le_bytes());
+        }
+        engine.flush();
+        let epoch = engine
+            .checkpoint_now(&CheckpointConfig::new(&dir))
+            .expect("checkpoint");
+        let flight = engine.flight_recorder().expect("built via new()");
+        let window = flight.recent(FLIGHT_CAPACITY);
+        use smb_telemetry::FlightEventKind as K;
+        assert!(
+            window.iter().any(|e| e.kind == K::Morph),
+            "100k items into a 2048-bit SMB must morph"
+        );
+        let checkpoint = window
+            .iter()
+            .rev()
+            .find(|e| e.kind == K::Checkpoint)
+            .expect("checkpoint event recorded");
+        assert_eq!(checkpoint.items, epoch, "checkpoint event carries the epoch");
+        // The registry mirrors the recorder.
+        let snap = engine.metrics_snapshot();
+        assert_eq!(
+            snap.counter_total("smb_flight_events_total"),
+            flight.recorded_total()
+        );
+        drop(engine);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // A second engine with the drop policy and a 1-batch queue: if
+        // any batch was shed, its burst must appear in the window with
+        // a non-zero dropped-item count. (Whether drops happen at all
+        // depends on worker scheduling, so the check is conditional —
+        // but when they flood the ring, evicting morphs is exactly the
+        // documented overwrite-oldest behaviour, not a failure.)
+        let mut dropper = ShardedFlowEngine::new(
+            EngineConfig::new(spec())
+                .with_shards(1)
+                .with_batch(8)
+                .with_queue_batches(1)
+                .with_policy(BackpressurePolicy::DropNewest),
+        )
+        .unwrap();
+        for i in 0..200_000u32 {
+            dropper.ingest(i as u64 % 2, &i.to_le_bytes());
+        }
+        dropper.flush();
+        if dropper.stats().total_dropped() > 0 {
+            let window = dropper
+                .flight_recorder()
+                .expect("built via new()")
+                .recent(FLIGHT_CAPACITY);
+            let dropped: u64 = window
+                .iter()
+                .filter(|e| e.kind == K::DropBurst)
+                .map(|e| e.items)
+                .sum();
+            assert!(dropped > 0, "drop bursts missing from flight window");
+        }
     }
 
     #[test]

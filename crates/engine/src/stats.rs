@@ -61,7 +61,29 @@ pub(crate) struct ShardMetrics {
     /// Lifetime cells that materialized an estimator
     /// (`engine_tier_promotions_total{tier="full"}`).
     pub promotions_to_full: Arc<Counter>,
+    /// Sampled pipeline-stage spans
+    /// (`engine_stage_duration_ns{shard,stage}`), fed only by batches
+    /// the `trace_sample` knob selected. Stages, in pipeline order:
+    /// staging the batch producer-side (`producer_hash`), handing it
+    /// to the queue (`enqueue`), waiting in the queue until the worker
+    /// dequeues it (`queue_wait`, measured from the enqueue offer so
+    /// it includes any time the producer spent blocked on a full
+    /// queue), and recording it into the flow table (`record_batch`).
+    pub stage_producer_hash: Arc<Histogram>,
+    /// `engine_stage_duration_ns{stage="enqueue"}` — see
+    /// [`ShardMetrics::stage_producer_hash`].
+    pub stage_enqueue: Arc<Histogram>,
+    /// `engine_stage_duration_ns{stage="queue_wait"}` — see
+    /// [`ShardMetrics::stage_producer_hash`].
+    pub stage_queue_wait: Arc<Histogram>,
+    /// `engine_stage_duration_ns{stage="record_batch"}` — see
+    /// [`ShardMetrics::stage_producer_hash`].
+    pub stage_record_batch: Arc<Histogram>,
 }
+
+/// One HELP string for every `engine_stage_duration_ns` series.
+pub(crate) const STAGE_HELP: &str =
+    "Nanoseconds per pipeline stage, from batches sampled by trace_sample";
 
 impl ShardMetrics {
     /// Register this shard's series (label `shard="<index>"`) in
@@ -149,6 +171,26 @@ impl ShardMetrics {
                 "engine_tier_promotions_total",
                 "Lifetime tier promotions, by destination tier",
                 &[("shard", &index), ("tier", "full")],
+            ),
+            stage_producer_hash: registry.histogram_with(
+                "engine_stage_duration_ns",
+                STAGE_HELP,
+                &[("shard", &index), ("stage", "producer_hash")],
+            ),
+            stage_enqueue: registry.histogram_with(
+                "engine_stage_duration_ns",
+                STAGE_HELP,
+                &[("shard", &index), ("stage", "enqueue")],
+            ),
+            stage_queue_wait: registry.histogram_with(
+                "engine_stage_duration_ns",
+                STAGE_HELP,
+                &[("shard", &index), ("stage", "queue_wait")],
+            ),
+            stage_record_batch: registry.histogram_with(
+                "engine_stage_duration_ns",
+                STAGE_HELP,
+                &[("shard", &index), ("stage", "record_batch")],
             ),
         }
     }

@@ -46,8 +46,9 @@ impl ExportFormat {
 ///
 /// Histogram series values are objects with `count`, `sum`, `mean`,
 /// `p50`/`p95`/`p99` and cumulative `buckets` (`[le, count]` pairs;
-/// the final `le` is `null` for +Inf). `NaN` quantiles (empty
-/// histogram) render as `null`.
+/// the final `le` is `null` for +Inf). Quantiles of an empty
+/// histogram are a deterministic `0.0`; only `mean` can still be
+/// `NaN` (0/0), which renders as `null`.
 pub fn snapshot_to_json(snapshot: &RegistrySnapshot) -> Json {
     Json::Obj(vec![
         ("registry".into(), Json::str(&snapshot.registry)),
@@ -298,7 +299,8 @@ mod tests {
         let r = Registry::new("t");
         r.histogram("h", "h");
         let text = ExportFormat::Json.render(&r.snapshot());
-        // NaN quantiles must degrade to null, not break the document.
+        // Quantiles of an empty histogram are a deterministic 0.0;
+        // only the NaN mean degrades to null.
         let parsed = Json::parse(&text).expect("valid JSON");
         let v = parsed.field("metrics").unwrap().as_arr().unwrap()[0]
             .field("series")
@@ -308,7 +310,9 @@ mod tests {
             .field("value")
             .unwrap()
             .clone();
-        assert!(matches!(v.field("p50").unwrap(), Json::Null));
+        assert_eq!(v.field("p50").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(v.field("p99").unwrap().as_f64().unwrap(), 0.0);
+        assert!(matches!(v.field("mean").unwrap(), Json::Null));
     }
 
     #[test]

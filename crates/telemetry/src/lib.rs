@@ -11,6 +11,12 @@
 //!   feature;
 //! * [`MetricsObserver`] — an [`smb_core::SmbObserver`] folding morph
 //!   / clear / saturation events into a registry;
+//! * [`BatchedMetricsObserver`] — the same seven metric families fed
+//!   through thread-local delta buffers, flushed on batch boundaries
+//!   (the hot-path observer the sharded engine uses);
+//! * [`FlightRecorder`] — a fixed-capacity lock-free ring retaining
+//!   the last N morph / lifecycle events for `smbcount doctor` and
+//!   `morphlog --last`;
 //! * [`ExportFormat`] — render a [`RegistrySnapshot`] as compact JSON
 //!   or Prometheus text exposition;
 //! * [`Reporter`] — a background thread emitting snapshots on an
@@ -23,14 +29,18 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod delta;
 pub mod export;
+pub mod flight;
 pub mod metrics;
 pub mod observer;
 pub mod registry;
 pub mod reporter;
 pub mod timer;
 
+pub use delta::BatchedMetricsObserver;
 pub use export::{snapshot_to_json, snapshot_to_prometheus, ExportFormat};
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder};
 pub use metrics::{bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot};
 pub use observer::{morph_event_to_json, MetricsObserver};
 pub use registry::{

@@ -224,10 +224,21 @@ impl Histogram {
 }
 
 /// Quantile estimate from per-bucket counts: find the bucket holding
-/// the target rank, interpolate linearly inside it. Empty → `NaN`.
+/// the target rank, interpolate linearly inside it.
+///
+/// Edge cases are deterministic so exporters and gates never see a
+/// surprise value: an empty histogram reports `0.0` (not `NaN`, which
+/// JSON cannot carry and threshold comparisons silently absorb), and
+/// a histogram whose samples all landed in one bucket reports that
+/// bucket's upper bound for every `q` — interpolating inside the only
+/// occupied bucket would fabricate a spread the data never showed.
 fn quantile(counts: &[u64], total: u64, q: f64) -> f64 {
     if total == 0 {
-        return f64::NAN;
+        return 0.0;
+    }
+    let mut occupied = counts.iter().enumerate().filter(|(_, &c)| c > 0);
+    if let (Some((only, _)), None) = (occupied.next(), occupied.next()) {
+        return bucket_upper_bound(only) as f64;
     }
     let rank = (q * total as f64).ceil().max(1.0) as u64;
     let mut cumulative = 0u64;
@@ -258,7 +269,8 @@ pub struct HistogramSnapshot {
     /// non-empty bucket (Prometheus `le` semantics); the final
     /// `u64::MAX` bound renders as `+Inf`.
     pub buckets: Vec<(u64, u64)>,
-    /// Median estimate (`NaN` when empty).
+    /// Median estimate (`0.0` when empty; a single occupied bucket
+    /// reports its upper bound — see the `quantile` edge cases).
     pub p50: f64,
     /// 95th-percentile estimate.
     pub p95: f64,
@@ -340,13 +352,55 @@ mod tests {
     }
 
     #[test]
-    fn empty_histogram_is_nan_not_panic() {
+    fn empty_histogram_reports_zero_quantiles() {
         let h = Histogram::new();
         let snap = h.snapshot();
         assert_eq!(snap.count, 0);
-        assert!(snap.p50.is_nan());
-        assert!(snap.mean().is_nan());
+        assert_eq!(snap.p50, 0.0);
+        assert_eq!(snap.p95, 0.0);
+        assert_eq!(snap.p99, 0.0);
+        assert!(snap.mean().is_nan(), "mean keeps NaN: 0/0 has no answer");
         assert_eq!(snap.buckets.len(), 1, "one bucket row even when empty");
+    }
+
+    #[test]
+    fn single_bucket_histogram_pins_quantiles_to_the_bucket_bound() {
+        // Every sample in (512, 1024] — one occupied bucket. All
+        // quantiles must report the bucket's upper bound, with no
+        // fabricated spread from intra-bucket interpolation.
+        let h = Histogram::new();
+        for v in 513..=1024u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 1024.0);
+        assert_eq!(snap.p95, 1024.0);
+        assert_eq!(snap.p99, 1024.0);
+
+        // Same for a single sample, and for the degenerate v ≤ 1
+        // bucket whose upper bound is 1.
+        let one = Histogram::new();
+        one.record(0);
+        let snap = one.snapshot();
+        assert_eq!((snap.p50, snap.p95, snap.p99), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn quantile_boundary_interpolation_is_pinned() {
+        // 100 samples in (1, 2] and 100 in (2, 4]: cumulative rank
+        // crosses p50 exactly at the first bucket's last sample, so
+        // p50 interpolates to that bucket's upper bound; p95 and p99
+        // land at fractional positions inside the second bucket:
+        // lo + (hi − lo) · (rank − prev)/c = 2 + 2·(rank − 100)/100.
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(2);
+            h.record(4);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p50, 2.0, "rank 100 closes the first bucket");
+        assert_eq!(snap.p95, 2.0 + 2.0 * 0.90, "rank 190 → 90% into (2,4]");
+        assert_eq!(snap.p99, 2.0 + 2.0 * 0.98, "rank 198 → 98% into (2,4]");
     }
 
     #[test]

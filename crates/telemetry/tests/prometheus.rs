@@ -7,7 +7,8 @@
 use std::collections::HashMap;
 
 use smb_telemetry::{
-    is_valid_label_name, is_valid_metric_name, snapshot_to_prometheus, Registry,
+    is_valid_label_name, is_valid_metric_name, snapshot_to_prometheus, FlightEvent,
+    FlightEventKind, FlightRecorder, Registry,
 };
 
 /// One parsed sample line: `name{labels} value`.
@@ -288,6 +289,97 @@ fn histogram_buckets_are_cumulative_and_end_at_count() {
         Some(7.0)
     );
     assert_eq!(doc.sample_value("empty_hist_count", &[]), Some(0.0));
+}
+
+#[test]
+fn stage_and_flight_families_round_trip() {
+    let r = Registry::new("smb_roundtrip");
+    // Per-stage span histograms exactly as the engine registers them,
+    // plus one series with a hostile shard value to prove escaping
+    // holds on the shard/stage label positions too.
+    for (shard, stage) in [
+        ("0", "producer_hash"),
+        ("0", "enqueue"),
+        ("0", "queue_wait"),
+        ("all", "query_sweep"),
+        ("sh\\ard\"1\n", "record_batch"),
+    ] {
+        let h = r.histogram_with(
+            "engine_stage_duration_ns",
+            "Nanoseconds per pipeline stage",
+            &[("shard", shard), ("stage", stage)],
+        );
+        h.record(250);
+        h.record(90_000);
+    }
+    // A flight recorder with a hostile producer label; six events over
+    // a four-slot ring leaves events_total=6, window=capacity=4.
+    let producer_label = "p\\0\"x\ny";
+    let flight = FlightRecorder::registered(4, &r, &[("producer", producer_label)]);
+    for round in 0..6u32 {
+        flight.record(FlightEvent {
+            kind: FlightEventKind::Morph,
+            round,
+            fresh_bits: 10,
+            logical_size: 2048,
+            items: 100,
+            estimate: 1234.5,
+            at_ns: 0,
+        });
+    }
+
+    let text = snapshot_to_prometheus(&r.snapshot());
+    let doc = parse_exposition(&text).expect("exposition must parse");
+    assert_eq!(doc.types.get("engine_stage_duration_ns").unwrap(), "histogram");
+    assert_eq!(doc.types.get("smb_flight_events_total").unwrap(), "counter");
+    assert_eq!(doc.types.get("smb_flight_window_events").unwrap(), "gauge");
+    assert_eq!(doc.types.get("smb_flight_capacity").unwrap(), "gauge");
+
+    // Clean and hostile stage series both survive the round trip with
+    // their two recorded samples.
+    assert_eq!(
+        doc.sample_value(
+            "engine_stage_duration_ns_count",
+            &[("shard", "0"), ("stage", "queue_wait")],
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        doc.sample_value(
+            "engine_stage_duration_ns_count",
+            &[("shard", "all"), ("stage", "query_sweep")],
+        ),
+        Some(2.0)
+    );
+    assert_eq!(
+        doc.sample_value(
+            "engine_stage_duration_ns_count",
+            &[("shard", "sh\\ard\"1\n"), ("stage", "record_batch")],
+        ),
+        Some(2.0)
+    );
+    // The per-series sums stay separated despite the shared family.
+    assert_eq!(
+        doc.sample_value(
+            "engine_stage_duration_ns_sum",
+            &[("shard", "0"), ("stage", "enqueue")],
+        ),
+        Some(90_250.0)
+    );
+
+    // Flight-recorder cells, labelled with the hostile producer value.
+    assert_eq!(
+        doc.sample_value("smb_flight_events_total", &[("producer", producer_label)]),
+        Some(6.0)
+    );
+    assert_eq!(
+        doc.sample_value("smb_flight_window_events", &[("producer", producer_label)]),
+        Some(4.0)
+    );
+    assert_eq!(
+        doc.sample_value("smb_flight_capacity", &[("producer", producer_label)]),
+        Some(4.0)
+    );
 }
 
 #[test]
