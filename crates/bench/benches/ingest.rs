@@ -163,15 +163,17 @@ fn main() {
     // Hot-path kernel, old versus new: the pre-rewrite recording shape
     // (std::HashMap lookup + record_hash per item) against the
     // open-addressed table fed through the batch-grouped kernel. Both
-    // sides consume identical pre-hashed (flow, hash) pairs, so the
-    // delta is purely table + kernel, not hashing or trace decoding.
-    // Three workload shapes: one hot flow (pure estimator + single-
+    // sides consume identical pre-hashed (flow, hash) pairs and
+    // materialize identical per-flow estimators, so the delta is
+    // purely table + kernel, not hashing, trace decoding, or tiering.
+    // Five workload shapes: one hot flow (pure estimator + single-
     // entry lookups), 1k flows with bursty arrival (packet trains of
     // ~4–22 packets, the shape real traces and upstream batching
-    // produce — run slicing amortises lookups here), and 1k flows
-    // fully interleaved (no two consecutive items share a flow; the
-    // adversarial shape where grouping cannot amortise anything and
-    // only the cheaper table lookup helps).
+    // produce — run slicing amortises lookups here), and 1k/10k/100k
+    // flows fully interleaved (no two consecutive items share a flow;
+    // the adversarial shape that routes to the batched-probe regime —
+    // the 10k/100k sweeps push the table past cache residency, where
+    // the probe pipeline's prefetching has to carry the win).
     // 10x the trace length so first-sight estimator construction
     // (identical on both sides) amortises away and the numbers reflect
     // steady-state recording, which is what the kernel optimises.
@@ -196,16 +198,33 @@ fn main() {
         }
         pairs
     };
-    let kernel_workloads: Vec<(&str, Vec<(u64, ItemHash)>)> = vec![
+    // Interleaved uniform sweep over `flows` distinct flows: every
+    // consecutive pair differs (with splitmix odds), distinct items.
+    // Item count scales with the flow count (≥8 items per flow) so
+    // first-sight estimator construction — identical on both sides —
+    // amortises away at every sweep size and the numbers keep
+    // measuring steady-state recording, not table population.
+    let uniform_sweep = |flows: u64| -> Vec<(u64, ItemHash)> {
+        let items = kernel_items.max(8 * flows as usize);
+        (0..items)
+            .map(|i| {
+                let flow = smb_hash::splitmix::splitmix64_mix(i as u64) % flows;
+                (flow, scheme.item_hash(&(i as u64).to_le_bytes()))
+            })
+            .collect()
+    };
+    let kernel_workloads: Vec<(&str, usize, Vec<(u64, ItemHash)>)> = vec![
         (
             "single-flow",
+            1,
             (0..kernel_items)
                 .map(|i| (7u64, scheme.item_hash(&(i as u64).to_le_bytes())))
                 .collect(),
         ),
-        ("1k-flows-bursty", bursty),
+        ("1k-flows-bursty", 1000, bursty),
         (
             "1k-flows-uniform",
+            1000,
             (0..kernel_items)
                 .map(|i| {
                     // The trace's heavy-tailed flow mix, distinct items,
@@ -215,6 +234,8 @@ fn main() {
                 })
                 .collect(),
         ),
+        ("10k-flows-uniform", 10_000, uniform_sweep(10_000)),
+        ("100k-flows-uniform", 100_000, uniform_sweep(100_000)),
     ];
     const KERNEL_BATCH: usize = 1024;
     // Estimators are built directly from precomputed parameters — the
@@ -226,9 +247,17 @@ fn main() {
     let make_smb = move |_flow: u64| -> DynEstimator {
         Box::new(smb_core::Smb::with_scheme(2048, kernel_t, scheme).expect("valid params"))
     };
-    for (name, pairs) in &kernel_workloads {
-        bench.bench(
-            format!("kernel/old-hashmap-per-item/{name}/packets={kernel_items}"),
+    // The gated min-vs-min ratios need the minimum to be a stable
+    // statistic: 13 samples per side even in smoke mode (the committed
+    // 3-sample runs had p95 outliers ~2x the median on a shared host,
+    // and the min needs enough draws to land in a clean scheduling
+    // window on both sides).
+    const KERNEL_MIN_SAMPLES: u32 = 13;
+    for (name, flows, pairs) in &kernel_workloads {
+        let packets = pairs.len();
+        bench.bench_min_samples(
+            format!("kernel/old-hashmap-per-item/{name}/packets={packets}"),
+            KERNEL_MIN_SAMPLES,
             || {
             let mut map: HashMap<u64, DynEstimator> = HashMap::new();
             for &(flow, hash) in pairs {
@@ -238,11 +267,12 @@ fn main() {
             }
             black_box(map.len());
         });
-        bench.bench(
-            format!("kernel/new-grouped-openaddr/{name}/packets={kernel_items}"),
+        bench.bench_min_samples(
+            format!("kernel/new-grouped-openaddr/{name}/packets={packets}"),
+            KERNEL_MIN_SAMPLES,
             || {
             let mut table = FlowTable::new(make_smb);
-            table.reserve(1000);
+            table.reserve(*flows);
             let mut scratch = GroupScratch::default();
             for chunk in pairs.chunks(KERNEL_BATCH) {
                 record_batch_grouped(&mut table, chunk, &mut scratch);
@@ -278,34 +308,50 @@ fn main() {
         // the two kernels' unperturbed speed while median-vs-median
         // inherits whichever throttling episodes each side absorbed —
         // which is exactly what made the parity-floor gate flake.
-        let ips = |needle: &str| {
+        let ips = |needle: &str, items: usize| {
             rs.iter()
                 .find(|r| r.label.contains(needle))
-                .map(|r| kernel_items as f64 / (r.min_ns / 1e9))
+                .map(|r| items as f64 / (r.min_ns / 1e9))
                 .unwrap_or(f64::NAN)
         };
         [
             ("single-flow", "single_flow"),
             ("1k-flows-bursty", "1k_flows"),
             ("1k-flows-uniform", "1k_flows_uniform"),
+            ("10k-flows-uniform", "10k_flows_uniform"),
+            ("100k-flows-uniform", "100k_flows_uniform"),
         ]
         .iter()
         .map(|&(name, slug)| {
+            let items = kernel_workloads
+                .iter()
+                .find(|(n, _, _)| *n == name)
+                .map_or(kernel_items, |(_, _, pairs)| pairs.len());
             (
                 slug,
-                ips(&format!("/old-hashmap-per-item/{name}/")),
-                ips(&format!("/new-grouped-openaddr/{name}/")),
+                ips(&format!("/old-hashmap-per-item/{name}/"), items),
+                ips(&format!("/new-grouped-openaddr/{name}/"), items),
             )
         })
         .collect()
     };
     for &(slug, old, new) in &kernel_numbers {
         let speedup = new / old;
-        // The 1.5x acceptance target applies to the single-flow and
-        // bursty shapes; fully interleaved input is reported for
-        // honesty (grouping cannot amortise anything there, only the
-        // cheaper table lookup helps) and gated at >= 1x.
-        let target = if slug == "1k_flows_uniform" { ">= 1x" } else { ">= 1.5x" };
+        // Per-shape acceptance targets, mirrored by verify.sh's gate:
+        // single-flow >= 4x (pure run-slicing amortisation), bursty
+        // >= 1.5x, the 1k interleave >= 1.05x — the batched-probe
+        // regime must *beat* per-item recording on its adversarial
+        // workload, not merely not regress. The 10k/100k sweeps print
+        // a parity target: at and past the cache boundary both sides
+        // are DRAM-bound and the honest claim is "never slower, and
+        // faster once prefetching has lines to hide" (the 100k shape
+        // measures 1.1-1.4x; 10k straddles the boundary at ~1x).
+        let target = match slug {
+            "single_flow" => ">= 4x",
+            "1k_flows" => ">= 1.5x",
+            "1k_flows_uniform" => ">= 1.05x",
+            _ => ">= 1x",
+        };
         eprintln!(
             "kernel {slug}: old {old:.0} items/s vs new {new:.0} items/s \
              => {speedup:.2}x (target {target})"
@@ -315,6 +361,7 @@ fn main() {
         bench.extra(format!("kernel_speedup_{slug}"), Json::Float(speedup));
     }
     bench.extra("kernel_speedup_target", Json::Float(1.5));
+    bench.extra("kernel_speedup_target_uniform", Json::Float(1.05));
 
     // Memory per flow: the tiering acceptance gate. One million flows
     // with a Zipf-like size profile — flow k carries

@@ -259,8 +259,16 @@ impl CardinalityEstimator for Smb {
     #[inline]
     fn record_hash(&mut self, hash: ItemHash) {
         self.items_since_morph += 1;
-        // Step 1: geometric sampling with probability 2⁻ʳ.
-        if hash.geometric() < self.r {
+        // Step 1: geometric sampling with probability 2⁻ʳ, in the same
+        // branchless mask form the batched prefilter uses: for r ≤ 32,
+        // `G(d) ≥ r` ⟺ the low `r` geometric-lane bits are all zero,
+        // so one AND + compare replaces the trailing-zeros count; past
+        // round 32 the capped lane rejects every item. This is the
+        // run-length-1 survivor path of the batched-probe kernel — the
+        // overwhelmingly common outcome (rejection, once `r` has grown)
+        // costs a predictable compare instead of a `tzcnt`+`min` chain.
+        let r = self.r;
+        if r > 32 || (hash.raw() >> 32) & ((1u64 << r) - 1) != 0 {
             return;
         }
         // Step 2: uniform placement in the physical bitmap.

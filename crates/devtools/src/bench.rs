@@ -146,9 +146,31 @@ impl Bench {
     /// Time `f`, printing and recording its stats. Wrap inputs and
     /// outputs in [`black_box`] inside the closure to defeat
     /// dead-code elimination.
-    pub fn bench<F: FnMut()>(&mut self, label: impl Into<String>, mut f: F) {
-        let label = label.into();
+    pub fn bench<F: FnMut()>(&mut self, label: impl Into<String>, f: F) {
         let cfg = self.config;
+        self.bench_with(label, cfg, f);
+    }
+
+    /// Like [`Bench::bench`], but with at least `floor` samples even
+    /// in smoke mode. Benches whose results gate a min-vs-min ratio in
+    /// CI use this: 3 smoke samples cannot separate a real regression
+    /// from one scheduler hiccup, so ratio-gated labels insist on
+    /// enough samples for the minimum to be a stable statistic.
+    pub fn bench_min_samples<F: FnMut()>(
+        &mut self,
+        label: impl Into<String>,
+        floor: u32,
+        f: F,
+    ) {
+        let mut cfg = self.config;
+        cfg.samples = cfg.samples.max(floor);
+        self.bench_with(label, cfg, f);
+    }
+
+    /// Shared warmup → calibrate → measure loop behind both entry
+    /// points; `cfg` may differ from the suite config per label.
+    fn bench_with<F: FnMut()>(&mut self, label: impl Into<String>, cfg: BenchConfig, mut f: F) {
+        let label = label.into();
 
         // Warmup.
         let warm_start = Instant::now();

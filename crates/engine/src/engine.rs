@@ -270,20 +270,25 @@ fn few_flows_dominate(batch: &[(u64, ItemHash)]) -> bool {
 /// at a time — the store's tiering (and each estimator's batched
 /// path) already guarantees batch/item equivalence, and this function
 /// only changes *which* items are presented together, never their
-/// per-flow order. Two regimes, picked per batch by one cheap
-/// counting scan:
+/// per-flow order. Three regimes, picked per batch by a cheap
+/// two-level dispatch (one counting scan, then one 16-point sample):
 ///
 /// * **run slicing** — the batch is cut into maximal same-flow runs in
 ///   arrival order and each run feeds one `record_hashes` call. This
 ///   covers sorted batches and bursty traffic (packet trains) without
-///   any reordering, and degrades gracefully to per-item recording
-///   (one extra compare per item) when every run is a singleton;
+///   any reordering;
 /// * **sort grouping** — when runs are short *but* few distinct flows
 ///   share the batch (round-robin traffic), a `(flow, position)` sort
 ///   rebuilds long per-flow runs; the position component keeps each
-///   flow's items in arrival order. Skipped when most items belong to
-///   different flows — the sort could never amortise there, and run
-///   slicing already handles that shape at per-item cost.
+///   flow's items in arrival order;
+/// * **batched probe** — when runs are short *and* flows are diverse
+///   (adversarial run-length-1 interleaves, uniform traffic), neither
+///   slicing nor sorting can amortise flow resolution, so the whole
+///   batch goes to the store's [`FlowStore::record_batch`]:
+///   [`smb_sketch::FlowTable`] overrides it with a prefetch-pipelined
+///   probe pass plus inline-tier recording, and the trait default is
+///   the sequential per-item model itself — either way, item order is
+///   exactly batch order.
 pub fn record_batch_grouped<S: FlowStore>(
     store: &mut S,
     batch: &[(u64, ItemHash)],
@@ -302,7 +307,7 @@ pub fn record_batch_grouped<S: FlowStore>(
         let runs = 1 + batch.windows(2).filter(|w| w[0].0 != w[1].0).count();
         2 * runs <= batch.len()
     };
-    if sliced_runs_amortise || !few_flows_dominate(batch) {
+    if sliced_runs_amortise {
         let mut i = 0;
         while i < batch.len() {
             let flow = batch[i].0;
@@ -318,6 +323,14 @@ pub fn record_batch_grouped<S: FlowStore>(
             store.record_hashes(flow, &scratch.run);
             i = j;
         }
+        return;
+    }
+    if !few_flows_dominate(batch) {
+        // Short runs over diverse flows: slicing would degrade to
+        // per-item resolution and sorting could never rebuild long
+        // runs, so hand the whole batch to the store's batched-probe
+        // path (no GroupScratch involvement at all).
+        store.record_batch(batch);
         return;
     }
     scratch.order.clear();
@@ -2071,6 +2084,47 @@ mod tests {
         assert_eq!(grouped.len(), reference.len());
         for (flow, _) in &batch {
             assert_eq!(grouped.estimate(*flow), reference.estimate(*flow), "flow {flow}");
+        }
+    }
+
+    #[test]
+    fn grouped_recording_batched_probe_matches_per_item_on_tiered_stores() {
+        // The third regime (short runs, diverse flows → batched probe)
+        // on *tiered* tables: the inline-tier fast path must record
+        // into Small/Array cells, promote at the exact same items as
+        // the per-item model, and leave a bit-identical tier census.
+        let sp = spec();
+        let scheme = sp.scheme();
+        let sp2 = sp.clone();
+        let mut grouped = FlowTable::with_factory_tiered(scheme.clone(), move |_| sp.build().unwrap());
+        let mut reference = FlowTable::with_factory_tiered(scheme.clone(), move |_| sp2.build().unwrap());
+        let mut scratch = GroupScratch::default();
+        let mut state = 0x5EED_u64;
+        for round in 0..40u64 {
+            // Run-length-1 interleave: a wide tail of ~20k flows (most
+            // stay Small, some reach Array) plus 8 hot flows (~1/8 of
+            // items) that promote to Full mid-run. The hot fraction is
+            // kept small so the 16-point density sample stays diverse
+            // and every round takes the batched-probe regime.
+            let batch: Vec<(u64, ItemHash)> = (0..1024u64)
+                .map(|i| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    // High bits only: the LCG's low bits are periodic
+                    // and would alias with the sampler's stride.
+                    let flow = if state >> 61 == 0 { (state >> 33) % 8 } else { (state >> 33) % 20_000 };
+                    (flow, scheme.item_hash(&(round * 100_000 + i).to_le_bytes()))
+                })
+                .collect();
+            record_batch_grouped(&mut grouped, &batch, &mut scratch);
+            for &(flow, hash) in &batch {
+                reference.record_hash(flow, hash);
+            }
+        }
+        assert!(scratch.order.is_empty(), "diverse-flow batches must take the batched-probe path");
+        assert_eq!(grouped.len(), reference.len());
+        assert_eq!(grouped.tier_stats(), reference.tier_stats(), "tier censuses must match");
+        for flow in 0..20_000u64 {
+            assert_eq!(grouped.estimate(flow), reference.estimate(flow), "flow {flow}");
         }
     }
 

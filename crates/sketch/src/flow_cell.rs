@@ -89,7 +89,10 @@ pub enum FlowCell<E> {
     Array(Box<ArrayTier>),
     /// A materialized estimator holding the flow's full state. Boxed
     /// so the cell stays pocket-sized for any estimator type — the
-    /// table's slot array never pays for inline estimator structs.
+    /// table's slot array never pays for inline estimator structs, and
+    /// the cell keeps its two-machine-word size (the thin box pointer
+    /// shares the niche budget that a fat `DynEstimator` handle would
+    /// blow past).
     Full(Box<E>),
 }
 
@@ -116,6 +119,19 @@ impl<E> FlowCell<E> {
             FlowCell::Small { .. } => Tier::Small,
             FlowCell::Array(_) => Tier::Array,
             FlowCell::Full(_) => Tier::Full,
+        }
+    }
+
+    /// Hint the cell's boxed payload (array tier block or estimator)
+    /// into cache ahead of a record — the batched record loop's second
+    /// lookahead stage, covering the pointer hop the slot-level
+    /// prefetch cannot see. No-op for the inline small tier.
+    #[inline]
+    pub fn prefetch_payload(&self) {
+        match self {
+            FlowCell::Small { .. } => {}
+            FlowCell::Array(arr) => crate::prefetch::prefetch_read(&**arr),
+            FlowCell::Full(est) => crate::prefetch::prefetch_read(&**est),
         }
     }
 

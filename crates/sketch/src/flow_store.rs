@@ -103,6 +103,17 @@ pub trait FlowStore {
     /// resolution for the whole run.
     fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]);
 
+    /// Record a batch of interleaved `(flow, hash)` pairs in arrival
+    /// order. The default is the sequential per-item model — it *is*
+    /// the reference semantics that every override must reproduce
+    /// bit-for-bit; stores override it to batch flow resolution (see
+    /// [`crate::FlowTable::record_batch`]'s prefetch-pipelined probe).
+    fn record_batch(&mut self, batch: &[(u64, ItemHash)]) {
+        for &(flow, hash) in batch {
+            self.record_hash(flow, hash);
+        }
+    }
+
     /// Place a cell directly (restore path), replacing and returning
     /// any previous cell for `flow`.
     fn insert_cell(

@@ -38,7 +38,7 @@ use smb_hash::{HashScheme, ItemHash};
 
 use crate::flow_cell::{FlowCell, Tier};
 use crate::flow_store::{FlowStore, TierStats};
-use crate::open_table::OpenTable;
+use crate::open_table::{OpenTable, PROBE_MISS};
 
 /// The default factory representation: a boxed, thread-local closure.
 pub type BoxedFactory<E> = Box<dyn Fn(u64) -> E>;
@@ -58,6 +58,9 @@ pub struct FlowTable<E: CardinalityEstimator, F = BoxedFactory<E>> {
     /// tiering pre-hashed input.
     scheme: Option<HashScheme>,
     stats: TierStats,
+    /// Resolved-slot scratch reused across [`FlowTable::record_batch`]
+    /// calls, so the batched probe allocates nothing in steady state.
+    probe_slots: Vec<u32>,
 }
 
 impl<E: CardinalityEstimator> FlowTable<E> {
@@ -72,6 +75,7 @@ impl<E: CardinalityEstimator> FlowTable<E> {
             factory: Box::new(factory),
             scheme: None,
             stats: TierStats::default(),
+            probe_slots: Vec::new(),
         }
     }
 
@@ -87,6 +91,7 @@ impl<E: CardinalityEstimator> FlowTable<E> {
             factory: Box::new(factory),
             scheme: Some(scheme),
             stats: TierStats::default(),
+            probe_slots: Vec::new(),
         }
     }
 }
@@ -102,6 +107,7 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
             factory,
             scheme: None,
             stats: TierStats::default(),
+            probe_slots: Vec::new(),
         }
     }
 
@@ -113,6 +119,7 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
             factory,
             scheme: Some(scheme),
             stats: TierStats::default(),
+            probe_slots: Vec::new(),
         }
     }
 
@@ -210,6 +217,181 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowTable<E, F> {
             cell.force_estimator(|| factory(flow)).record_hashes(hashes);
             stats.transition(before, Tier::Full);
         }
+    }
+
+    /// Record a batch of interleaved `(flow, hash)` pairs in arrival
+    /// order — the engine's per-batch path for traffic whose same-flow
+    /// runs are too short for [`FlowTable::record_hashes`] grouping to
+    /// amortise anything (≈1 item per run).
+    ///
+    /// Three passes over the batch:
+    ///
+    /// 1. **probe** — [`OpenTable::probe_batch`] resolves every flow's
+    ///    slot with prefetch-pipelined lookups;
+    /// 2. **insert** (first-sight flows only, usually skipped) — any
+    ///    missed flow gets its empty cell inserted, then the batch is
+    ///    re-probed: robin-hood insertion steals residents' slots, so
+    ///    pre-insertion slot indices are never trusted afterwards;
+    /// 3. **record** — one in-order pass writes each item into its
+    ///    resolved cell. `Full` cells take one estimator call with no
+    ///    tier bookkeeping (the run-length-1 survivor fast path);
+    ///    `Small`/`Array` cells record inline — dedup against 1–16
+    ///    resident hashes, no estimator resolution, no scratch entry.
+    ///    Recording mutates cells strictly in place (promotion
+    ///    replaces the cell *value*, never its slot), so every
+    ///    resolved slot stays valid for the whole pass.
+    ///
+    /// Per-flow arrival order is exactly the batch order, so estimates
+    /// and tier censuses are bit-identical to recording the batch one
+    /// item at a time.
+    pub fn record_batch(&mut self, batch: &[(u64, ItemHash)]) {
+        // Bounded chunks keep the probe pass's prefetched cell lines
+        // cache-resident until the record pass consumes them: at 256
+        // in-flight slots the probe→record reuse distance stays inside
+        // L1/L2 even for tables far larger than cache, where a
+        // whole-batch pass would evict its own prefetches. Chunking
+        // also makes the first-sight fallback adaptive per chunk while
+        // a cold table fills.
+        const RECORD_CHUNK: usize = 256;
+        for chunk in batch.chunks(RECORD_CHUNK) {
+            self.record_chunk(chunk);
+        }
+    }
+
+    /// Per-item recording with a steady-state fast lane: resident
+    /// [`FlowCell::Full`] cells take the estimator call directly — a
+    /// Full→Full census transition is definitionally a no-op, so
+    /// skipping the tier bookkeeping cannot change observable state.
+    /// First-sight flows and inline-tier cells (which may promote) go
+    /// through the full bookkeeping path, identical to
+    /// [`FlowTable::record_hash`].
+    fn record_per_item(&mut self, batch: &[(u64, ItemHash)]) {
+        let tiered = self.scheme.is_some();
+        let FlowTable {
+            flows,
+            factory,
+            stats,
+            ..
+        } = self;
+        for &(flow, hash) in batch {
+            match flows.get_mut(flow) {
+                Some(FlowCell::Full(est)) => est.record_hash(hash),
+                Some(cell) => {
+                    let before = cell.tier();
+                    cell.record_hash(hash, || factory(flow));
+                    stats.transition(before, cell.tier());
+                }
+                None if tiered => {
+                    let cell = flows.get_or_insert_with(flow, |_| {
+                        stats.inc(Tier::Small);
+                        FlowCell::new()
+                    });
+                    let before = cell.tier();
+                    cell.record_hash(hash, || factory(flow));
+                    stats.transition(before, cell.tier());
+                }
+                None => {
+                    let cell = flows.get_or_insert_with(flow, |f| {
+                        stats.inc(Tier::Full);
+                        FlowCell::from_estimator(factory(f))
+                    });
+                    cell.force_estimator(|| factory(flow)).record_hash(hash);
+                }
+            }
+        }
+    }
+
+    /// One bounded probe → insert → record cycle of
+    /// [`FlowTable::record_batch`].
+    fn record_chunk(&mut self, batch: &[(u64, ItemHash)]) {
+        if batch.is_empty() {
+            return;
+        }
+        if !self.flows.prefetch_pays() {
+            // Cache-resident table: every probe is already an L1/L2
+            // hit, so the batched pipeline's second pass and slot
+            // staging buy nothing — direct per-item recording (the
+            // sequential reference itself) is strictly cheaper.
+            self.record_per_item(batch);
+            return;
+        }
+        let tiered = self.scheme.is_some();
+        let mut slots = std::mem::take(&mut self.probe_slots);
+        self.flows
+            .probe_batch(batch.iter().map(|&(flow, _)| flow), &mut slots);
+        let misses = slots.iter().filter(|&&s| s == PROBE_MISS).count();
+        if misses * 4 > batch.len() {
+            // First-sight-dominated batch (cold table, flow churn): the
+            // batched path would pay an insert probe *plus* a full
+            // re-probe pass per item, where per-item recording folds
+            // lookup and insert into one probe. Fall back to the
+            // sequential reference — it is the semantics being
+            // reproduced, so equivalence is free.
+            self.probe_slots = slots;
+            self.record_per_item(batch);
+            return;
+        }
+        if misses > 0 {
+            {
+                let FlowTable {
+                    flows,
+                    factory,
+                    stats,
+                    ..
+                } = self;
+                for (&(flow, _), &slot) in batch.iter().zip(&slots) {
+                    if slot != PROBE_MISS {
+                        continue;
+                    }
+                    // A flow repeated within the batch only inserts
+                    // once; get_or_insert_with absorbs the rest.
+                    if tiered {
+                        flows.get_or_insert_with(flow, |_| {
+                            stats.inc(Tier::Small);
+                            FlowCell::new()
+                        });
+                    } else {
+                        flows.get_or_insert_with(flow, |f| {
+                            stats.inc(Tier::Full);
+                            FlowCell::from_estimator(factory(f))
+                        });
+                    }
+                }
+            }
+            self.flows
+                .probe_batch(batch.iter().map(|&(flow, _)| flow), &mut slots);
+        }
+        let FlowTable {
+            flows,
+            factory,
+            stats,
+            ..
+        } = self;
+        // One lookahead stage ahead of the record on tables past cache
+        // residency: the probe pass already pulled each chunk's cell
+        // lines toward cache, so only the cells' boxed payloads (one
+        // more dependent hop the probe cannot see) still need hinting,
+        // a few items before their record consumes them. Cache-
+        // resident tables skip the hints (see
+        // `OpenTable::prefetch_pays`).
+        const PAYLOAD_LOOKAHEAD: usize = 3;
+        let hint = flows.prefetch_pays();
+        for (i, (&(flow, hash), &slot)) in batch.iter().zip(&slots).enumerate() {
+            if hint {
+                if let Some(&ahead) = slots.get(i + PAYLOAD_LOOKAHEAD) {
+                    flows.slot_get(ahead).prefetch_payload();
+                }
+            }
+            let cell = flows.slot_mut(slot);
+            if let FlowCell::Full(est) = cell {
+                est.record_hash(hash);
+            } else {
+                let before = cell.tier();
+                cell.record_hash(hash, || factory(flow));
+                stats.transition(before, cell.tier());
+            }
+        }
+        self.probe_slots = slots;
     }
 
     /// Mutably borrow `flow`'s estimator, creating it on first sight.
@@ -415,6 +597,10 @@ impl<E: CardinalityEstimator, F: Fn(u64) -> E> FlowStore for FlowTable<E, F> {
 
     fn record_hashes(&mut self, flow: u64, hashes: &[ItemHash]) {
         FlowTable::record_hashes(self, flow, hashes);
+    }
+
+    fn record_batch(&mut self, batch: &[(u64, ItemHash)]) {
+        FlowTable::record_batch(self, batch);
     }
 
     fn insert_cell(&mut self, flow: u64, cell: FlowCell<E>) -> Option<FlowCell<E>> {

@@ -19,7 +19,11 @@
 //!   CLI) programs against.
 //! * [`open_table::OpenTable`] — the open-addressed (robin-hood,
 //!   backward-shift-deleting) map that backs [`flow_table::FlowTable`],
-//!   keyed by pre-hashed 64-bit flow ids.
+//!   keyed by pre-hashed 64-bit flow ids, with a prefetch-pipelined
+//!   [`open_table::OpenTable::probe_batch`] that resolves a whole
+//!   ingest batch's slots ahead of recording.
+//! * [`prefetch`] — the portable software-prefetch hint behind the
+//!   probe pipeline (x86_64 + aarch64 intrinsics, no-op elsewhere).
 //! * [`array::EstimatorArray`] — a fixed pool of estimators shared by
 //!   hashing flows onto `d` cells (the compact-sketch regime where
 //!   per-flow allocation is too expensive); queries take the minimum
@@ -34,7 +38,10 @@
 //!   across millions of flows with noise subtraction (the vHLL-style
 //!   construction of §II-C).
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the `prefetch` module scopes a single `allow`
+// around two side-effect-free prefetch intrinsics (see its module docs
+// for the soundness argument); every other module stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array;
@@ -43,6 +50,7 @@ pub mod flow_cell;
 pub mod flow_store;
 pub mod flow_table;
 pub mod open_table;
+pub mod prefetch;
 pub mod virtual_registers;
 pub mod window;
 
@@ -51,6 +59,7 @@ pub use detector::ThresholdDetector;
 pub use flow_cell::{FlowCell, Tier, ARRAY_CAP, SMALL_CAP};
 pub use flow_store::{FlowStore, TierStats};
 pub use flow_table::FlowTable;
-pub use open_table::OpenTable;
+pub use open_table::{OpenTable, PROBE_MISS};
+pub use prefetch::{prefetch_read, PREFETCH_ACTIVE};
 pub use virtual_registers::VirtualRegisterSketch;
 pub use window::{JumpingWindow, SummingWindow};

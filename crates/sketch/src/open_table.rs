@@ -33,6 +33,8 @@
 
 use smb_hash::mix::moremur;
 
+use crate::prefetch::prefetch_read;
+
 /// Occupancy limit: grow when `len` would exceed `cap − cap/8`
 /// (a 7/8 = 87.5% load factor — robin-hood keeps probe lengths short
 /// even this full).
@@ -41,13 +43,16 @@ fn max_len_for(cap: usize) -> usize {
 }
 
 /// Smallest power-of-two capacity that can hold `n` entries without
-/// crossing the load limit.
+/// crossing the load limit: round `n` up against the 7/8 load factor
+/// *first* (`⌈8n/7⌉ = n + ⌈n/7⌉`), then to the next power of two.
+/// The order matters — rounding to a power of two before applying the
+/// load factor can land one growth step short (e.g. presizing for
+/// 1793 flows must yield 4096 slots, since 2048 slots only admit
+/// 1792 entries), and a short reserve means the engine's
+/// `expected_flows` contract of "no mid-stream rehash" breaks.
 fn capacity_for(n: usize) -> usize {
-    let mut cap = 8usize;
-    while max_len_for(cap) < n {
-        cap *= 2;
-    }
-    cap
+    let loaded = n + n.div_ceil(7);
+    loaded.next_power_of_two().max(8)
 }
 
 /// Largest probe distance the one-byte metadata can record. With
@@ -55,6 +60,19 @@ fn capacity_for(n: usize) -> usize {
 /// under a few dozen; hitting this bound forces a growth instead of
 /// corrupting the metadata.
 const MAX_DIST: usize = 254;
+
+/// Miss sentinel in [`OpenTable::probe_batch`] output: the key is not
+/// resident. (Slot indices fit in `u32` because per-flow tables stay
+/// far below 2³² slots; the table debug-asserts this.)
+pub const PROBE_MISS: u32 = u32::MAX;
+
+/// Keys staged per prefetch pass of [`OpenTable::probe_batch`] — the
+/// pipeline depth. Each staged key issues its home-slot prefetches
+/// before any key in the chunk starts probing, so up to this many
+/// slot loads are in flight at once. 16 is deep enough to cover DRAM
+/// latency (~16 independent line fills saturate a core's miss
+/// buffers) while keeping the stage buffers two cache lines of stack.
+const PROBE_PIPELINE: usize = 16;
 
 /// An open-addressed map from pre-hashed `u64` keys to values.
 ///
@@ -141,13 +159,22 @@ impl<V> OpenTable<V> {
         if self.len == 0 {
             return None;
         }
+        let home = (moremur(key) as usize) & (self.keys.len() - 1);
+        self.probe_from(key, home)
+    }
+
+    /// The probe walk of [`OpenTable::find`] from a pre-computed home
+    /// slot — shared with [`OpenTable::probe_batch`], whose pass one
+    /// computes (and prefetches) homes ahead of this walk.
+    #[inline]
+    fn probe_from(&self, key: u64, home: usize) -> Option<usize> {
         // Equal-length local slices + masked indices let the compiler
         // drop the per-step bounds checks from the probe loop.
         let n = self.keys.len();
         let keys = &self.keys[..n];
         let dists = &self.dists[..n];
         let mask = n - 1;
-        let mut pos = (moremur(key) as usize) & mask;
+        let mut pos = home;
         let mut dist = 0usize;
         loop {
             let d = dists[pos] as usize;
@@ -160,6 +187,120 @@ impl<V> OpenTable<V> {
             pos = (pos + 1) & mask;
             dist += 1;
         }
+    }
+
+    /// Resolve the slot of every key in `keys` into `out` (cleared
+    /// first): the slot index, or [`PROBE_MISS`] for keys not
+    /// resident. This is the batched form of the internal `find`,
+    /// pipelined in chunks of `PROBE_PIPELINE` (16): pass one mixes each
+    /// key to its home slot and issues software prefetches for the
+    /// slot's metadata and key lines ([`crate::prefetch`]), pass two
+    /// walks the probe sequences — by which point the lines are in
+    /// flight or resident, so the walk is issue-bound instead of
+    /// load-latency-bound.
+    ///
+    /// Returned slots stay valid across reads and in-place value
+    /// mutation ([`OpenTable::slot_get`] / [`OpenTable::slot_mut`])
+    /// but **not** across insertion, removal or growth: robin-hood
+    /// insertion steals residents' slots and backward-shift deletion
+    /// moves them. Callers insert first, then re-probe (see
+    /// `FlowTable::record_batch`).
+    pub fn probe_batch(&self, keys: impl IntoIterator<Item = u64>, out: &mut Vec<u32>) {
+        out.clear();
+        let mut it = keys.into_iter();
+        if self.len == 0 {
+            out.extend(it.map(|_| PROBE_MISS));
+            return;
+        }
+        debug_assert!(
+            self.keys.len() - 1 < PROBE_MISS as usize,
+            "slot indices must fit below the miss sentinel"
+        );
+        // Two independent gates: home-slot hints only pay once the
+        // probe arrays themselves (9 bytes/slot) outrun the private
+        // caches, while value hints pay as soon as the whole table
+        // (values included) does — values are wider and their heap
+        // payloads larger still, so they fall out of cache first.
+        let hint_home = self.keys.len() * 9 > 512 * 1024;
+        let hint_val = self.prefetch_pays();
+        let mask = self.keys.len() - 1;
+        let mut staged_keys = [0u64; PROBE_PIPELINE];
+        let mut staged_homes = [0usize; PROBE_PIPELINE];
+        loop {
+            let mut staged = 0;
+            while staged < PROBE_PIPELINE {
+                let Some(key) = it.next() else { break };
+                let home = (moremur(key) as usize) & mask;
+                if hint_home {
+                    prefetch_read(&self.dists[home]);
+                    prefetch_read(&self.keys[home]);
+                }
+                staged_keys[staged] = key;
+                staged_homes[staged] = home;
+                staged += 1;
+            }
+            for i in 0..staged {
+                out.push(match self.probe_from(staged_keys[i], staged_homes[i]) {
+                    Some(pos) => {
+                        // Start the value line toward cache now: the
+                        // record pass that consumes these slots runs
+                        // within the same chunk, close enough that the
+                        // line is still at least L2-resident.
+                        if hint_val {
+                            prefetch_read(&self.vals[pos]);
+                        }
+                        pos as u32
+                    }
+                    None => PROBE_MISS,
+                });
+            }
+            if staged < PROBE_PIPELINE {
+                break;
+            }
+        }
+    }
+
+    /// Whether value-side prefetch hints pay for themselves on this
+    /// table: only once the slot arrays outgrow the capacity a core's
+    /// private caches keep resident. Hinting a line that is already in
+    /// L1/L2 costs an issue slot per hint and saves nothing —
+    /// measurably so on the hot record loop — so small tables skip the
+    /// hints and rely on the caches they fit inside.
+    #[inline]
+    pub fn prefetch_pays(&self) -> bool {
+        const CACHE_RESIDENT_BYTES: usize = 192 * 1024;
+        let slot = std::mem::size_of::<u64>() + 1 + std::mem::size_of::<Option<V>>();
+        self.keys.len() * slot > CACHE_RESIDENT_BYTES
+    }
+
+    /// Borrow the value at a slot resolved by
+    /// [`OpenTable::probe_batch`]. Panics on an empty slot — callers
+    /// only pass resolved (non-[`PROBE_MISS`]) slots.
+    #[inline]
+    pub fn slot_get(&self, slot: u32) -> &V {
+        self.vals[slot as usize]
+            .as_ref()
+            .expect("resolved slot is occupied")
+    }
+
+    /// Hint the value at a resolved slot into cache ahead of a
+    /// [`OpenTable::slot_mut`] access — the record loop's lookahead.
+    /// Purely advisory, like all prefetches.
+    #[inline]
+    pub fn prefetch_slot_value(&self, slot: u32) {
+        prefetch_read(&self.vals[slot as usize]);
+    }
+
+    /// Mutably borrow the value at a slot resolved by
+    /// [`OpenTable::probe_batch`] — the batched record loop's access
+    /// path. In-place mutation (including replacing the value) never
+    /// moves entries, so other resolved slots stay valid. Panics on
+    /// an empty slot.
+    #[inline]
+    pub fn slot_mut(&mut self, slot: u32) -> &mut V {
+        self.vals[slot as usize]
+            .as_mut()
+            .expect("resolved slot is occupied")
     }
 
     /// Robin-hood placement of a key known absent: the carried entry
@@ -453,6 +594,90 @@ mod tests {
         // Reserving less than what's resident is a no-op.
         t.reserve(10);
         assert_eq!(t.capacity(), cap);
+    }
+
+    #[test]
+    fn capacity_rounds_against_load_factor_before_pow2() {
+        // The exact boundary, at every size the engine presizes in
+        // practice: a request of exactly `max_len_for(cap)` entries
+        // must yield `cap` slots, and one more entry must take the
+        // next growth step — never land one short.
+        for cap in [8usize, 16, 256, 1024, 2048, 4096, 1 << 20] {
+            let limit = max_len_for(cap);
+            assert_eq!(capacity_for(limit), cap, "capacity_for({limit})");
+            assert_eq!(capacity_for(limit + 1), cap * 2, "capacity_for({})", limit + 1);
+        }
+        assert_eq!(capacity_for(1), 8, "minimum capacity");
+        // The contract `reserve` + `get_or_insert_with` relies on:
+        // filling a reserved table up to the requested count never
+        // rehashes, and the next insert doubles.
+        let mut t: OpenTable<u64> = OpenTable::new();
+        t.reserve(1792); // == max_len_for(2048), the exact boundary
+        assert_eq!(t.capacity(), 2048);
+        for key in 0..1792u64 {
+            t.get_or_insert_with(key, |k| k);
+        }
+        assert_eq!(t.capacity(), 2048, "reserve landed a growth step short");
+        t.get_or_insert_with(1792, |k| k);
+        assert_eq!(t.capacity(), 4096);
+    }
+
+    #[test]
+    fn probe_batch_matches_find_on_hits_misses_and_empty() {
+        let mut t: OpenTable<u64> = OpenTable::new();
+        let mut slots = Vec::new();
+        // Empty table (no allocation yet): everything misses.
+        t.probe_batch([1u64, 2, 3].into_iter(), &mut slots);
+        assert_eq!(slots, vec![PROBE_MISS; 3]);
+        for key in 0..5_000u64 {
+            t.get_or_insert_with(key, |k| k * 3);
+        }
+        // A query mix longer than the pipeline depth, interleaving
+        // hits and misses, duplicates included.
+        let queries: Vec<u64> = (0..2 * 5_000u64).map(|i| i / 2 + (i % 2) * 5_000).collect();
+        t.probe_batch(queries.iter().copied(), &mut slots);
+        assert_eq!(slots.len(), queries.len());
+        for (&key, &slot) in queries.iter().zip(&slots) {
+            if key < 5_000 {
+                assert_ne!(slot, PROBE_MISS, "key {key} resident but missed");
+                assert_eq!(*t.slot_get(slot), key * 3, "key {key} wrong slot");
+                assert_eq!(t.get(key), Some(t.slot_get(slot)), "key {key}");
+            } else {
+                assert_eq!(slot, PROBE_MISS, "key {key} absent but resolved");
+            }
+        }
+        // Slot-indexed mutation lands where get() sees it.
+        t.probe_batch(std::iter::once(7u64), &mut slots);
+        *t.slot_mut(slots[0]) = 999;
+        assert_eq!(t.get(7), Some(&999));
+        // Short tails (under one pipeline chunk) resolve too.
+        t.probe_batch(std::iter::once(4_999u64), &mut slots);
+        assert_eq!(slots.len(), 1);
+        assert_ne!(slots[0], PROBE_MISS);
+    }
+
+    #[test]
+    fn probe_batch_slots_survive_removal_era_only() {
+        // Pin the documented invalidation contract: slots resolved
+        // before a remove may dangle (backward shift moves entries),
+        // but re-probing after mutation is always consistent.
+        let mut t: OpenTable<u64> = OpenTable::new();
+        for key in 0..500u64 {
+            t.get_or_insert_with(key, |k| k);
+        }
+        let mut slots = Vec::new();
+        for key in (0..500u64).step_by(2) {
+            t.remove(key);
+        }
+        let queries: Vec<u64> = (0..500).collect();
+        t.probe_batch(queries.iter().copied(), &mut slots);
+        for (&key, &slot) in queries.iter().zip(&slots) {
+            if key % 2 == 0 {
+                assert_eq!(slot, PROBE_MISS, "removed key {key} resolved");
+            } else {
+                assert_eq!(*t.slot_get(slot), key, "survivor {key}");
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use smb_core::{CardinalityEstimator, Smb};
 use smb_devtools::prop::gens;
 use smb_devtools::{forall, prop_assert, prop_assert_eq};
 use smb_hash::{splitmix::splitmix64_mix, HashScheme};
-use smb_sketch::{FlowTable, OpenTable};
+use smb_sketch::{FlowTable, OpenTable, PROBE_MISS};
 
 /// Keys drawn from a small space (forcing collisions, re-insertion
 /// after removal, and cluster shifts) but spread over u64 so the
@@ -209,4 +209,146 @@ fn batched_recording_is_exact_at_morph_boundaries() {
             "lead-in {lead_in} diverged"
         );
     }
+}
+
+/// The batched probe must agree with sequential `get` on every query
+/// — hit or miss — under arbitrary insert/remove/reserve churn, and
+/// each resolved slot must read back the same value. This is the
+/// contract the batched ingest pipeline leans on: `probe_batch` is a
+/// pure lookup accelerator, never a semantic fork.
+#[test]
+fn probe_batch_matches_sequential_gets_under_churn() {
+    // Op codes: 0-4 upsert, 5 remove, 6 reserve. After every
+    // mutation we fire a 48-wide batched probe over a mixed
+    // hit/miss query stream and cross-check each lane.
+    forall!(cases = 48, (ops in gens::vecs((gens::u8s(0..7), gens::u64s(0..u64::MAX)), 1..250)) => {
+        let mut table: OpenTable<u64> = OpenTable::new();
+        let mut slots: Vec<u32> = Vec::new();
+        for &(op, arg) in ops.iter() {
+            let key = key_for(arg);
+            match op {
+                0..=4 => {
+                    *table.get_or_insert_with(key, |_| 0) = arg;
+                }
+                5 => {
+                    table.remove(key);
+                }
+                _ => {
+                    table.reserve((arg % 4096) as usize);
+                }
+            }
+            // Queries straddle the live key space: some present,
+            // some never inserted, some just removed.
+            let queries: Vec<u64> =
+                (0..96).map(|q| key_for(arg.wrapping_add(q))).collect();
+            table.probe_batch(queries.iter().copied(), &mut slots);
+            prop_assert_eq!(slots.len(), queries.len());
+            for (&q, &slot) in queries.iter().zip(&slots) {
+                match table.get(q) {
+                    Some(v) => {
+                        prop_assert!(
+                            slot != PROBE_MISS,
+                            "probe_batch missed resident key {}", q
+                        );
+                        prop_assert_eq!(
+                            *table.slot_get(slot), *v,
+                            "slot for key {} reads back wrong value", q
+                        );
+                    }
+                    None => prop_assert_eq!(
+                        slot, PROBE_MISS,
+                        "probe_batch resolved absent key {}", q
+                    ),
+                }
+            }
+        }
+    });
+}
+
+/// `record_batch` must be a bit-exact replacement for per-item
+/// `record_hash` across every regime the batched kernel dispatches
+/// on: run-length-1 interleaves, duplicate-heavy streams, wide flow
+/// churn (probe misses on every batch), and single-hot-flow runs.
+/// Half the cases pre-reserve past the prefetch footprint threshold
+/// so the pipelined probe + payload-lookahead path runs; the rest
+/// start empty and exercise the cache-resident short circuit and the
+/// miss-heavy per-item fallback. Tiny SMB geometry (m=256, T=32)
+/// forces morph boundaries inside batches; tier censuses are
+/// compared so inline-tier recording cannot silently re-attribute
+/// promotions.
+#[test]
+fn record_batch_matches_sequential_model_across_regimes() {
+    let factory = |flow: u64| {
+        Smb::with_scheme(256, 32, HashScheme::with_seed(flow)).expect("valid geometry")
+    };
+    forall!(cases = 24, (chunks in gens::vecs(
+        (gens::u8s(0..4), gens::u64s(0..u64::MAX), gens::usizes(1..400)),
+        1..12,
+    )) => {
+        let scheme = HashScheme::with_seed(7);
+        let mut batched_tiered = FlowTable::tiered(scheme.clone(), factory);
+        let mut itemwise_tiered = FlowTable::tiered(scheme.clone(), factory);
+        let mut batched_full: FlowTable<Smb> = FlowTable::new(factory);
+        let mut itemwise_full: FlowTable<Smb> = FlowTable::new(factory);
+        if chunks[0].1 % 2 == 0 {
+            // Past the prefetch-pays footprint threshold: the batched
+            // pipeline proper (staged probe, payload lookahead), not
+            // the cache-resident per-item short circuit.
+            batched_tiered.reserve(12_000);
+            batched_full.reserve(12_000);
+        }
+        let mut next_item = 0u64;
+        let mut flows_seen: Vec<u64> = Vec::new();
+        for &(regime, seed, len) in chunks.iter() {
+            let batch: Vec<(u64, _)> = (0..len as u64)
+                .map(|j| {
+                    let flow = match regime {
+                        // Run-length-1 interleave over a mid-size set.
+                        0 => splitmix64_mix(seed.wrapping_add(j)) % 40,
+                        // Duplicate-heavy: few flows, tiny item space.
+                        1 => splitmix64_mix(j) % 8,
+                        // Wide churn: most probes miss, inserts dominate.
+                        2 => splitmix64_mix(seed.wrapping_add(j)) % 5000,
+                        // One hot flow: maximal run length.
+                        _ => seed % 16,
+                    };
+                    let item = if regime == 1 {
+                        splitmix64_mix(seed.wrapping_add(j % 25))
+                    } else {
+                        next_item += 1;
+                        next_item
+                    };
+                    (flow, scheme.item_hash(&item.to_le_bytes()))
+                })
+                .collect();
+            flows_seen.extend(batch.iter().map(|&(f, _)| f));
+            batched_tiered.record_batch(&batch);
+            batched_full.record_batch(&batch);
+            for &(flow, hash) in &batch {
+                itemwise_tiered.record_hash(flow, hash);
+                itemwise_full.record_hash(flow, hash);
+            }
+        }
+        prop_assert_eq!(batched_tiered.len(), itemwise_tiered.len());
+        prop_assert_eq!(batched_full.len(), itemwise_full.len());
+        prop_assert_eq!(
+            batched_tiered.tier_stats(), itemwise_tiered.tier_stats(),
+            "tier census diverged between batched and per-item recording"
+        );
+        flows_seen.sort_unstable();
+        flows_seen.dedup();
+        for &flow in &flows_seen {
+            prop_assert_eq!(
+                batched_tiered.estimate(flow).map(f64::to_bits),
+                itemwise_tiered.estimate(flow).map(f64::to_bits),
+                "tiered estimate of flow {} diverged", flow
+            );
+            let a = batched_full.get(flow).expect("flow resident in batched table");
+            let b = itemwise_full.get(flow).expect("flow resident in itemwise table");
+            prop_assert!(
+                smb_state_eq(a, b),
+                "full estimator state of flow {} diverged", flow
+            );
+        }
+    });
 }

@@ -46,6 +46,15 @@ impl Reporter {
             .spawn(move || {
                 let mut stopped = thread_shared.stopped.lock().expect("reporter lock");
                 loop {
+                    // Check the flag *before* waiting: stop() may have
+                    // set it and notified while this thread was still
+                    // starting up or rendering a report (lock dropped
+                    // below) — a notification sent then is lost, and
+                    // entering wait_timeout anyway would sleep a full
+                    // interval before noticing.
+                    if *stopped {
+                        return;
+                    }
                     let (guard, timeout) = thread_shared
                         .wake
                         .wait_timeout(stopped, interval)

@@ -38,6 +38,21 @@ step "kernel equivalence gates (offline): open-table differential + morph bounda
 cargo test -q --offline -p smb-sketch --test differential
 cargo test -q --offline -p smb-core batched_matches_sequential
 
+step "prefetch intrinsics gate: hints must lower on x86_64/aarch64"
+# The batched-probe pipeline leans on software prefetch; if the
+# per-arch intrinsics silently compile out (cfg drift, feature
+# rename), the probe staging loop becomes pure overhead. The in-crate
+# test asserts PREFETCH_ACTIVE on supported arches; requiring
+# "1 passed" ensures the test itself wasn't filtered away by a rename.
+prefetch_out="$(cargo test --offline -p smb-sketch --lib -- --exact \
+    prefetch::tests::intrinsics_compiled_in_on_supported_arches 2>&1)"
+if ! grep -q "1 passed" <<<"$prefetch_out"; then
+    echo "FAIL: prefetch intrinsics gate did not run or pass:" >&2
+    echo "$prefetch_out" >&2
+    exit 1
+fi
+echo "ok: prefetch hints compiled in for this target (or explicit fallback arch)"
+
 step "tier equivalence gates (offline): tiered cells vs eager estimators"
 # The FlowCell tier ladder (inline -> array -> materialized) must be
 # estimate-invisible: bit-identical to an always-materialized table at
@@ -206,7 +221,10 @@ step "smoke ingest bench (offline): kernel old-vs-new + engine throughput JSON"
 # as cwd, not the workspace root.
 SMB_BENCH_SMOKE=1 SMB_BENCH_JSON="$PWD/BENCH_ingest.json" cargo bench -p smb-bench --bench ingest --offline
 for needle in 'engine/shards=4' 'kernel/old-hashmap-per-item' 'kernel/new-grouped-openaddr' \
-              'kernel_speedup_single_flow' 'kernel_speedup_1k_flows' 'telemetry_overhead_pct' \
+              '10k-flows-uniform' '100k-flows-uniform' \
+              'kernel_speedup_single_flow' 'kernel_speedup_1k_flows' \
+              'kernel_speedup_1k_flows_uniform' 'kernel_speedup_10k_flows_uniform' \
+              'kernel_speedup_100k_flows_uniform' 'telemetry_overhead_pct' \
               'ingest/mpsc/producers=' 'mpsc_items_per_sec_producers_1' 'mpsc_scaling_producers_4' \
               'memory_per_flow_tiered_bytes' 'memory_per_flow_boxed_bytes'; do
     if ! grep -q "$needle" BENCH_ingest.json; then
@@ -214,30 +232,32 @@ for needle in 'engine/shards=4' 'kernel/old-hashmap-per-item' 'kernel/new-groupe
         exit 1
     fi
 done
-# Regression floor: the new kernel must never be slower than the old
-# per-item hash-map path. The 1.5x target applies to the single-flow
-# and bursty shapes; fully interleaved (uniform) input is reported
-# honestly but floor-gated at parity-with-noise only, since grouping
-# cannot amortise at ~1 item per run and wall-clock on shared hosts
-# swings around 10% between runs.
+# Regression floors: the new kernel must beat the old per-item
+# hash-map path on every shape it claims to accelerate. The batched
+# probe pipeline (prefetch-staged lookups + inline-tier recording)
+# lifted the uniform run-length-1 shape from a 0.6x parity report to
+# a real >= 1.05x speedup gate at 1k flows. The 10k/100k uniform
+# sweeps stress footprints past L2 where the prefetch hints engage;
+# they typically measure 1.0-1.4x but swing with shared-host load,
+# so they gate at 0.9 (regression floor, not a speedup claim) while
+# the measured ratio is printed on every run.
 python3 - <<'EOF'
 import json
 extra = json.load(open("BENCH_ingest.json"))["extra"]
-target = extra["kernel_speedup_target"]
-for k in ("kernel_speedup_single_flow", "kernel_speedup_1k_flows",
-          "kernel_speedup_1k_flows_uniform"):
+floors = {
+    "kernel_speedup_single_flow": 4.0,
+    "kernel_speedup_1k_flows": 1.5,
+    "kernel_speedup_1k_flows_uniform": 1.05,
+    "kernel_speedup_10k_flows_uniform": 0.9,
+    "kernel_speedup_100k_flows_uniform": 0.9,
+}
+for k, floor in floors.items():
+    if k not in extra:
+        raise SystemExit(f"FAIL: BENCH_ingest.json extra block is missing {k}")
     v = extra[k]
-    uniform = k.endswith("_uniform")
-    goal = "parity" if uniform else f"{target}x"
-    # The uniform-interleave shape gates at 0.6: it is a parity
-    # report, not a speedup claim, and even best-iteration ratios of
-    # the ~3.5ms blocks swing 0.65-0.95 with shared-host load (the
-    # seed commit measures the same spread). 0.6 still catches a real
-    # kernel regression; the ratio itself is printed every run.
-    floor = 0.6 if uniform else 1.0
-    print(f"{k}: {v:.2f}x (target {goal}, hard floor {floor}x)")
+    print(f"{k}: {v:.2f}x (hard floor {floor}x)")
     if not v >= floor:
-        raise SystemExit(f"FAIL: {k} = {v:.2f}x — new kernel slower than the old path")
+        raise SystemExit(f"FAIL: {k} = {v:.2f}x — below the {floor}x floor")
 # Telemetry gate: the attributed observer cost (captured event stream
 # + batch-cadence flushes timed in isolation, divided by the bare
 # replay's best block) must exist, be a real positive cost (zero or
