@@ -577,6 +577,134 @@ fn main() {
         bench.extra("telemetry_overhead_target_pct", Json::Float(5.0));
     }
 
+    // Checkpoint compression: v2 flow-block shards versus v1 JSON
+    // shards, written by the real checkpoint path from the same engine
+    // state. Flow k of a Zipf population carries max(1, 2000/(k+1))
+    // distinct items, so the shards hold the realistic tier mix — a
+    // few materialized estimators, an array-tier middle, a long
+    // inline-tier tail — rather than a uniform best case for either
+    // format. Byte counts are deterministic (one-shot measurement);
+    // the encode/decode throughput of the wire snapshot block is timed
+    // over repeated passes on the 100k-flow state. verify.sh gates
+    // `checkpoint_v2_over_json_100k` at <= 0.5: the compressed format
+    // must at least halve the checkpoint, or it isn't earning its
+    // second on-disk format.
+    {
+        use smb_engine::{CheckpointConfig, CheckpointFormat};
+        use smb_sketch::codec::{decode_flow_block, encode_flow_block};
+        use std::fs;
+
+        let shard_bytes = |dir: &std::path::Path| -> u64 {
+            let mut total = 0;
+            for epoch in fs::read_dir(dir).into_iter().flatten().flatten() {
+                for f in fs::read_dir(epoch.path()).into_iter().flatten().flatten() {
+                    if f.file_name().to_string_lossy().starts_with("shard-") {
+                        total += f.metadata().map_or(0, |m| m.len());
+                    }
+                }
+            }
+            total
+        };
+
+        eprintln!("\n== checkpoint compression (v1 JSON vs v2 flow blocks) ==");
+        for &flows in &[1_000usize, 100_000] {
+            let mut engine = ShardedFlowEngine::new(
+                EngineConfig::new(spec()).with_shards(2).with_batch(1024),
+            )
+            .expect("valid engine config");
+            let mut item = 0u64;
+            for k in 0..flows {
+                for _ in 0..(2_000 / (k + 1)).max(1) {
+                    item += 1;
+                    engine.ingest(k as u64, &item.to_le_bytes());
+                }
+            }
+            engine.flush();
+
+            let base = std::env::temp_dir()
+                .join(format!("smb-bench-ckpt-{}-{flows}", std::process::id()));
+            let _ = fs::remove_dir_all(&base);
+            let mut bytes = [0u64; 2];
+            let formats = [CheckpointFormat::V1Json, CheckpointFormat::V2Binary];
+            for (slot, format) in formats.into_iter().enumerate() {
+                let dir = base.join(if slot == 0 { "v1" } else { "v2" });
+                engine
+                    .checkpoint_now(&CheckpointConfig::new(&dir).with_format(format))
+                    .expect("checkpoint");
+                bytes[slot] = shard_bytes(&dir);
+            }
+            let _ = fs::remove_dir_all(&base);
+            let [json_bytes, v2_bytes] = bytes;
+            assert!(json_bytes > 0 && v2_bytes > 0, "checkpoints wrote no shards");
+            let ratio = v2_bytes as f64 / json_bytes as f64;
+            let suffix = if flows >= 100_000 { "100k" } else { "1k" };
+            eprintln!(
+                "  {flows} flows: v1 JSON {json_bytes} B ({:.1} B/flow) vs \
+                 v2 {v2_bytes} B ({:.1} B/flow) => {ratio:.3}x (gate <= 0.5 at 100k)",
+                json_bytes as f64 / flows as f64,
+                v2_bytes as f64 / flows as f64,
+            );
+            bench.extra(
+                format!("checkpoint_json_bytes_{suffix}"),
+                Json::Int(json_bytes as i128),
+            );
+            bench.extra(
+                format!("checkpoint_v2_bytes_{suffix}"),
+                Json::Int(v2_bytes as i128),
+            );
+            bench.extra(
+                format!("checkpoint_json_bytes_per_flow_{suffix}"),
+                Json::Float(json_bytes as f64 / flows as f64),
+            );
+            bench.extra(
+                format!("checkpoint_v2_bytes_per_flow_{suffix}"),
+                Json::Float(v2_bytes as f64 / flows as f64),
+            );
+            bench.extra(format!("checkpoint_v2_over_json_{suffix}"), Json::Float(ratio));
+
+            // On the large state, also time the wire snapshot block —
+            // the SNAPSHOT response body — both directions, and prove
+            // the round trip is lossless before trusting the numbers.
+            if flows >= 100_000 {
+                let cells = engine
+                    .query_handle()
+                    .snapshot_cells()
+                    .expect("snapshot cells");
+                let block = encode_flow_block(&cells).expect("sorted cells encode");
+                assert_eq!(
+                    decode_flow_block(&block).expect("decode own block"),
+                    cells,
+                    "snapshot block round trip diverged"
+                );
+                let reps = if bench.is_smoke() { 5u32 } else { 20 };
+                let mb = block.len() as f64 / (1024.0 * 1024.0);
+                let start = std::time::Instant::now();
+                for _ in 0..reps {
+                    black_box(encode_flow_block(&cells).expect("encode"));
+                }
+                let encode_s = start.elapsed().as_secs_f64() / reps as f64;
+                let start = std::time::Instant::now();
+                for _ in 0..reps {
+                    black_box(decode_flow_block(&block).expect("decode"));
+                }
+                let decode_s = start.elapsed().as_secs_f64() / reps as f64;
+                eprintln!(
+                    "  snapshot block: {} flows, {:.2} MiB — encode {:.0} MiB/s, \
+                     decode {:.0} MiB/s",
+                    cells.len(),
+                    mb,
+                    mb / encode_s,
+                    mb / decode_s,
+                );
+                bench.extra("snapshot_flows", Json::Int(cells.len() as i128));
+                bench.extra("snapshot_block_bytes", Json::Int(block.len() as i128));
+                bench.extra("snapshot_encode_mb_per_sec", Json::Float(mb / encode_s));
+                bench.extra("snapshot_decode_mb_per_sec", Json::Float(mb / decode_s));
+            }
+            black_box(engine.finish().total_recorded());
+        }
+    }
+
     // Throughput summary: items/sec per configuration and the speedup
     // of every engine configuration over the 1-shard engine.
     let results = bench.results();

@@ -14,8 +14,10 @@ use std::sync::Arc;
 
 use smb_core::{CardinalityEstimator, MorphCollector, ObserverHandle, Smb};
 use smb_engine::{
-    BackpressurePolicy, CheckpointConfig, EngineConfig, EngineQuery, ShardedFlowEngine,
+    BackpressurePolicy, CheckpointConfig, CheckpointFormat, EngineConfig, EngineQuery,
+    ShardedFlowEngine,
 };
+use smb_net::{SmbClient, SmbServer};
 use smb_factory::{Algo, AlgoSpec};
 use smb_hash::HashScheme;
 use smb_sketch::FlowTable;
@@ -87,6 +89,14 @@ pub struct ServeConfig {
     /// Seconds between background checkpoints (requires
     /// `checkpoint_dir`).
     pub checkpoint_interval: u64,
+    /// Shard encoding for checkpoints: compact binary flow blocks
+    /// (the default) or the v1 JSON documents.
+    pub checkpoint_format: CheckpointFormat,
+    /// Instead of reading stdin, listen on this TCP address and serve
+    /// the wire protocol (see `PROTOCOL.md`) until a client sends
+    /// `SHUTDOWN`. Port `0` binds an ephemeral port; the bound
+    /// address is printed as `listening on <addr>`.
+    pub listen: Option<String>,
 }
 
 /// `restore` subcommand configuration.
@@ -122,6 +132,48 @@ pub struct MorphlogConfig {
     pub last: Option<usize>,
 }
 
+/// `client` subcommand configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Server address, e.g. `127.0.0.1:4742`.
+    pub connect: String,
+    /// What to ask the server.
+    pub action: ClientAction,
+}
+
+/// What a `client` invocation does once connected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Ship `flow<TAB>item` stdin lines as `RECORD_BATCH` frames of
+    /// this many records each.
+    Record {
+        /// Records per `RECORD_BATCH` frame.
+        batch: usize,
+    },
+    /// Estimate one flow's cardinality (the flow name is hashed the
+    /// same way `serve` hashes stdin flow columns).
+    Query {
+        /// Flow name, as it appears in the trace's flow column.
+        flow: String,
+    },
+    /// Print the `k` largest-estimate flows, `serve`-report format.
+    TopK {
+        /// How many flows to print.
+        top: usize,
+    },
+    /// Pull the full compressed engine snapshot and summarize it.
+    Snapshot,
+    /// Stream morph lifecycle events as JSON lines.
+    Subscribe {
+        /// End the subscription after this many events.
+        max: u64,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Ask the server to shut down and exit `serve`.
+    Shutdown,
+}
+
 /// `doctor` subcommand configuration.
 #[derive(Debug, Clone)]
 pub struct DoctorConfig {
@@ -149,6 +201,8 @@ pub enum Command {
     Flows(FlowsConfig),
     /// Sharded parallel per-flow estimation of `flow<TAB>item` lines.
     Serve(ServeConfig),
+    /// Talk to a `serve --listen` server over the wire protocol.
+    Client(ClientConfig),
     /// Recover a `serve` checkpoint directory and report its estimates.
     Restore(RestoreCliConfig),
     /// Generate a synthetic trace.
@@ -238,9 +292,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 metrics_interval: None,
                 checkpoint_dir: None,
                 checkpoint_interval: 30,
+                checkpoint_format: CheckpointFormat::default(),
+                listen: None,
             };
             let mut i = 1;
             let mut interval_given = false;
+            let mut format_given = false;
             while i < args.len() {
                 match args[i].as_str() {
                     "--algo" => cfg.algo = Algo::from_name(take_value(args, &mut i, "--algo")?)?,
@@ -284,6 +341,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             parse_num(args, &mut i, "--checkpoint-interval")?;
                         interval_given = true;
                     }
+                    "--checkpoint-format" => {
+                        cfg.checkpoint_format =
+                            match take_value(args, &mut i, "--checkpoint-format")? {
+                                "v1" | "json" => CheckpointFormat::V1Json,
+                                "v2" | "binary" => CheckpointFormat::V2Binary,
+                                other => {
+                                    return Err(format!(
+                                        "unknown checkpoint format `{other}` (v1|json|v2|binary)"
+                                    ))
+                                }
+                            };
+                        format_given = true;
+                    }
+                    "--listen" => {
+                        cfg.listen = Some(take_value(args, &mut i, "--listen")?.to_string());
+                    }
                     other => return Err(format!("unknown option `{other}` for serve")),
                 }
                 i += 1;
@@ -294,6 +367,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             if interval_given && cfg.checkpoint_dir.is_none() {
                 return Err(
                     "--checkpoint-interval needs --checkpoint-dir (nowhere to write epochs)"
+                        .into(),
+                );
+            }
+            if format_given && cfg.checkpoint_dir.is_none() {
+                return Err(
+                    "--checkpoint-format needs --checkpoint-dir (nowhere to write shards)".into(),
+                );
+            }
+            if cfg.listen.is_some() && cfg.producers > 1 {
+                return Err(
+                    "--producers does not apply to --listen (each connection is a producer)"
                         .into(),
                 );
             }
@@ -308,6 +392,51 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 return Err("--metrics-out/--metrics-interval need --metrics <json|prom>".into());
             }
             Ok(Command::Serve(cfg))
+        }
+        "client" => {
+            let action_name = args
+                .get(1)
+                .map(|s| s.as_str())
+                .ok_or("client needs an action: record|query|top-k|snapshot|subscribe|ping|shutdown")?;
+            let mut connect = "127.0.0.1:4742".to_string();
+            let mut batch = 512usize;
+            let mut flow: Option<String> = None;
+            let mut top = 20usize;
+            let mut max = 16u64;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--connect" => connect = take_value(args, &mut i, "--connect")?.to_string(),
+                    "--batch" => batch = parse_num(args, &mut i, "--batch")?,
+                    "--flow" => flow = Some(take_value(args, &mut i, "--flow")?.to_string()),
+                    "--top" => top = parse_num(args, &mut i, "--top")?,
+                    "--max" => max = parse_num(args, &mut i, "--max")?,
+                    other => return Err(format!("unknown option `{other}` for client")),
+                }
+                i += 1;
+            }
+            let action = match action_name {
+                "record" => {
+                    if batch == 0 {
+                        return Err("--batch must be at least 1".into());
+                    }
+                    ClientAction::Record { batch }
+                }
+                "query" => ClientAction::Query {
+                    flow: flow.ok_or("client query needs --flow <name>")?,
+                },
+                "top-k" => ClientAction::TopK { top },
+                "snapshot" => ClientAction::Snapshot,
+                "subscribe" => ClientAction::Subscribe { max },
+                "ping" => ClientAction::Ping,
+                "shutdown" => ClientAction::Shutdown,
+                other => {
+                    return Err(format!(
+                        "unknown client action `{other}` (record|query|top-k|snapshot|subscribe|ping|shutdown)"
+                    ))
+                }
+            };
+            Ok(Command::Client(ClientConfig { connect, action }))
         }
         "restore" => {
             let mut dir = None;
@@ -503,6 +632,7 @@ pub fn run_serve(
     let checkpoint = cfg.checkpoint_dir.as_ref().map(|dir| {
         CheckpointConfig::new(dir)
             .with_interval(std::time::Duration::from_secs(cfg.checkpoint_interval.max(1)))
+            .with_format(cfg.checkpoint_format)
     });
     if let Some(ckpt) = &checkpoint {
         engine
@@ -528,7 +658,19 @@ pub fn run_serve(
     };
 
     let mut skipped = 0u64;
-    if cfg.producers > 1 {
+    let mut sessions = None;
+    if let Some(listen) = &cfg.listen {
+        // Network mode: stdin is ignored; clients feed the engine over
+        // the wire protocol until one of them sends SHUTDOWN. The
+        // bound address is printed (and flushed) first so wrappers can
+        // parse the ephemeral port before connecting.
+        let server = SmbServer::bind(listen.as_str(), &engine).map_err(|e| e.to_string())?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        writeln!(out, "listening on {addr}").map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+        let summary = server.serve().map_err(|e| e.to_string())?;
+        sessions = Some(summary.sessions);
+    } else if cfg.producers > 1 {
         // Multi-producer ingest: this thread only parses and deals
         // lines round-robin to N producer threads, each owning a
         // cloned engine producer handle. Per-flow arrival order across
@@ -617,6 +759,9 @@ pub fn run_serve(
         engine.config().policy,
     )
     .map_err(|e| e.to_string())?;
+    if let Some(n) = sessions {
+        writeln!(out, "sessions     : {n}").map_err(|e| e.to_string())?;
+    }
     if let (Some(epoch), Some(ckpt)) = (final_epoch, &checkpoint) {
         writeln!(out, "checkpoint   : epoch {epoch} -> {}", ckpt.dir.display())
             .map_err(|e| e.to_string())?;
@@ -634,6 +779,116 @@ pub fn run_serve(
             None => {
                 writeln!(out, "{rendered}").map_err(|e| e.to_string())?;
             }
+        }
+    }
+    Ok(())
+}
+
+/// Run `client`: one wire-protocol exchange with a `serve --listen`
+/// server. Flow names are hashed exactly as `serve` hashes stdin flow
+/// columns, so `client query --flow heavy` asks about the same key a
+/// piped trace created, and `client top-k` prints the same
+/// `flow<TAB>estimate` lines the stdin report would.
+pub fn run_client(
+    cfg: ClientConfig,
+    lines: &mut dyn Iterator<Item = String>,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let mut client = SmbClient::connect(cfg.connect.as_str())
+        .map_err(|e| format!("connect {}: {e}", cfg.connect))?;
+    match cfg.action {
+        ClientAction::Record { batch } => {
+            let mut sent = 0u64;
+            let mut skipped = 0u64;
+            let mut pending: Vec<(u64, String)> = Vec::with_capacity(batch);
+            let mut ship = |pending: &mut Vec<(u64, String)>, sent: &mut u64| {
+                if pending.is_empty() {
+                    return Ok(());
+                }
+                let records: Vec<(u64, &[u8])> = pending
+                    .iter()
+                    .map(|(flow, item)| (*flow, item.as_bytes()))
+                    .collect();
+                *sent += client.record_batch(&records).map_err(|e| e.to_string())?;
+                pending.clear();
+                Ok::<(), String>(())
+            };
+            for line in lines {
+                match parse_flow_line(&line) {
+                    Some((key, item)) => {
+                        pending.push((key, item.to_string()));
+                        if pending.len() == batch {
+                            ship(&mut pending, &mut sent)?;
+                        }
+                    }
+                    None => skipped += 1,
+                }
+            }
+            ship(&mut pending, &mut sent)?;
+            writeln!(out, "records sent : {sent}  (skipped {skipped} malformed lines)")
+                .map_err(|e| e.to_string())?;
+        }
+        ClientAction::Query { flow } => {
+            let key = smb_hash::fnv::fnv1a64(flow.as_bytes());
+            match client.query(key).map_err(|e| e.to_string())? {
+                Some(estimate) => {
+                    writeln!(out, "{key:016x}\t{estimate:.0}").map_err(|e| e.to_string())?
+                }
+                None => writeln!(out, "flow `{flow}` ({key:016x}): not seen")
+                    .map_err(|e| e.to_string())?,
+            }
+        }
+        ClientAction::TopK { top } => {
+            for (flow, estimate) in client.top_k(top as u64).map_err(|e| e.to_string())? {
+                writeln!(out, "{flow:016x}\t{estimate:.0}").map_err(|e| e.to_string())?;
+            }
+        }
+        ClientAction::Snapshot => {
+            let cells = client.snapshot().map_err(|e| e.to_string())?;
+            let mut small = 0usize;
+            let mut array = 0usize;
+            let mut full = 0usize;
+            for (_, state) in &cells {
+                match state.field("tier").ok().and_then(|t| t.as_str().ok()) {
+                    Some("small") => small += 1,
+                    Some("array") => array += 1,
+                    _ => full += 1,
+                }
+            }
+            writeln!(out, "snapshot     : {} flow(s)", cells.len()).map_err(|e| e.to_string())?;
+            writeln!(out, "tiers        : {small} small, {array} array, {full} full")
+                .map_err(|e| e.to_string())?;
+        }
+        ClientAction::Subscribe { max } => {
+            let delivered = client
+                .subscribe_morphs(max, |ev| {
+                    let obj = smb_devtools::Json::Obj(vec![
+                        ("event".into(), smb_devtools::Json::str(ev.kind_str())),
+                        ("round".into(), smb_devtools::Json::Int(ev.round as i128)),
+                        (
+                            "fresh_bits".into(),
+                            smb_devtools::Json::Int(ev.fresh_bits as i128),
+                        ),
+                        (
+                            "logical_size".into(),
+                            smb_devtools::Json::Int(ev.logical_size as i128),
+                        ),
+                        ("items".into(), smb_devtools::Json::Int(ev.items as i128)),
+                        ("estimate".into(), smb_devtools::Json::Float(ev.estimate)),
+                        ("at_ns".into(), smb_devtools::Json::Int(ev.at_ns as i128)),
+                    ]);
+                    let _ = writeln!(out, "{}", obj.to_string());
+                })
+                .map_err(|e| e.to_string())?;
+            writeln!(out, "events delivered: {delivered}").map_err(|e| e.to_string())?;
+        }
+        ClientAction::Ping => {
+            client.ping().map_err(|e| e.to_string())?;
+            writeln!(out, "pong").map_err(|e| e.to_string())?;
+        }
+        ClientAction::Shutdown => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            writeln!(out, "server shutting down").map_err(|e| e.to_string())?;
         }
     }
     Ok(())
@@ -1093,6 +1348,8 @@ mod tests {
             metrics_interval: None,
             checkpoint_dir: None,
             checkpoint_interval: 30,
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
         };
         let mut lines = Vec::new();
         for i in 0..3000u32 {
@@ -1142,6 +1399,245 @@ mod tests {
                 (e1 - e2).abs() / e1.max(1.0) < 0.2,
                 "{f1}: single {e1} vs multi {e2}"
             );
+        }
+    }
+
+    #[test]
+    fn parse_listen_and_checkpoint_format_flags() {
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve", "--listen", "127.0.0.1:0"])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.listen.as_deref(), Some("127.0.0.1:0"));
+        let Ok(Command::Serve(c)) = parse_args(&s(&["serve"])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.listen, None, "stdin mode is the default");
+        assert_eq!(c.checkpoint_format, CheckpointFormat::V2Binary);
+        let Ok(Command::Serve(c)) = parse_args(&s(&[
+            "serve", "--checkpoint-dir", "/tmp/ck", "--checkpoint-format", "v1",
+        ])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.checkpoint_format, CheckpointFormat::V1Json);
+        let Ok(Command::Serve(c)) = parse_args(&s(&[
+            "serve", "--checkpoint-dir", "/tmp/ck", "--checkpoint-format", "binary",
+        ])) else {
+            panic!("expected serve")
+        };
+        assert_eq!(c.checkpoint_format, CheckpointFormat::V2Binary);
+        // Inconsistent combinations are rejected at parse time.
+        assert!(parse_args(&s(&["serve", "--checkpoint-format", "v2"])).is_err());
+        assert!(parse_args(&s(&[
+            "serve", "--checkpoint-dir", "/tmp/ck", "--checkpoint-format", "v3",
+        ]))
+        .is_err());
+        assert!(
+            parse_args(&s(&["serve", "--listen", "127.0.0.1:0", "--producers", "2"])).is_err()
+        );
+    }
+
+    #[test]
+    fn parse_client_actions() {
+        let Ok(Command::Client(c)) = parse_args(&s(&["client", "record"])) else {
+            panic!("expected client")
+        };
+        assert_eq!(c.connect, "127.0.0.1:4742", "default address");
+        assert_eq!(c.action, ClientAction::Record { batch: 512 });
+        let Ok(Command::Client(c)) = parse_args(&s(&[
+            "client", "query", "--connect", "10.0.0.1:9", "--flow", "heavy",
+        ])) else {
+            panic!("expected client")
+        };
+        assert_eq!(c.connect, "10.0.0.1:9");
+        assert_eq!(c.action, ClientAction::Query { flow: "heavy".into() });
+        let Ok(Command::Client(c)) = parse_args(&s(&["client", "top-k", "--top", "3"])) else {
+            panic!("expected client")
+        };
+        assert_eq!(c.action, ClientAction::TopK { top: 3 });
+        let Ok(Command::Client(c)) = parse_args(&s(&["client", "subscribe", "--max", "7"])) else {
+            panic!("expected client")
+        };
+        assert_eq!(c.action, ClientAction::Subscribe { max: 7 });
+        assert!(matches!(
+            parse_args(&s(&["client", "snapshot"])),
+            Ok(Command::Client(ClientConfig { action: ClientAction::Snapshot, .. }))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["client", "ping"])),
+            Ok(Command::Client(ClientConfig { action: ClientAction::Ping, .. }))
+        ));
+        assert!(matches!(
+            parse_args(&s(&["client", "shutdown"])),
+            Ok(Command::Client(ClientConfig { action: ClientAction::Shutdown, .. }))
+        ));
+        assert!(parse_args(&s(&["client"])).is_err(), "action is mandatory");
+        assert!(parse_args(&s(&["client", "explode"])).is_err());
+        assert!(parse_args(&s(&["client", "query"])).is_err(), "query needs --flow");
+        assert!(parse_args(&s(&["client", "record", "--batch", "0"])).is_err());
+        assert!(parse_args(&s(&["client", "record", "--wat"])).is_err());
+    }
+
+    /// A `Write` the serve thread and the test can share: the test
+    /// polls it for the `listening on` line to learn the ephemeral
+    /// port while `run_serve` is still blocked inside `serve()`.
+    #[derive(Clone, Default)]
+    struct SharedOut(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedOut {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedOut {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn serve_listen_round_trips_with_client() {
+        let base = ServeConfig {
+            algo: Algo::Smb,
+            memory_bits: 2048,
+            shards: 2,
+            producers: 1,
+            batch: 64,
+            queue_batches: 4,
+            policy: BackpressurePolicy::Block,
+            expected_flows: 0,
+            trace_sample: 0,
+            threshold: 0.0,
+            top: 5,
+            metrics: None,
+            metrics_out: None,
+            metrics_interval: None,
+            checkpoint_dir: None,
+            checkpoint_interval: 30,
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
+        };
+        let mut lines = Vec::new();
+        for i in 0..30_000u32 {
+            lines.push(format!("heavy\t{i}"));
+        }
+        for i in 0..50u32 {
+            lines.push(format!("light\t{i}"));
+        }
+
+        // Reference: the same trace through stdin-mode serve.
+        let mut reference = Vec::new();
+        run_serve(base.clone(), &mut lines.clone().into_iter(), &mut reference).unwrap();
+        let reference = String::from_utf8(reference).unwrap();
+        let reference_rows: Vec<&str> =
+            reference.lines().filter(|l| l.contains('\t')).collect();
+
+        // Network: serve --listen on an ephemeral port, in a thread.
+        let cfg = ServeConfig { listen: Some("127.0.0.1:0".into()), ..base };
+        let out = SharedOut::default();
+        let serve_out = out.clone();
+        let server = std::thread::spawn(move || {
+            let mut serve_out = serve_out;
+            run_serve(cfg, &mut std::iter::empty(), &mut serve_out).unwrap();
+        });
+        let addr = loop {
+            if let Some(line) = out.text().lines().find(|l| l.starts_with("listening on ")) {
+                break line["listening on ".len()..].to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        // Ship the trace, read back top-k, then shut the server down —
+        // all through the public CLI entry points.
+        let mut client_out = Vec::new();
+        run_client(
+            ClientConfig {
+                connect: addr.clone(),
+                action: ClientAction::Record { batch: 128 },
+            },
+            &mut lines.clone().into_iter().chain(["malformed".to_string()]),
+            &mut client_out,
+        )
+        .unwrap();
+        let recorded = String::from_utf8(client_out).unwrap();
+        assert!(recorded.contains("records sent : 30050"), "{recorded}");
+        assert!(recorded.contains("skipped 1"), "{recorded}");
+
+        let mut client_out = Vec::new();
+        run_client(
+            ClientConfig {
+                connect: addr.clone(),
+                action: ClientAction::Query { flow: "nosuch".into() },
+            },
+            &mut std::iter::empty(),
+            &mut client_out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(client_out).unwrap().contains("not seen"));
+
+        let mut client_out = Vec::new();
+        run_client(
+            ClientConfig {
+                connect: addr.clone(),
+                action: ClientAction::TopK { top: 5 },
+            },
+            &mut std::iter::empty(),
+            &mut client_out,
+        )
+        .unwrap();
+        let top_k = String::from_utf8(client_out).unwrap();
+        // Single-producer in-order delivery: networked ingest is
+        // bit-identical to the stdin run, so the report rows match
+        // verbatim.
+        for row in &reference_rows {
+            assert!(top_k.contains(row), "missing {row} in {top_k}");
+        }
+
+        let mut client_out = Vec::new();
+        run_client(
+            ClientConfig {
+                connect: addr.clone(),
+                action: ClientAction::Snapshot,
+            },
+            &mut std::iter::empty(),
+            &mut client_out,
+        )
+        .unwrap();
+        let snapshot = String::from_utf8(client_out).unwrap();
+        assert!(snapshot.contains("snapshot     : 2 flow(s)"), "{snapshot}");
+
+        let mut client_out = Vec::new();
+        run_client(
+            ClientConfig {
+                connect: addr.clone(),
+                action: ClientAction::Subscribe { max: 3 },
+            },
+            &mut std::iter::empty(),
+            &mut client_out,
+        )
+        .unwrap();
+        let subscribed = String::from_utf8(client_out).unwrap();
+        assert!(subscribed.contains("\"event\":"), "{subscribed}");
+        assert!(subscribed.contains("events delivered: 3"), "{subscribed}");
+
+        let mut client_out = Vec::new();
+        run_client(
+            ClientConfig { connect: addr, action: ClientAction::Shutdown },
+            &mut std::iter::empty(),
+            &mut client_out,
+        )
+        .unwrap();
+        server.join().unwrap();
+
+        let report = out.text();
+        assert!(report.contains("flows tracked: 2"), "{report}");
+        assert!(report.contains("sessions     : 6"), "{report}");
+        for row in &reference_rows {
+            assert!(report.contains(row), "missing {row} in final report: {report}");
         }
     }
 
@@ -1242,6 +1738,8 @@ mod tests {
             metrics_interval: None,
             checkpoint_dir: Some(dir.clone()),
             checkpoint_interval: 3600, // only the final shutdown epoch fires
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
         };
         let mut lines = Vec::new();
         for i in 0..3000u32 {
@@ -1343,6 +1841,8 @@ mod tests {
             metrics_interval: None,
             checkpoint_dir: None,
             checkpoint_interval: 30,
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
         };
         let mut lines = Vec::new();
         for i in 0..20_000u32 {
@@ -1389,6 +1889,8 @@ mod tests {
             metrics_interval: None,
             checkpoint_dir: None,
             checkpoint_interval: 30,
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
         };
         let mut lines = (0..500u32).map(|i| format!("f\t{i}"));
         let mut out = Vec::new();
@@ -1701,6 +2203,8 @@ mod tests {
             metrics_interval: None,
             checkpoint_dir: None,
             checkpoint_interval: 30,
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
         };
         let mut lines = Vec::new();
         for i in 0..3000u32 {
@@ -1746,6 +2250,8 @@ mod tests {
             metrics_interval: None,
             checkpoint_dir: None,
             checkpoint_interval: 30,
+            checkpoint_format: CheckpointFormat::default(),
+            listen: None,
         };
         let mut out = Vec::new();
         run_serve(serve_cfg, &mut text.lines().map(|l| l.to_string()), &mut out).unwrap();

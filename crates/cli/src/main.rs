@@ -10,10 +10,17 @@
 //!                [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]
 //!                [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]
 //!                [--checkpoint-dir DIR] [--checkpoint-interval SECS]
+//!                [--checkpoint-format v1|v2] [--listen ADDR]
 //!     sharded parallel flows mode: per-flow estimates + engine stats
 //!     (+ metrics snapshot in JSON or Prometheus text exposition,
 //!      + pipeline-stage tracing of every Nth batch,
-//!      + durable checkpoints and a final epoch on shutdown)
+//!      + durable checkpoints and a final epoch on shutdown,
+//!      + --listen: serve the PROTOCOL.md wire protocol over TCP
+//!        instead of reading stdin, until a client sends SHUTDOWN)
+//! smbcount client <record|query|top-k|snapshot|subscribe|ping|shutdown>
+//!                 [--connect ADDR] [--batch N] [--flow NAME] [--top K] [--max N]
+//!     talk to a `serve --listen` server: ship stdin records, query a
+//!     flow, print top-k, pull a compressed snapshot, or tail morphs
 //! smbcount restore --dir DIR [--top K] [--threshold N]
 //!     recover the newest consistent checkpoint epoch; print what was
 //!     restored and the recovered per-flow estimates
@@ -33,8 +40,8 @@
 use std::io::{BufRead, BufWriter, Write};
 
 use smb_cli::{
-    parse_args, run_count, run_doctor, run_flows, run_morphlog, run_restore, run_serve, run_trace,
-    Command,
+    parse_args, run_client, run_count, run_doctor, run_flows, run_morphlog, run_restore,
+    run_serve, run_trace, Command,
 };
 
 fn main() {
@@ -65,7 +72,10 @@ fn main() {
                  \x20        [--expected-flows F] [--memory-bits M] [--threshold N] [--top K]   sharded parallel flows mode + engine stats\n\
                  \x20        [--trace-sample N]   record pipeline-stage spans for every Nth batch (0 = off)\n\
                  \x20        [--metrics json|prom] [--metrics-out PATH] [--metrics-interval SECS]   metrics export\n\
-                 \x20        [--checkpoint-dir DIR] [--checkpoint-interval SECS]   durable checkpoints + final epoch\n\
+                 \x20        [--checkpoint-dir DIR] [--checkpoint-interval SECS] [--checkpoint-format v1|v2]   durable checkpoints + final epoch\n\
+                 \x20        [--listen ADDR]   serve the wire protocol over TCP instead of reading stdin (see PROTOCOL.md)\n\
+                 \x20 client  <record|query|top-k|snapshot|subscribe|ping|shutdown> [--connect ADDR] [--batch N] [--flow NAME] [--top K] [--max N]\n\
+                 \x20        talk to a `serve --listen` server\n\
                  \x20 restore  --dir DIR [--top K] [--threshold N]   recover the newest consistent checkpoint\n\
                  \x20 morphlog  [--memory-bits M] [--n-max N] [--last N]   stream SMB morph events as JSON lines (--last N: only the final flight-recorder window)\n\
                  \x20 doctor  [--memory-bits M] [--shards N] [--batch B] [--top K] [--checkpoint-dir DIR]   one diagnostic JSON snapshot of 'flow<TAB>item' input\n\
@@ -77,6 +87,9 @@ fn main() {
         Command::Count(cfg) => run_count(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Flows(cfg) => run_flows(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
         Command::Serve(cfg) => run_serve(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out),
+        Command::Client(cfg) => {
+            run_client(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out)
+        }
         Command::Restore(cfg) => run_restore(cfg, &mut out),
         Command::Morphlog(cfg) => {
             run_morphlog(cfg, &mut stdin.lock().lines().map_while(|l| l.ok()), &mut out)

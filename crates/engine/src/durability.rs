@@ -5,12 +5,26 @@
 //! ```text
 //! <dir>/
 //!   epoch-0000000000/
-//!     shard-0000.json      one file per shard: [flow, estimator state]
-//!     shard-0001.json      pairs, sorted by flow key
+//!     shard-0000.bin       one file per shard: sorted (flow, state)
+//!     shard-0001.bin       pairs in the v2 compressed flow-block format
 //!     MANIFEST.json        written last — the epoch's commit record
 //!   epoch-0000000001/
 //!     ...
 //! ```
+//!
+//! Two shard formats exist, selected by [`CheckpointFormat`]:
+//!
+//! * **v2 (default)** — `shard-%04d.bin`, the compressed binary
+//!   flow-block format of [`smb_sketch::codec`] (varint + zigzag delta
+//!   hash lists, bit-packed bitmaps; see `PROTOCOL.md` §5). Typically
+//!   well under half the JSON byte size.
+//! * **v1** — `shard-%04d.json`, `[flow, state]` pairs as JSON. Every
+//!   epoch written before the v2 format existed is v1, and v1 epochs
+//!   restore forever: the manifest records which format an epoch uses
+//!   (`"format"`, absent meaning v1) and the reader dispatches per
+//!   epoch — both formats decode to the *same* canonical JSON states,
+//!   so the entire restore/validation path below is shared and
+//!   restores are bit-identical across formats.
 //!
 //! Every file is written atomically (write to a `.tmp` sibling, fsync,
 //! rename into place) and the manifest is written **after** all shard
@@ -75,6 +89,46 @@ pub(crate) fn restore_cell(
 /// File name of the per-epoch commit record.
 const MANIFEST: &str = "MANIFEST.json";
 
+/// Which shard-file format new checkpoints are written in. Restore is
+/// format-agnostic: the manifest records each epoch's format and the
+/// reader dispatches per epoch, so changing this knob never strands an
+/// existing checkpoint history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointFormat {
+    /// `shard-%04d.json` — `[flow, state]` pairs as JSON text. The
+    /// pre-v2 format; diffable, but several times larger on disk.
+    V1Json,
+    /// `shard-%04d.bin` — the compressed binary flow-block format of
+    /// [`smb_sketch::codec`] (specified in `PROTOCOL.md` §5).
+    #[default]
+    V2Binary,
+}
+
+impl CheckpointFormat {
+    /// The `"format"` code the manifest records (1 or 2).
+    pub fn code(self) -> u64 {
+        match self {
+            CheckpointFormat::V1Json => 1,
+            CheckpointFormat::V2Binary => 2,
+        }
+    }
+
+    fn from_code(code: u64) -> Result<Self, String> {
+        match code {
+            1 => Ok(CheckpointFormat::V1Json),
+            2 => Ok(CheckpointFormat::V2Binary),
+            other => Err(format!("unknown checkpoint format {other}")),
+        }
+    }
+
+    fn shard_file_name(self, shard: usize) -> String {
+        match self {
+            CheckpointFormat::V1Json => format!("shard-{shard:04}.json"),
+            CheckpointFormat::V2Binary => format!("shard-{shard:04}.bin"),
+        }
+    }
+}
+
 /// How a checkpointing engine writes its epochs: where, how often, and
 /// how stubbornly on IO failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,6 +146,8 @@ pub struct CheckpointConfig {
     /// successful checkpoint. At least 2 is recommended so recovery can
     /// fall back across a torn newest epoch.
     pub keep_epochs: usize,
+    /// Shard-file format for *new* epochs (restore reads both).
+    pub format: CheckpointFormat,
 }
 
 impl CheckpointConfig {
@@ -104,6 +160,7 @@ impl CheckpointConfig {
             retries: 3,
             backoff: Duration::from_millis(200),
             keep_epochs: 2,
+            format: CheckpointFormat::default(),
         }
     }
 
@@ -128,6 +185,12 @@ impl CheckpointConfig {
     /// Set how many completed epochs stay on disk.
     pub fn with_keep_epochs(mut self, keep_epochs: usize) -> Self {
         self.keep_epochs = keep_epochs;
+        self
+    }
+
+    /// Set the shard-file format for new epochs.
+    pub fn with_format(mut self, format: CheckpointFormat) -> Self {
+        self.format = format;
         self
     }
 
@@ -221,10 +284,6 @@ fn epoch_dir_name(epoch: u64) -> String {
     format!("epoch-{epoch:010}")
 }
 
-fn shard_file_name(shard: usize) -> String {
-    format!("shard-{shard:04}.json")
-}
-
 fn parse_epoch_dir(name: &str) -> Option<u64> {
     name.strip_prefix("epoch-")?.parse().ok()
 }
@@ -274,13 +333,14 @@ fn sync_dir(path: &Path) {
     }
 }
 
-/// Serialize one shard's flow table: `[flow, state]` pairs sorted by
+/// Snapshot one shard's flow table as `(flow, state)` pairs sorted by
 /// flow key, so a given table always produces identical bytes (and
-/// therefore an identical CRC). Each cell serializes its own tier —
-/// unmaterialized cells as a `{"tier", "hashes"}` wrapper, full cells
-/// as the estimator's bare state (byte-identical to pre-tier
-/// checkpoints, so old epochs keep restoring).
-fn shard_to_json(shard: usize, table: &ShardTable) -> smb_core::Result<Json> {
+/// therefore an identical CRC) in either shard format. Each cell
+/// serializes its own tier — unmaterialized cells as a
+/// `{"tier", "hashes"}` wrapper, full cells as the estimator's bare
+/// state (byte-identical to pre-tier checkpoints, so old epochs keep
+/// restoring).
+pub(crate) fn shard_flows(table: &ShardTable) -> smb_core::Result<Vec<(u64, Json)>> {
     let mut flows: Vec<(u64, Json)> = Vec::with_capacity(table.len());
     for (flow, state) in table.snapshot_cells() {
         let state = state.ok_or_else(|| {
@@ -292,18 +352,37 @@ fn shard_to_json(shard: usize, table: &ShardTable) -> smb_core::Result<Json> {
         flows.push((flow, state));
     }
     flows.sort_unstable_by_key(|&(flow, _)| flow);
-    Ok(Json::Obj(vec![
-        ("shard".into(), Json::Int(shard as i128)),
-        (
-            "flows".into(),
-            Json::Arr(
-                flows
-                    .into_iter()
-                    .map(|(flow, state)| Json::Arr(vec![Json::Int(flow as i128), state]))
-                    .collect(),
-            ),
-        ),
-    ]))
+    Ok(flows)
+}
+
+/// Serialize a shard's sorted flows in the chosen format: the v1 JSON
+/// document or the v2 compressed flow block.
+pub(crate) fn encode_shard(
+    format: CheckpointFormat,
+    shard: usize,
+    flows: Vec<(u64, Json)>,
+) -> smb_core::Result<Vec<u8>> {
+    match format {
+        CheckpointFormat::V1Json => {
+            let json = Json::Obj(vec![
+                ("shard".into(), Json::Int(shard as i128)),
+                (
+                    "flows".into(),
+                    Json::Arr(
+                        flows
+                            .into_iter()
+                            .map(|(flow, state)| {
+                                Json::Arr(vec![Json::Int(flow as i128), state])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]);
+            Ok(json.to_string().into_bytes())
+        }
+        CheckpointFormat::V2Binary => smb_sketch::codec::encode_flow_block(&flows)
+            .map_err(|e| Error::invalid("shard", e.to_string())),
+    }
 }
 
 /// Write epoch `epoch`: every shard file, then the manifest as the
@@ -321,12 +400,12 @@ pub(crate) fn write_checkpoint(
     let mut files: Vec<Json> = Vec::with_capacity(tables.len());
     let mut total = 0u64;
     for (shard, table) in tables.iter().enumerate() {
-        let json = {
+        let flows = {
             let table = table.lock().expect("shard table lock");
-            shard_to_json(shard, &table)?
+            shard_flows(&table)?
         };
-        let bytes = json.to_string().into_bytes();
-        let name = shard_file_name(shard);
+        let bytes = encode_shard(config.format, shard, flows)?;
+        let name = config.format.shard_file_name(shard);
         write_atomic(&edir.join(&name), &bytes)?;
         files.push(Json::Obj(vec![
             ("name".into(), Json::Str(name)),
@@ -337,6 +416,7 @@ pub(crate) fn write_checkpoint(
     }
     let body = Json::Obj(vec![
         ("epoch".into(), Json::Int(epoch as i128)),
+        ("format".into(), Json::Int(config.format.code() as i128)),
         ("spec".into(), spec.to_json()),
         ("shards".into(), Json::Int(tables.len() as i128)),
         ("files".into(), Json::Arr(files)),
@@ -407,6 +487,13 @@ fn load_epoch(dir: &Path, epoch: u64) -> Result<LoadedEpoch, String> {
     {
         return Err("manifest epoch does not match its directory".into());
     }
+    // Pre-v2 manifests carry no `format` field; absent means v1 JSON.
+    let format = match body.field("format") {
+        Ok(v) => CheckpointFormat::from_code(
+            v.as_u64().map_err(|e| format!("manifest format field: {e}"))?,
+        )?,
+        Err(_) => CheckpointFormat::V1Json,
+    };
     let spec = AlgoSpec::from_json(body.field("spec").map_err(|e| e.to_string())?)
         .map_err(|e| format!("manifest spec invalid: {e}"))?;
     let shards = body
@@ -428,7 +515,7 @@ fn load_epoch(dir: &Path, epoch: u64) -> Result<LoadedEpoch, String> {
             .field("name")
             .and_then(|v| v.as_str().map(str::to_owned))
             .map_err(|e| format!("file entry {shard}: {e}"))?;
-        if name != shard_file_name(shard) {
+        if name != format.shard_file_name(shard) {
             return Err(format!("file entry {shard} names `{name}`"));
         }
         let want_crc = entry
@@ -450,23 +537,38 @@ fn load_epoch(dir: &Path, epoch: u64) -> Result<LoadedEpoch, String> {
         if crc32(&bytes) as u64 != want_crc {
             return Err(format!("{name} checksum mismatch — shard file corrupted"));
         }
-        let text = String::from_utf8(bytes).map_err(|_| format!("{name} is not UTF-8"))?;
-        let json = Json::parse(&text).map_err(|e| format!("{name} does not parse: {e}"))?;
-        let Json::Arr(pairs) = json
-            .field("flows")
-            .map_err(|e| format!("{name} flows field: {e}"))?
-        else {
-            return Err(format!("{name} flows field is not an array"));
-        };
-        for pair in pairs {
-            let Json::Arr(kv) = pair else {
-                return Err(format!("{name} holds a non-pair flow entry"));
-            };
-            let [flow, state] = kv.as_slice() else {
-                return Err(format!("{name} holds a malformed flow pair"));
-            };
-            let flow = flow.as_u64().map_err(|e| format!("{name} flow key: {e}"))?;
-            flows.push((flow, state.clone()));
+        match format {
+            CheckpointFormat::V1Json => {
+                let text =
+                    String::from_utf8(bytes).map_err(|_| format!("{name} is not UTF-8"))?;
+                let json =
+                    Json::parse(&text).map_err(|e| format!("{name} does not parse: {e}"))?;
+                let Json::Arr(pairs) = json
+                    .field("flows")
+                    .map_err(|e| format!("{name} flows field: {e}"))?
+                else {
+                    return Err(format!("{name} flows field is not an array"));
+                };
+                for pair in pairs {
+                    let Json::Arr(kv) = pair else {
+                        return Err(format!("{name} holds a non-pair flow entry"));
+                    };
+                    let [flow, state] = kv.as_slice() else {
+                        return Err(format!("{name} holds a malformed flow pair"));
+                    };
+                    let flow =
+                        flow.as_u64().map_err(|e| format!("{name} flow key: {e}"))?;
+                    flows.push((flow, state.clone()));
+                }
+            }
+            CheckpointFormat::V2Binary => {
+                // The binary decoder rebuilds the same canonical JSON
+                // states the v1 reader parses — everything downstream
+                // (spec validation, estimator restore) is shared.
+                let decoded = smb_sketch::codec::decode_flow_block(&bytes)
+                    .map_err(|e| format!("{name} does not decode: {e}"))?;
+                flows.extend(decoded);
+            }
         }
     }
     Ok(LoadedEpoch { spec, shards, flows })

@@ -533,6 +533,27 @@ impl QueryHandle {
         }
         report
     }
+
+    /// Snapshot every flow's serialized cell state, sorted by flow
+    /// key — unmaterialized cells as `{"tier", "hashes"}` wrappers,
+    /// materialized ones as the estimator's own state. This is the
+    /// payload of a wire `SNAPSHOT` response (encoded with
+    /// [`smb_sketch::codec::encode_flow_block`]) and is exactly what a
+    /// checkpoint shard holds, so a transferred snapshot restores
+    /// bit-identically. Locks each shard briefly, one at a time;
+    /// results reflect batches the workers have already processed.
+    ///
+    /// # Errors
+    /// When a materialized estimator does not support snapshots.
+    pub fn snapshot_cells(&self) -> smb_core::Result<Vec<(u64, smb_devtools::Json)>> {
+        let mut all: Vec<(u64, smb_devtools::Json)> = Vec::new();
+        for table in &self.shards {
+            let table = table.lock().expect("shard table lock");
+            all.extend(crate::durability::shard_flows(&table)?);
+        }
+        all.sort_unstable_by_key(|&(flow, _)| flow);
+        Ok(all)
+    }
 }
 
 impl std::fmt::Debug for QueryHandle {
@@ -1574,6 +1595,36 @@ impl EngineProducer {
         self.metrics.snapshot(self.id)
     }
 
+    /// Deliver this producer's pending batches, then wait until the
+    /// shard workers have processed every batch *delivered so far* —
+    /// the producer-side equivalent of [`ShardedFlowEngine::flush`],
+    /// available without `&mut` access to the engine. After `barrier()`
+    /// returns, a query through a [`QueryHandle`] reflects everything
+    /// this producer ingested (the per-shard sent/processed counters
+    /// are engine-global, so it may also wait out other producers'
+    /// in-flight batches — a stronger, never weaker, guarantee).
+    ///
+    /// Liveness matches `flush`: if the engine has been dropped, its
+    /// workers drained every delivered batch on shutdown, so the wait
+    /// still terminates.
+    ///
+    /// [`ShardedFlowEngine::flush`]: crate::ShardedFlowEngine::flush
+    pub fn barrier(&mut self) {
+        self.flush();
+        for (_, metrics) in &self.shards {
+            loop {
+                let sent = metrics.batches_sent.get_acquire();
+                // Acquire pairs with the worker's release increment,
+                // making its table writes visible to this thread.
+                let done = metrics.batches_processed.get_acquire();
+                if done >= sent {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+
     fn dispatch(&mut self, shard: usize, mode: DeliveryMode) {
         let batch = std::mem::replace(&mut self.pending[shard], Batch::with_capacity(self.batch));
         if batch.entries.is_empty() {
@@ -2564,5 +2615,39 @@ mod tests {
         for flow in 0..17u64 {
             assert_eq!(engine.query(flow), reference.estimate(flow), "flow {flow}");
         }
+    }
+
+    /// A producer-side barrier makes the producer's own ingest visible
+    /// to a query handle without touching the engine — the server
+    /// session pattern (one producer + one query handle per
+    /// connection, the engine owned elsewhere).
+    #[test]
+    fn producer_barrier_makes_ingest_visible_to_query_handle() {
+        let mut engine = ShardedFlowEngine::new(
+            EngineConfig::new(spec()).with_shards(2).with_batch(64),
+        )
+        .unwrap();
+        let queries = engine.query_handle();
+        let mut producer = engine.producer_handle();
+        for i in 0..5_000u32 {
+            producer.ingest(u64::from(i % 8), &i.to_le_bytes());
+        }
+        producer.barrier();
+        let report = queries.run(&EngineQuery::new().with_flow_count());
+        assert_eq!(report.flow_count, Some(8));
+        // Barrier on an already-drained producer returns immediately.
+        producer.barrier();
+
+        // snapshot_cells: sorted, one entry per flow, every state
+        // serializable — and identical whether taken through the
+        // handle or a checkpoint's shard sweep.
+        let cells = queries.snapshot_cells().unwrap();
+        assert_eq!(cells.len(), 8);
+        assert!(cells.windows(2).all(|w| w[0].0 < w[1].0), "sorted by flow");
+        drop(engine);
+        // Handles stay valid after the engine is gone; the barrier
+        // still terminates because shutdown drained the queues.
+        producer.barrier();
+        assert_eq!(queries.snapshot_cells().unwrap().len(), 8);
     }
 }

@@ -10,7 +10,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
-use smb_engine::{CheckpointConfig, EngineConfig, ShardedFlowEngine};
+use smb_engine::{CheckpointConfig, CheckpointFormat, EngineConfig, ShardedFlowEngine};
 use smb_factory::{Algo, AlgoSpec};
 
 fn spec() -> AlgoSpec {
@@ -141,7 +141,7 @@ fn torn_shard_file_recovers_to_previous_epoch() {
 
     // Truncate epoch 1's first shard file mid-body, as a crash between
     // write and fsync would.
-    let victim = dir.join("epoch-0000000001").join("shard-0000.json");
+    let victim = dir.join("epoch-0000000001").join("shard-0000.bin");
     let bytes = fs::read(&victim).unwrap();
     fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
 
@@ -195,7 +195,7 @@ fn missing_shard_file_recovers_to_previous_epoch() {
     ingest_range(&mut original, 12, 12_000, 24_000);
     original.checkpoint_now(&cfg).expect("epoch 1");
 
-    fs::remove_file(dir.join("epoch-0000000001").join("shard-0002.json")).unwrap();
+    fs::remove_file(dir.join("epoch-0000000001").join("shard-0002.bin")).unwrap();
 
     let (restored, report) = ShardedFlowEngine::restore(&dir).expect("degrade to epoch 0");
     assert_eq!(report.epoch, 0);
@@ -351,6 +351,72 @@ fn mixed_tier_checkpoint_repartitions_across_shard_counts() {
         );
     }
     let _ = fs::remove_dir_all(&dir);
+}
+
+/// The same engine state checkpointed in both shard formats restores
+/// bit-identically from either: per-flow estimate bits, tier census,
+/// and continued ingest all agree. This is the cross-format guarantee
+/// the codec's "lossless JSON transcoder" design buys.
+#[test]
+fn v1_and_v2_checkpoints_cross_restore_bit_identically() {
+    let dir_v1 = scratch("fmt-v1");
+    let dir_v2 = scratch("fmt-v2");
+    let mut original = engine(2);
+    ingest_tier_mix(&mut original);
+    // The engine's epoch counter is shared across target directories,
+    // so capture each checkpoint's epoch number.
+    let e1 = original
+        .checkpoint_now(&config(&dir_v1).with_format(CheckpointFormat::V1Json))
+        .expect("v1 checkpoint");
+    let e2 = original
+        .checkpoint_now(&config(&dir_v2).with_format(CheckpointFormat::V2Binary))
+        .expect("v2 checkpoint");
+    let want = estimate_bits(&original);
+
+    // The formats write what they claim: v1 JSON shards, v2 binary
+    // shards with the flow-block magic, and the v2 epoch is smaller.
+    let v1_shard =
+        fs::read(dir_v1.join(format!("epoch-{e1:010}/shard-0000.json"))).unwrap();
+    let v2_shard =
+        fs::read(dir_v2.join(format!("epoch-{e2:010}/shard-0000.bin"))).unwrap();
+    assert_eq!(v1_shard.first(), Some(&b'{'));
+    assert_eq!(&v2_shard[..4], b"SMB2");
+    let epoch_bytes = |dir: &Path, epoch: u64| -> u64 {
+        fs::read_dir(dir.join(format!("epoch-{epoch:010}")))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with("shard-"))
+            .map(|e| e.metadata().unwrap().len())
+            .sum()
+    };
+    assert!(
+        epoch_bytes(&dir_v2, e2) * 2 <= epoch_bytes(&dir_v1, e1),
+        "v2 shards ({} B) should be at most half the v1 shards ({} B)",
+        epoch_bytes(&dir_v2, e2),
+        epoch_bytes(&dir_v1, e1)
+    );
+
+    let (mut from_v1, r1) = ShardedFlowEngine::restore(&dir_v1).expect("restore v1");
+    let (mut from_v2, r2) = ShardedFlowEngine::restore(&dir_v2).expect("restore v2");
+    assert_eq!(r1.flows, r2.flows);
+    assert_eq!(estimate_bits(&from_v1), want, "v1 restore bit-identical");
+    assert_eq!(estimate_bits(&from_v2), want, "v2 restore bit-identical");
+    assert_eq!(tier_census(&from_v1), tier_census(&from_v2));
+
+    // Both restored engines keep tracking the original exactly across
+    // future promotions and morphs.
+    for target in [&mut original, &mut from_v1, &mut from_v2] {
+        for f in 0..90u64 {
+            for i in 0..40u32 {
+                target.ingest(f, &(500_000 + f as u32 * 100 + i).to_le_bytes());
+            }
+        }
+        target.flush();
+    }
+    assert_eq!(estimate_bits(&from_v1), estimate_bits(&original));
+    assert_eq!(estimate_bits(&from_v2), estimate_bits(&original));
+    let _ = fs::remove_dir_all(&dir_v1);
+    let _ = fs::remove_dir_all(&dir_v2);
 }
 
 #[test]

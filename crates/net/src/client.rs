@@ -1,0 +1,211 @@
+//! Client: a blocking [`SmbClient`] for scripts, tests, and the
+//! `smbcount client` subcommand.
+//!
+//! Every method is a synchronous request/response exchange on one
+//! connection; the server guarantees read-your-writes per session, so
+//! `record_batch` followed by `query` on the same client observes the
+//! records just sent. `ERROR` replies surface as
+//! [`NetError::Remote`] with the server's code and message.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use smb_devtools::Json;
+
+use crate::frame::{read_frame, write_frame, NetError, MAX_FRAME};
+use crate::proto::{self, MorphEvent};
+
+/// A connected, handshaken protocol client.
+///
+/// ```no_run
+/// use smb_net::SmbClient;
+///
+/// let mut client = SmbClient::connect("127.0.0.1:4742").unwrap();
+/// client.record_batch(&[(7, b"alice"), (7, b"bob")]).unwrap();
+/// let estimate = client.query(7).unwrap();
+/// assert!(estimate.is_some());
+/// for (flow, estimate) in client.top_k(10).unwrap() {
+///     println!("{flow:016x}\t{estimate:.0}");
+/// }
+/// ```
+pub struct SmbClient {
+    stream: TcpStream,
+    spec_json: String,
+    max_frame: u32,
+    pings: u64,
+}
+
+impl SmbClient {
+    /// Connect to `addr` and run the `HELLO`/`HELLO_ACK` handshake.
+    ///
+    /// Fails with [`NetError::Remote`] (code
+    /// [`proto::ERR_UNSUPPORTED_VERSION`]) if the server rejects
+    /// [`proto::PROTOCOL_VERSION`].
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = SmbClient {
+            stream,
+            spec_json: String::new(),
+            max_frame: MAX_FRAME,
+            pings: 0,
+        };
+        let ack = client.request(
+            proto::MSG_HELLO,
+            &proto::encode_version(proto::PROTOCOL_VERSION),
+            proto::MSG_HELLO_ACK,
+        )?;
+        let (version, spec) = proto::decode_hello_ack(&ack)?;
+        if version != proto::PROTOCOL_VERSION {
+            return Err(NetError::Protocol(format!(
+                "server acked version {version}, expected {}",
+                proto::PROTOCOL_VERSION
+            )));
+        }
+        client.spec_json = spec;
+        Ok(client)
+    }
+
+    /// The server engine's `AlgoSpec` as JSON text, captured from the
+    /// `HELLO_ACK` — lets a client verify it is talking to the
+    /// estimator configuration it expects.
+    pub fn server_spec(&self) -> &str {
+        &self.spec_json
+    }
+
+    /// Liveness probe: sends a `PING` with a fresh token and checks
+    /// the `PONG` echoes it verbatim.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.pings += 1;
+        let token = self.pings.to_le_bytes();
+        let echoed = self.request(proto::MSG_PING, &token, proto::MSG_PONG)?;
+        if echoed != token {
+            return Err(NetError::Protocol("PONG token does not match PING".into()));
+        }
+        Ok(())
+    }
+
+    /// Ship a batch of `(flow, item-bytes)` records for ingest.
+    /// Returns the count the server acknowledged (always the batch
+    /// length on success). The server hashes each item exactly once,
+    /// so this is bit-identical to local `engine.ingest` calls.
+    pub fn record_batch(&mut self, records: &[(u64, &[u8])]) -> Result<u64, NetError> {
+        let ack = self.request(
+            proto::MSG_RECORD_BATCH,
+            &proto::encode_record_batch(records),
+            proto::MSG_RECORD_ACK,
+        )?;
+        let count = proto::decode_u64(&ack, "RECORD_ACK")?;
+        if count != records.len() as u64 {
+            return Err(NetError::Protocol(format!(
+                "server acked {count} records, sent {}",
+                records.len()
+            )));
+        }
+        Ok(count)
+    }
+
+    /// Estimate `flow`'s cardinality; `None` if the server has never
+    /// seen the flow. Reads this session's own writes.
+    pub fn query(&mut self, flow: u64) -> Result<Option<f64>, NetError> {
+        let result = self.request(
+            proto::MSG_QUERY,
+            &proto::encode_u64(flow),
+            proto::MSG_QUERY_RESULT,
+        )?;
+        proto::decode_query_result(&result)
+    }
+
+    /// The `k` flows with the largest estimates, descending (ties by
+    /// ascending flow key).
+    pub fn top_k(&mut self, k: u64) -> Result<Vec<(u64, f64)>, NetError> {
+        let result = self.request(
+            proto::MSG_TOP_K,
+            &proto::encode_u64(k),
+            proto::MSG_TOP_K_RESULT,
+        )?;
+        proto::decode_top_k_result(&result)
+    }
+
+    /// Pull the engine's full per-flow state as `(flow, cell state)`
+    /// pairs, sorted by flow key — decoded from the same compressed
+    /// flow block a v2 checkpoint shard uses, so the result restores
+    /// bit-identically.
+    pub fn snapshot(&mut self) -> Result<Vec<(u64, Json)>, NetError> {
+        let block = self.request(proto::MSG_SNAPSHOT, &[], proto::MSG_SNAPSHOT_RESULT)?;
+        Ok(smb_sketch::codec::decode_flow_block(&block)?)
+    }
+
+    /// Stream flight-recorder events, invoking `on_event` per event,
+    /// until the server sends `MORPH_END` (after `max_events`
+    /// deliveries or server shutdown). Returns the count the server
+    /// reported delivering. The stream is lossy under burst — see
+    /// `PROTOCOL.md` §3.9.
+    pub fn subscribe_morphs<F: FnMut(&MorphEvent)>(
+        &mut self,
+        max_events: u64,
+        mut on_event: F,
+    ) -> Result<u64, NetError> {
+        write_frame(
+            &mut self.stream,
+            proto::MSG_SUBSCRIBE_MORPHS,
+            &proto::encode_u64(max_events),
+        )?;
+        loop {
+            let (ty, payload) = read_frame(&mut self.stream, self.max_frame)?;
+            match ty {
+                proto::MSG_MORPH_EVENT => {
+                    let ev = proto::decode_morph_event(&payload)?;
+                    on_event(&ev);
+                }
+                proto::MSG_MORPH_END => {
+                    return proto::decode_u64(&payload, "MORPH_END");
+                }
+                proto::MSG_ERROR => {
+                    let (code, message) = proto::decode_error(&payload)?;
+                    return Err(NetError::Remote { code, message });
+                }
+                other => {
+                    return Err(NetError::Protocol(format!(
+                        "unexpected frame 0x{other:02X} inside a morph subscription"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Ask the server to shut down: stop accepting connections, end
+    /// every session at its next poll tick, and return from `serve`.
+    pub fn shutdown_server(&mut self) -> Result<(), NetError> {
+        let ack = self.request(proto::MSG_SHUTDOWN, &[], proto::MSG_SHUTDOWN_ACK)?;
+        if !ack.is_empty() {
+            return Err(NetError::Protocol("SHUTDOWN_ACK carries no payload".into()));
+        }
+        Ok(())
+    }
+
+    /// One request/response exchange: send `ty`, expect `expect`.
+    /// `ERROR` replies become [`NetError::Remote`]; any other type is
+    /// a protocol violation.
+    fn request(&mut self, ty: u8, payload: &[u8], expect: u8) -> Result<Vec<u8>, NetError> {
+        write_frame(&mut self.stream, ty, payload)?;
+        let (got, reply) = read_frame(&mut self.stream, self.max_frame)?;
+        if got == proto::MSG_ERROR {
+            let (code, message) = proto::decode_error(&reply)?;
+            return Err(NetError::Remote { code, message });
+        }
+        if got != expect {
+            return Err(NetError::Protocol(format!(
+                "expected frame 0x{expect:02X} in reply to 0x{ty:02X}, got 0x{got:02X}"
+            )));
+        }
+        Ok(reply)
+    }
+}
+
+impl std::fmt::Debug for SmbClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmbClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}

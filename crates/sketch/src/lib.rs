@@ -37,6 +37,10 @@
 //! * [`virtual_registers::VirtualRegisterSketch`] — register sharing
 //!   across millions of flows with noise subtraction (the vHLL-style
 //!   construction of §II-C).
+//! * [`codec`] — the compressed binary codec for per-flow state
+//!   (varint + zigzag delta hash lists, bit-packed bitmaps) behind the
+//!   v2 checkpoint shard format and the wire `SNAPSHOT` payload; the
+//!   byte format is specified in `PROTOCOL.md`.
 
 // `deny`, not `forbid`: the `prefetch` module scopes a single `allow`
 // around two side-effect-free prefetch intrinsics (see its module docs
@@ -45,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod codec;
 pub mod detector;
 pub mod flow_cell;
 pub mod flow_store;

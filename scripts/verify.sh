@@ -102,12 +102,16 @@ RUSTDOCFLAGS="-Dwarnings" cargo doc --no-deps --workspace --offline
 cargo test --doc --workspace -q --offline
 
 step "checkpoint/restore smoke (offline): serve --checkpoint-dir, crash, restore"
+# Epoch 0 is written in the v1 JSON format, epoch 1 in the default v2
+# flow-block format — so tearing the newest (v2) epoch makes restore
+# degrade across formats onto the v1 shards, exercising both decoders
+# and the cross-format epoch sequence in one pass.
 ckpt_dir="$(mktemp -d)/smb-ckpt"
 trace_file="$(mktemp)"
 cargo run -q --offline -p smb-cli --bin smbcount -- trace --flows 200 --seed 7 >"$trace_file"
 serve_out="$(
     cargo run -q --offline -p smb-cli --bin smbcount -- \
-        serve --shards 2 --top 5 --checkpoint-dir "$ckpt_dir" <"$trace_file"
+        serve --shards 2 --top 5 --checkpoint-dir "$ckpt_dir" --checkpoint-format v1 <"$trace_file"
 )"
 grep -qF "checkpoint   : epoch 0" <<<"$serve_out" || {
     echo "FAIL: serve did not report its final checkpoint epoch:" >&2
@@ -118,7 +122,12 @@ grep -qF "checkpoint   : epoch 0" <<<"$serve_out" || {
 # shard file in the newest epoch must degrade restore to epoch 0.
 cargo run -q --offline -p smb-cli --bin smbcount -- \
     serve --shards 2 --checkpoint-dir "$ckpt_dir" <"$trace_file" >/dev/null
-truncate -s 64 "$ckpt_dir"/epoch-0000000001/shard-0001.json
+ls "$ckpt_dir"/epoch-0000000001/shard-0001.bin >/dev/null || {
+    echo "FAIL: second serve run did not write v2 (.bin) shards by default" >&2
+    ls -R "$ckpt_dir" >&2
+    exit 1
+}
+truncate -s 16 "$ckpt_dir"/epoch-0000000001/shard-0001.bin
 restore_out="$(cargo run -q --offline -p smb-cli --bin smbcount -- restore --dir "$ckpt_dir" --top 5)"
 for needle in "restored     : epoch 0" \
               "flows        : 200" \
@@ -138,6 +147,54 @@ while IFS= read -r line; do
 done < <(grep -P '^[0-9a-f]{16}\t' <<<"$serve_out")
 rm -rf "$(dirname "$ckpt_dir")" "$trace_file"
 echo "ok: torn newest epoch degraded to epoch 0 with bit-identical estimates"
+
+step "network serve smoke (offline): TCP loopback, scripted client, bit-identical top-k"
+# A serve --listen server on an ephemeral port must report exactly the
+# estimates a stdin-mode run of the same trace produces: the client
+# ships the records over RECORD_BATCH frames, and the top-k rows that
+# come back over the wire are compared verbatim against the reference
+# report (PROTOCOL.md §"determinism").
+net_trace="$(mktemp)"
+serve_log="$(mktemp)"
+cargo run -q --offline -p smb-cli --bin smbcount -- trace --flows 120 --seed 11 >"$net_trace"
+net_ref="$(cargo run -q --offline -p smb-cli --bin smbcount -- serve --shards 2 --top 5 <"$net_trace")"
+cargo run -q --offline -p smb-cli --bin smbcount -- \
+    serve --shards 2 --top 5 --listen 127.0.0.1:0 </dev/null >"$serve_log" &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^listening on //p' "$serve_log" | head -n 1)"
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "FAIL: serve --listen never reported its address:" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+record_out="$(cargo run -q --offline -p smb-cli --bin smbcount -- client record --connect "$addr" <"$net_trace")"
+grep -qE "^records sent : [1-9]" <<<"$record_out" || {
+    echo "FAIL: client record shipped nothing: $record_out" >&2
+    exit 1
+}
+topk_out="$(cargo run -q --offline -p smb-cli --bin smbcount -- client top-k --connect "$addr" --top 5 </dev/null)"
+while IFS= read -r line; do
+    if ! grep -qF "$line" <<<"$topk_out"; then
+        echo "FAIL: networked top-k differs from the stdin-mode report: $line" >&2
+        echo "$topk_out" >&2
+        exit 1
+    fi
+done < <(grep -P '^[0-9a-f]{16}\t' <<<"$net_ref")
+cargo run -q --offline -p smb-cli --bin smbcount -- client shutdown --connect "$addr" </dev/null >/dev/null
+wait "$serve_pid"
+grep -qF "sessions     : " "$serve_log" || {
+    echo "FAIL: serve --listen final report is missing the session count:" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+rm -f "$net_trace" "$serve_log"
+echo "ok: loopback client round trip, top-k rows verbatim against stdin mode"
 
 step "prometheus smoke (offline): serve --metrics prom over a tiny trace"
 prom_out="$(
@@ -226,7 +283,8 @@ for needle in 'engine/shards=4' 'kernel/old-hashmap-per-item' 'kernel/new-groupe
               'kernel_speedup_1k_flows_uniform' 'kernel_speedup_10k_flows_uniform' \
               'kernel_speedup_100k_flows_uniform' 'telemetry_overhead_pct' \
               'ingest/mpsc/producers=' 'mpsc_items_per_sec_producers_1' 'mpsc_scaling_producers_4' \
-              'memory_per_flow_tiered_bytes' 'memory_per_flow_boxed_bytes'; do
+              'memory_per_flow_tiered_bytes' 'memory_per_flow_boxed_bytes' \
+              'checkpoint_v2_over_json_100k' 'snapshot_encode_mb_per_sec'; do
     if ! grep -q "$needle" BENCH_ingest.json; then
         echo "FAIL: BENCH_ingest.json is missing: $needle" >&2
         exit 1
@@ -296,6 +354,25 @@ for p in (1, 2, 4):
     print(f"mpsc_items_per_sec_producers_{p}: {ips:,.0f} items/s")
     if not ips > 0:
         raise SystemExit(f"FAIL: mpsc sweep produced a non-positive rate for {p} producers")
+# Checkpoint compression gate: the v2 flow-block format must at least
+# halve the shard bytes of the v1 JSON format on the 100k-flow Zipf
+# state (byte counts are deterministic, so this is a hard gate, not a
+# timing floor). Snapshot codec throughput just has to exist and be
+# positive — it is wall-clock and host-dependent.
+for suffix in ("1k", "100k"):
+    j = extra[f"checkpoint_json_bytes_per_flow_{suffix}"]
+    v = extra[f"checkpoint_v2_bytes_per_flow_{suffix}"]
+    r = extra[f"checkpoint_v2_over_json_{suffix}"]
+    print(f"checkpoint bytes/flow at {suffix}: v1 JSON {j:.1f} B vs v2 {v:.1f} B => {r:.3f}x")
+ratio = extra["checkpoint_v2_over_json_100k"]
+if not ratio <= 0.5:
+    raise SystemExit(f"FAIL: v2 checkpoint is {ratio:.3f}x of JSON at 100k flows — gate is <= 0.5x")
+for k in ("snapshot_encode_mb_per_sec", "snapshot_decode_mb_per_sec"):
+    if not extra.get(k, 0) > 0:
+        raise SystemExit(f"FAIL: {k} missing or non-positive — snapshot codec bench did not run")
+print(f"snapshot codec: encode {extra['snapshot_encode_mb_per_sec']:.0f} MiB/s, "
+      f"decode {extra['snapshot_decode_mb_per_sec']:.0f} MiB/s "
+      f"({extra['snapshot_flows']} flows, {extra['snapshot_block_bytes']} B block)")
 EOF
 echo "ok: BENCH_ingest.json baseline written ($(wc -c <BENCH_ingest.json) bytes)"
 
